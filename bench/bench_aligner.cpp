@@ -1,0 +1,74 @@
+// Ablation I — MiniBlast alignment kernel (google-benchmark).
+//
+// Host-time throughput of the real compute kernel behind the magic-blast
+// application: index construction and read alignment, across thread
+// counts and seed lengths. Demonstrates why more CPUs barely help the
+// end-to-end BLAST runtime in Table I: seeding is memory-bound and the
+// per-read work is small relative to I/O at testbed scale.
+#include <benchmark/benchmark.h>
+
+#include "genomics/aligner.hpp"
+#include "genomics/datasets.hpp"
+
+namespace {
+
+using namespace lidc;
+using namespace lidc::genomics;
+
+const std::string& reference() {
+  static const std::string ref = [] {
+    Rng rng(42);
+    return randomBases(rng, 200'000);
+  }();
+  return ref;
+}
+
+const std::vector<Sequence>& reads() {
+  static const std::vector<Sequence> all = [] {
+    Rng rng(43);
+    return generateReads(rng, reference(), 2'000, 100, 0.42, 0.04, "BENCH");
+  }();
+  return all;
+}
+
+void BM_KmerIndexBuild(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    KmerIndex index(reference(), k);
+    benchmark::DoNotOptimize(index.distinctKmers());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reference().size()));
+}
+BENCHMARK(BM_KmerIndexBuild)->Arg(9)->Arg(11)->Arg(15);
+
+void BM_AlignReads(benchmark::State& state) {
+  AlignerOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  const MiniBlastAligner aligner(reference(), options);
+  for (auto _ : state) {
+    std::vector<Alignment> out;
+    auto stats = aligner.alignAll(reads(), out);
+    benchmark::DoNotOptimize(stats.readsAligned);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reads().size()));
+}
+BENCHMARK(BM_AlignReads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_CompressReport(benchmark::State& state) {
+  const MiniBlastAligner aligner(reference());
+  std::vector<Alignment> alignments;
+  (void)aligner.alignAll(reads(), alignments);
+  for (auto _ : state) {
+    auto compressed = encodeCompressedReport(alignments);
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(alignments.size()));
+}
+BENCHMARK(BM_CompressReport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

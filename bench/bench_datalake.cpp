@@ -1,0 +1,103 @@
+// Ablation F — data lake publish/retrieve throughput.
+//
+// The paper's workflows retrieve inputs from and publish results to the
+// named data lake (/ndn/k8s/data). This bench sweeps object size and
+// pipeline window and reports transfer time and goodput over a
+// bandwidth-limited link, plus the effect of in-network caching when a
+// second client fetches the same object.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "datalake/file_server.hpp"
+#include "datalake/retriever.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace lidc;
+
+struct TransferResult {
+  double seconds = 0;
+  double goodputMbps = 0;
+  bool cached = false;
+};
+
+TransferResult runTransfer(std::size_t objectBytes, std::size_t window,
+                           bool secondFetch) {
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  topo.addNode("client");
+  topo.addNode("lake");
+  // 100 Mbit/s, 20 ms link: a realistic WAN path to a data lake.
+  topo.connect("client", "lake",
+               net::LinkParams{sim::Duration::millis(20), 100e6, 0.0});
+
+  k8s::PersistentVolumeClaim pvc("pvc", ByteSize::fromGiB(1));
+  datalake::ObjectStore store(pvc);
+  datalake::FileServer server(*topo.node("lake"), store,
+                              ndn::Name("/ndn/k8s/data"), 8 * 1024);
+  topo.installRoutesTo(ndn::Name("/ndn/k8s/data"), "lake");
+
+  std::vector<std::uint8_t> blob(objectBytes);
+  Rng rng(5);
+  for (auto& byte : blob) byte = static_cast<std::uint8_t>(rng());
+  (void)store.put(ndn::Name("/ndn/k8s/data/object"), blob);
+
+  auto app = std::make_shared<ndn::AppFace>("app://client", sim, 9);
+  topo.node("client")->addFace(app);
+  datalake::RetrieveOptions options;
+  options.window = window;
+  datalake::Retriever retriever(*app, options);
+
+  auto fetchOnce = [&]() {
+    const sim::Time start = sim.now();
+    double seconds = -1;
+    retriever.fetch(ndn::Name("/ndn/k8s/data/object"),
+                    [&](Result<std::vector<std::uint8_t>> r) {
+                      if (r.ok()) seconds = (sim.now() - start).toSeconds();
+                    });
+    sim.run();
+    return seconds;
+  };
+
+  TransferResult result;
+  result.seconds = fetchOnce();
+  if (secondFetch) {
+    // Same node fetches again: served from the client forwarder's CS.
+    result.seconds = fetchOnce();
+    result.cached = true;
+  }
+  result.goodputMbps =
+      static_cast<double>(objectBytes) * 8.0 / result.seconds / 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation F: data lake retrieval (100 Mbit/s, 20 ms RTT/2 link)");
+  bench::printRow({"object", "window", "time(s)", "goodput", "source"});
+  bench::printRule(5);
+
+  for (std::size_t kib : {64, 512, 4096}) {
+    for (std::size_t window : {1, 8, 32}) {
+      const auto result = runTransfer(kib * 1024, window, false);
+      bench::printRow({std::to_string(kib) + "KiB", std::to_string(window),
+                       bench::fmt(result.seconds, "%.3f"),
+                       bench::fmt(result.goodputMbps, "%.1f") + "Mb/s", "lake"});
+    }
+  }
+  // Cached re-fetch.
+  const auto cached = runTransfer(4096 * 1024, 8, true);
+  const std::string cachedGoodput =
+      cached.seconds <= 0 ? "local" : bench::fmt(cached.goodputMbps, "%.1f") + "Mb/s";
+  bench::printRow({"4096KiB", "8", bench::fmt(cached.seconds, "%.3f"),
+                   cachedGoodput, "node CS"});
+
+  std::printf(
+      "shape check: goodput approaches the 100 Mbit/s link rate as window and\n"
+      "object size grow; a repeated fetch is served from the local content\n"
+      "store orders of magnitude faster.\n");
+  return 0;
+}

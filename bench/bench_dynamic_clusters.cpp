@@ -1,0 +1,112 @@
+// Ablation B — dynamic cluster membership (churn).
+//
+// Claim (paper SI): LIDC "supports seamless job placement, addition and
+// removal of clusters in the compute overlay". This bench keeps a
+// steady stream of job submissions while clusters join and leave at a
+// swept churn rate, and reports placement success and latency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace {
+
+using namespace lidc;
+
+struct ChurnResult {
+  int attempted = 0;
+  int placed = 0;
+  double meanLatencyMs = 0;
+  std::map<std::string, int> placementsPerCluster;
+};
+
+/// `churnPeriodS` seconds between membership changes (0 = static).
+ChurnResult runChurn(double churnPeriodS, int totalSeconds) {
+  sim::Simulator sim;
+  core::ClusterOverlay overlay(sim);
+  overlay.addNode("client-host");
+
+  constexpr int kClusterCount = 4;
+  std::vector<std::string> names;
+  for (int i = 0; i < kClusterCount; ++i) {
+    core::ComputeClusterConfig config;
+    config.name = "cluster-" + std::to_string(i);
+    config.perNode = k8s::Resources{MilliCpu::fromCores(64), ByteSize::fromGiB(256)};
+    auto& cluster = overlay.addCluster(config);
+    cluster.cluster().registerApp("sleeper", [](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(15);
+      return result;
+    });
+    cluster.gateway().jobs().mapAppToImage("sleep", "sleeper");
+    overlay.connect("client-host", config.name,
+                    net::LinkParams{sim::Duration::millis(5 + 10 * i)});
+    overlay.announceCluster(config.name);
+    names.push_back(config.name);
+  }
+
+  core::LidcClient client(*overlay.topology().node("client-host"), "bench");
+  ChurnResult result;
+  std::vector<double> latencies;
+
+  double nextChurnAt = churnPeriodS;
+  std::size_t churnIndex = 0;
+  bool victimOut = false;
+  std::string victim;
+
+  for (int second = 0; second < totalSeconds; ++second) {
+    // Membership churn: alternately remove and re-add a rotating victim.
+    if (churnPeriodS > 0 && second >= nextChurnAt) {
+      nextChurnAt += churnPeriodS;
+      if (!victimOut) {
+        victim = names[churnIndex % names.size()];
+        overlay.withdrawCluster(victim);
+        victimOut = true;
+      } else {
+        overlay.announceCluster(victim);
+        victimOut = false;
+        ++churnIndex;
+      }
+    }
+
+    ++result.attempted;
+    core::ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(1);
+    request.memory = ByteSize::fromGiB(1);
+    client.submit(request, [&](Result<core::SubmitResult> r) {
+      if (!r.ok()) return;
+      ++result.placed;
+      latencies.push_back(r->placementLatency.toMillis());
+      ++result.placementsPerCluster[r->cluster];
+    });
+    sim.runUntil(sim.now() + sim::Duration::seconds(1));
+  }
+  sim.runUntil(sim.now() + sim::Duration::seconds(20));
+  result.meanLatencyMs = bench::summarize(latencies).mean;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Ablation B: placement under cluster churn (4 clusters, 120 s)");
+  bench::printRow({"churn-period", "attempted", "placed", "success", "mean-lat",
+                   "clusters-used"});
+  bench::printRule(6);
+
+  for (double period : {0.0, 30.0, 10.0, 4.0}) {
+    const auto result = runChurn(period, 120);
+    bench::printRow({period == 0 ? "static" : bench::fmt(period, "%.0fs"),
+                     std::to_string(result.attempted), std::to_string(result.placed),
+                     bench::fmt(100.0 * result.placed / result.attempted, "%.1f%%"),
+                     bench::fmt(result.meanLatencyMs) + "ms",
+                     std::to_string(result.placementsPerCluster.size())});
+  }
+  std::printf(
+      "shape check: success stays ~100%% under churn because placement follows\n"
+      "names, not configured cluster addresses; latency rises slightly when the\n"
+      "nearest cluster happens to be withdrawn.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation G — Kubernetes-substrate microbenchmarks (google-benchmark).
+//
+// Host-time cost of scheduling decisions and job-object churn in the
+// cluster model, at several node counts and for both scoring policies.
+#include <benchmark/benchmark.h>
+
+#include "k8s/cluster.hpp"
+
+namespace {
+
+using namespace lidc;
+using namespace lidc::k8s;
+
+void BM_SchedulerSelectNode(benchmark::State& state) {
+  const auto nodeCount = static_cast<std::size_t>(state.range(0));
+  const auto policy = state.range(1) == 0 ? ScoringPolicy::kLeastAllocated
+                                          : ScoringPolicy::kMostAllocated;
+  Scheduler scheduler(policy);
+  std::vector<std::unique_ptr<Node>> owned;
+  std::vector<Node*> nodes;
+  Rng rng(11);
+  for (std::size_t i = 0; i < nodeCount; ++i) {
+    owned.push_back(std::make_unique<Node>(
+        "node-" + std::to_string(i),
+        Resources{MilliCpu::fromCores(16), ByteSize::fromGiB(64)}));
+    // Random pre-existing load.
+    owned.back()->allocate(
+        "warm", Resources{MilliCpu(rng.uniform(12'000)),
+                          ByteSize(rng.uniform(48ULL << 30))});
+    nodes.push_back(owned.back().get());
+  }
+  PodSpec spec;
+  spec.requests = Resources{MilliCpu::fromCores(2), ByteSize::fromGiB(4)};
+  const Pod pod("bench-pod", "default", spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.selectNode(pod, nodes));
+  }
+}
+BENCHMARK(BM_SchedulerSelectNode)
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({512, 0})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({512, 1});
+
+void BM_ClusterJobLifecycle(benchmark::State& state) {
+  // Full job lifecycle: create -> schedule -> run -> complete -> release.
+  sim::Simulator sim;
+  Cluster cluster("bench", sim);
+  for (int i = 0; i < 4; ++i) {
+    cluster.addNode("n" + std::to_string(i),
+                    Resources{MilliCpu::fromCores(16), ByteSize::fromGiB(64)});
+  }
+  cluster.registerApp("noop", [](AppContext&) {
+    AppResult result;
+    result.runtime = sim::Duration::seconds(1);
+    return result;
+  });
+  std::size_t counter = 0;
+  for (auto _ : state) {
+    JobSpec spec;
+    spec.app = "noop";
+    spec.requests = Resources{MilliCpu::fromCores(1), ByteSize::fromGiB(1)};
+    auto job = cluster.createJob("default", "job-" + std::to_string(counter++), spec);
+    benchmark::DoNotOptimize(job);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(counter));
+}
+BENCHMARK(BM_ClusterJobLifecycle);
+
+void BM_ServiceEndpointSelection(benchmark::State& state) {
+  const auto podCount = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  Cluster cluster("bench", sim);
+  cluster.addNode("n0", Resources{MilliCpu::fromCores(10'000),
+                                  ByteSize::fromGiB(100'000)});
+  ServiceSpec svcSpec;
+  svcSpec.selector = {{"app", "worker"}};
+  auto svc = cluster.createService("default", "svc", svcSpec);
+  for (std::size_t i = 0; i < podCount; ++i) {
+    PodSpec podSpec;
+    podSpec.image = "w";
+    podSpec.requests = Resources{MilliCpu(100), ByteSize::fromMiB(64)};
+    podSpec.labels = {{"app", i % 2 == 0 ? "worker" : "other"}};
+    (void)cluster.createPod("default", "p" + std::to_string(i), podSpec);
+  }
+  sim.run();  // all pods Running
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.serviceEndpoints(**svc));
+  }
+}
+BENCHMARK(BM_ServiceEndpointSelection)->Arg(16)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

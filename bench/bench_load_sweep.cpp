@@ -1,0 +1,126 @@
+// Ablation K — load balancing under offered load (paper SII: the
+// framework picks clusters based on "load balancing capabilities").
+//
+// Poisson job arrivals sweep the offered load against a 3-cluster
+// overlay with heterogeneous proximity. Compares best-route (nearest
+// first, capacity nack spill-over) with load-balance (SRTT-weighted
+// spread): at low load best-route's locality wins; as load approaches
+// the nearest cluster's capacity, spreading wins on completion time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/workload.hpp"
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace {
+
+using namespace lidc;
+
+struct SweepResult {
+  int submitted = 0;
+  int completed = 0;
+  int rejected = 0;
+  bench::Summary completionS;
+  std::map<std::string, int> placements;
+};
+
+SweepResult runSweep(double jobsPerMinute, core::PlacementStrategy strategy,
+                     int totalJobs) {
+  sim::Simulator sim;
+  core::ClusterOverlay overlay(sim);
+  overlay.addNode("client-host");
+
+  struct Site {
+    const char* name;
+    int linkMs;
+    std::uint64_t cores;
+  };
+  // The nearest cluster is small: it saturates first.
+  const Site sites[] = {{"edge", 5, 8}, {"regional", 25, 16}, {"cloud", 70, 64}};
+  for (const Site& site : sites) {
+    core::ComputeClusterConfig config;
+    config.name = site.name;
+    config.perNode =
+        k8s::Resources{MilliCpu::fromCores(site.cores), ByteSize::fromGiB(256)};
+    auto& cluster = overlay.addCluster(config);
+    cluster.cluster().registerApp("sleeper", [](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(120);
+      return result;
+    });
+    cluster.gateway().jobs().mapAppToImage("sleep", "sleeper");
+    overlay.connect("client-host", site.name,
+                    net::LinkParams{sim::Duration::millis(site.linkMs)});
+    overlay.announceCluster(site.name);
+  }
+  overlay.setPlacementStrategy(strategy);
+
+  core::LidcClient client(*overlay.topology().node("client-host"), "bench");
+  PoissonArrivals arrivals(jobsPerMinute / 60.0, /*seed=*/2024);
+
+  SweepResult result;
+  std::vector<double> completions;
+  for (int i = 0; i < totalJobs; ++i) {
+    ++result.submitted;
+    core::ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(2);
+    request.memory = ByteSize::fromGiB(2);
+    const sim::Time start = sim.now();
+    client.runToCompletion(request, [&, start](Result<core::JobOutcome> outcome) {
+      if (!outcome.ok()) {
+        ++result.rejected;
+        return;
+      }
+      ++result.completed;
+      ++result.placements[outcome->finalStatus.cluster];
+      completions.push_back((sim.now() - start).toSeconds());
+    });
+    sim.runUntil(sim.now() + arrivals.next());
+  }
+  sim.run();
+  result.completionS = bench::summarize(completions);
+  return result;
+}
+
+const char* strategyName(core::PlacementStrategy strategy) {
+  return strategy == core::PlacementStrategy::kBestRoute ? "best-route"
+                                                         : "load-balance";
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kJobs = 120;
+  bench::printHeader(
+      "Ablation K: offered-load sweep, 2-core 120 s jobs over edge(8c)/"
+      "regional(16c)/cloud(64c)");
+  bench::printRow({"jobs/min", "strategy", "done", "rejected", "p50(s)", "p95(s)",
+                   "edge/reg/cloud"});
+  bench::printRule(7);
+
+  for (double rate : {1.0, 4.0, 12.0, 30.0}) {
+    for (auto strategy : {core::PlacementStrategy::kBestRoute,
+                          core::PlacementStrategy::kLoadBalance}) {
+      const auto result = runSweep(rate, strategy, kJobs);
+      const auto share = [&](const char* name) {
+        auto it = result.placements.find(name);
+        return it == result.placements.end() ? 0 : it->second;
+      };
+      bench::printRow(
+          {bench::fmt(rate, "%.0f"), strategyName(strategy),
+           std::to_string(result.completed), std::to_string(result.rejected),
+           bench::fmt(result.completionS.p50, "%.1f"),
+           bench::fmt(result.completionS.p95, "%.1f"),
+           std::to_string(share("edge")) + "/" + std::to_string(share("regional")) +
+               "/" + std::to_string(share("cloud"))});
+    }
+  }
+  std::printf(
+      "shape check: at low load placements concentrate on the nearby edge\n"
+      "cluster; rising load spills jobs outward (edge -> regional -> cloud)\n"
+      "with no client involvement, and rejections appear only once the\n"
+      "aggregate overlay capacity itself is exceeded.\n");
+  return 0;
+}

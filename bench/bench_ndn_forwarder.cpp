@@ -1,0 +1,138 @@
+// Ablation H — NDN data-plane microbenchmarks (google-benchmark).
+//
+// Host-time costs of the primitives every LIDC operation rides on:
+// name parsing, TLV encode/decode, FIB longest-prefix match at several
+// table sizes, Content Store insert/lookup, and the full forwarder
+// Interest->Data exchange.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ndn/app_face.hpp"
+#include "ndn/forwarder.hpp"
+
+namespace {
+
+using namespace lidc;
+
+void BM_NameParse(benchmark::State& state) {
+  const std::string uri = "/ndn/k8s/compute/mem=4&cpu=6&app=BLAST&srr_id=SRR2931415";
+  for (auto _ : state) {
+    ndn::Name name(uri);
+    benchmark::DoNotOptimize(name);
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameToUri(benchmark::State& state) {
+  const ndn::Name name("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST");
+  for (auto _ : state) {
+    auto uri = name.toUri();
+    benchmark::DoNotOptimize(uri);
+  }
+}
+BENCHMARK(BM_NameToUri);
+
+void BM_InterestEncode(benchmark::State& state) {
+  ndn::Interest interest(ndn::Name("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST"));
+  interest.setNonce(42);
+  for (auto _ : state) {
+    auto wire = interest.wireEncode();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_InterestEncode);
+
+void BM_InterestDecode(benchmark::State& state) {
+  ndn::Interest interest(ndn::Name("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST"));
+  interest.setNonce(42);
+  const auto wire = interest.wireEncode();
+  for (auto _ : state) {
+    auto decoded =
+        ndn::Interest::wireDecode(std::span<const std::uint8_t>(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_InterestDecode);
+
+void BM_DataEncodeWithContent(benchmark::State& state) {
+  ndn::Data data(ndn::Name("/ndn/k8s/data/object/seg=0"));
+  data.setContent(std::string(static_cast<std::size_t>(state.range(0)), 'x'));
+  data.sign();
+  for (auto _ : state) {
+    auto wire = data.wireEncode();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataEncodeWithContent)->Arg(1024)->Arg(8 * 1024)->Arg(64 * 1024);
+
+void BM_FibLongestPrefixMatch(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  ndn::Fib fib;
+  Rng rng(3);
+  for (std::size_t i = 0; i < entries; ++i) {
+    ndn::Name prefix("/ndn/k8s");
+    prefix.append("svc" + std::to_string(i % 97));
+    prefix.append("inst" + std::to_string(i));
+    fib.insert(prefix, static_cast<ndn::FaceId>(i % 16 + 1), i);
+  }
+  fib.insert(ndn::Name("/ndn/k8s/compute"), 1, 0);
+  const ndn::Name lookup("/ndn/k8s/compute/mem=4&cpu=6&app=BLAST/req=1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fib.longestPrefixMatch(lookup));
+  }
+}
+BENCHMARK(BM_FibLongestPrefixMatch)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_ContentStoreInsertFind(benchmark::State& state) {
+  ndn::ContentStore cs(static_cast<std::size_t>(state.range(0)));
+  Rng rng(7);
+  std::size_t counter = 0;
+  for (auto _ : state) {
+    ndn::Data data(ndn::Name("/ndn/k8s/data").appendNumber(counter % 10'000));
+    data.setContent("payload");
+    cs.insert(data, sim::Time::fromNanos(static_cast<std::int64_t>(counter)));
+    ndn::Interest probe(ndn::Name("/ndn/k8s/data").appendNumber(rng.uniform(10'000)));
+    benchmark::DoNotOptimize(
+        cs.find(probe, sim::Time::fromNanos(static_cast<std::int64_t>(counter))));
+    ++counter;
+  }
+}
+BENCHMARK(BM_ContentStoreInsertFind)->Arg(1024)->Arg(16 * 1024);
+
+void BM_ForwarderExchange(benchmark::State& state) {
+  // Full pipeline: consumer Interest -> producer Data -> consumer,
+  // single node, no link delay (host-time cost of the software path).
+  sim::Simulator sim;
+  ndn::Forwarder node("bench", sim);
+  node.cs().setCapacity(0);  // measure the full path, not cache hits
+  auto consumer = std::make_shared<ndn::AppFace>("app://c", sim, 1);
+  auto producer = std::make_shared<ndn::AppFace>("app://p", sim, 2);
+  node.addFace(consumer);
+  node.addFace(producer);
+  node.registerPrefix(ndn::Name("/svc"), producer->id());
+  producer->setInterestHandler([&producer](const ndn::Interest& interest) {
+    ndn::Data data(interest.name());
+    data.setContent("r");
+    data.sign();
+    producer->putData(std::move(data));
+  });
+
+  std::size_t counter = 0;
+  for (auto _ : state) {
+    ndn::Interest interest(ndn::Name("/svc").appendNumber(counter++));
+    bool done = false;
+    consumer->expressInterest(interest,
+                              [&done](const ndn::Interest&, const ndn::Data&) {
+                                done = true;
+                              });
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(counter));
+}
+BENCHMARK(BM_ForwarderExchange);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Shared helpers for LIDC bench binaries: fixed-width table printing
+// and a tiny stats accumulator. Bench binaries print the same rows the
+// paper's tables/figures report; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace lidc::bench {
+
+/// Prints a row of fixed-width columns.
+inline void printRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void printRule(std::size_t columns, int width = 14) {
+  std::printf("%s\n", std::string(columns * static_cast<std::size_t>(width), '-').c_str());
+}
+
+inline void printHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Mean / p50 / p95 over a sample set.
+struct Summary {
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+inline Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  s.p50 = samples[samples.size() / 2];
+  s.p95 = samples[std::min(samples.size() - 1,
+                           static_cast<std::size_t>(samples.size() * 0.95))];
+  s.min = samples.front();
+  s.max = samples.back();
+  return s;
+}
+
+inline std::string fmt(double value, const char* format = "%.2f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+}  // namespace lidc::bench

@@ -1,0 +1,172 @@
+// Overlay sandbox: a parameterised what-if tool for exploring LIDC
+// deployments from the command line. Builds N clusters with a latency
+// spread, drives a Poisson job stream at the chosen rate, and reports
+// placement distribution, latency, and cache behaviour.
+//
+// Usage:
+//   overlay_sandbox [--clusters N] [--jobs M] [--rate JOBS_PER_MIN]
+//                   [--strategy best-route|load-balance|round-robin|asf]
+//                   [--job-seconds S] [--cache] [--seed K]
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "common/workload.hpp"
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace {
+
+using namespace lidc;
+
+struct Options {
+  int clusters = 3;
+  int jobs = 50;
+  double jobsPerMinute = 10.0;
+  core::PlacementStrategy strategy = core::PlacementStrategy::kBestRoute;
+  double jobSeconds = 60.0;
+  bool useCache = false;
+  std::uint64_t seed = 1;
+};
+
+bool parseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--clusters") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.clusters = std::max(1, atoi(v));
+    } else if (flag == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.jobs = std::max(1, atoi(v));
+    } else if (flag == "--rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.jobsPerMinute = std::max(0.1, atof(v));
+    } else if (flag == "--strategy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = core::parsePlacementStrategy(v);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown strategy '%s'\n", v);
+        return false;
+      }
+      options.strategy = *parsed;
+    } else if (flag == "--job-seconds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.jobSeconds = std::max(0.1, atof(v));
+    } else if (flag == "--cache") {
+      options.useCache = true;
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.seed = static_cast<std::uint64_t>(atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", std::string(flag).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parseArgs(argc, argv, options)) {
+    std::fprintf(stderr,
+                 "usage: %s [--clusters N] [--jobs M] [--rate JOBS_PER_MIN]\n"
+                 "          [--strategy best-route|load-balance|round-robin|asf]\n"
+                 "          [--job-seconds S] [--cache] [--seed K]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  sim::Simulator sim;
+  core::ClusterOverlay overlay(sim);
+  overlay.addNode("client-host");
+
+  for (int i = 0; i < options.clusters; ++i) {
+    core::ComputeClusterConfig config;
+    config.name = "cluster-" + std::to_string(i);
+    config.perNode = k8s::Resources{MilliCpu::fromCores(16), ByteSize::fromGiB(64)};
+    auto& cluster = overlay.addCluster(config);
+    const double seconds = options.jobSeconds;
+    cluster.cluster().registerApp("sleeper", [seconds](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(seconds);
+      result.resultPath = "/ndn/k8s/data/results/r";
+      return result;
+    });
+    cluster.gateway().jobs().mapAppToImage("sleep", "sleeper");
+    const int latencyMs =
+        5 + (options.clusters == 1 ? 0 : 90 * i / (options.clusters - 1));
+    overlay.connect("client-host", config.name,
+                    net::LinkParams{sim::Duration::millis(latencyMs)});
+    overlay.announceCluster(config.name);
+    std::printf("cluster-%d: 16 cores @ %d ms\n", i, latencyMs);
+  }
+  overlay.setPlacementStrategy(options.strategy, options.seed);
+
+  core::ClientOptions clientOptions;
+  clientOptions.bypassCache = !options.useCache;
+  core::LidcClient client(*overlay.topology().node("client-host"), "sandbox",
+                          clientOptions, options.seed);
+  PoissonArrivals arrivals(options.jobsPerMinute / 60.0, options.seed);
+
+  std::map<std::string, int> placements;
+  std::vector<double> placementMs;
+  std::vector<double> completionS;
+  int failed = 0;
+  int cached = 0;
+
+  for (int i = 0; i < options.jobs; ++i) {
+    core::ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(2);
+    request.memory = ByteSize::fromGiB(2);
+    if (!options.useCache) request.params["job"] = std::to_string(i);
+    const sim::Time start = sim.now();
+    client.runToCompletion(request, [&, start](Result<core::JobOutcome> outcome) {
+      if (!outcome.ok()) {
+        ++failed;
+        return;
+      }
+      ++placements[outcome->finalStatus.cluster.empty()
+                       ? outcome->submit.cluster
+                       : outcome->finalStatus.cluster];
+      placementMs.push_back(outcome->submit.placementLatency.toMillis());
+      completionS.push_back((sim.now() - start).toSeconds());
+      if (outcome->submit.cached) ++cached;
+    });
+    sim.runUntil(sim.now() + arrivals.next());
+  }
+  sim.run();
+
+  std::printf("\n== results over %d jobs (%.0f jobs/min) ==\n", options.jobs,
+              options.jobsPerMinute);
+  for (const auto& [cluster, count] : placements) {
+    std::printf("  %-12s %d\n", cluster.c_str(), count);
+  }
+  std::printf("  failed       %d\n", failed);
+  if (options.useCache) std::printf("  cache hits   %d\n", cached);
+
+  auto report = [](const char* label, std::vector<double> samples,
+                   const char* unit) {
+    if (samples.empty()) return;
+    std::sort(samples.begin(), samples.end());
+    const double p50 = samples[samples.size() / 2];
+    const double p95 = samples[static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(samples.size()) - 1,
+                         static_cast<double>(samples.size()) * 0.95))];
+    std::printf("  %-12s p50 %.1f%s  p95 %.1f%s\n", label, p50, unit, p95, unit);
+  };
+  report("placement", placementMs, "ms");
+  report("completion", completionS, "s");
+  return 0;
+}

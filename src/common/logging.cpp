@@ -1,0 +1,46 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lidc::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_write_mutex;
+
+constexpr std::string_view levelName(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLevel(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+bool enabled(Level lvl) noexcept { return lvl >= level() && level() != Level::kOff; }
+}  // namespace detail
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n", static_cast<int>(levelName(lvl).size()),
+               levelName(lvl).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace lidc::log

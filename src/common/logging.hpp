@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe, globally configurable level,
+// optionally silenced entirely (benches and tests set kWarn or kOff).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lidc::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level; messages below it are dropped.
+void setLevel(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one formatted line to stderr. Prefer the LIDC_LOG macro.
+void write(Level level, std::string_view component, std::string_view message);
+
+namespace detail {
+bool enabled(Level level) noexcept;
+}  // namespace detail
+
+/// Streaming log statement:
+///   LIDC_LOG(kInfo, "gateway") << "job " << id << " started";
+#define LIDC_LOG(lvl, component)                                      \
+  if (!::lidc::log::detail::enabled(::lidc::log::Level::lvl)) {      \
+  } else                                                              \
+    ::lidc::log::detail::LineEmitter(::lidc::log::Level::lvl, (component)).stream()
+
+namespace detail {
+class LineEmitter {
+ public:
+  LineEmitter(Level level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LineEmitter() { write(level_, component_, stream_.str()); }
+  LineEmitter(const LineEmitter&) = delete;
+  LineEmitter& operator=(const LineEmitter&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  Level level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace lidc::log

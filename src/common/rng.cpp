@@ -1,0 +1,22 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace lidc {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; guard the log against u == 0.
+  double u = uniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1 = uniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniformDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace lidc

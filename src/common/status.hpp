@@ -1,0 +1,162 @@
+// Lightweight Status / Result<T> error handling, in the style of
+// absl::Status / std::expected. Used across all LIDC modules so that
+// fallible operations never throw across module boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace lidc {
+
+/// Canonical error space shared by every subsystem.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kInternal,
+  kUnimplemented,
+  kPermissionDenied,
+  kAborted,
+};
+
+/// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+std::string_view statusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value: a code plus an optional diagnostic message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string toString() const {
+    if (ok()) return "OK";
+    std::string out(statusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status Timeout(std::string msg) {
+    return {StatusCode::kTimeout, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status Unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+  static Status PermissionDenied(std::string msg) {
+    return {StatusCode::kPermissionDenied, std::move(msg)};
+  }
+  static Status Aborted(std::string msg) {
+    return {StatusCode::kAborted, std::move(msg)};
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.toString();
+}
+
+/// Result<T>: either a value of T or a non-OK Status.
+/// Accessing value() on an error result asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result<T> must not hold an OK status without a value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value if OK, otherwise the provided fallback.
+  [[nodiscard]] T valueOr(T fallback) const& {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagate-on-error helper: RETURN_IF_ERROR(expr) where expr yields Status.
+#define LIDC_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::lidc::Status lidc_status_ = (expr);     \
+    if (!lidc_status_.ok()) return lidc_status_; \
+  } while (0)
+
+}  // namespace lidc

@@ -1,0 +1,127 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace lidc::strings {
+
+std::vector<std::string_view> split(std::string_view input, char delimiter) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      return out;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> splitSkipEmpty(std::string_view input, char delimiter) {
+  std::vector<std::string_view> out;
+  for (auto token : split(input, delimiter)) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& tokens, std::string_view delimiter) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += delimiter;
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view input) {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) --end;
+  return input.substr(begin, end - begin);
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string toLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parseInt(std::string_view text) {
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parseUint(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parseDouble(std::string_view text) {
+  double value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  char buf[32];
+  constexpr std::uint64_t kKB = 1000;
+  constexpr std::uint64_t kMB = kKB * 1000;
+  constexpr std::uint64_t kGB = kMB * 1000;
+  if (bytes >= kGB) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(bytes) / kGB);
+  } else if (bytes >= kMB) {
+    std::snprintf(buf, sizeof(buf), "%.0fMB", static_cast<double>(bytes) / kMB);
+  } else if (bytes >= kKB) {
+    std::snprintf(buf, sizeof(buf), "%.0fKB", static_cast<double>(bytes) / kKB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string formatDurationHms(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<std::uint64_t>(std::llround(seconds));
+  const std::uint64_t h = total / 3600;
+  const std::uint64_t m = (total % 3600) / 60;
+  const std::uint64_t s = total % 60;
+  char buf[48];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%lluh%llum%llus", static_cast<unsigned long long>(h),
+                  static_cast<unsigned long long>(m), static_cast<unsigned long long>(s));
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof(buf), "%llum%llus", static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llus", static_cast<unsigned long long>(s));
+  }
+  return buf;
+}
+
+}  // namespace lidc::strings

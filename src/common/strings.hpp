@@ -1,0 +1,46 @@
+// Small string utilities used by the semantic-name grammar, config
+// parsing, and K8s object naming.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lidc::strings {
+
+/// Splits on a single-character delimiter. Empty tokens are preserved.
+std::vector<std::string_view> split(std::string_view input, char delimiter);
+
+/// Splits, dropping empty tokens.
+std::vector<std::string_view> splitSkipEmpty(std::string_view input, char delimiter);
+
+/// Joins tokens with the delimiter string.
+std::string join(const std::vector<std::string>& tokens, std::string_view delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view input);
+
+bool startsWith(std::string_view text, std::string_view prefix) noexcept;
+bool endsWith(std::string_view text, std::string_view suffix) noexcept;
+
+/// Lower-cases ASCII letters only.
+std::string toLower(std::string_view input);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+std::optional<std::int64_t> parseInt(std::string_view text);
+
+/// Parses a non-negative base-10 integer.
+std::optional<std::uint64_t> parseUint(std::string_view text);
+
+/// Parses a double; rejects trailing garbage.
+std::optional<double> parseDouble(std::string_view text);
+
+/// Formats a byte count with binary-prefix units ("941MB", "2.71GB").
+std::string formatBytes(std::uint64_t bytes);
+
+/// Formats a duration given in seconds like the paper's Table I ("8h9m50s").
+std::string formatDurationHms(double seconds);
+
+}  // namespace lidc::strings

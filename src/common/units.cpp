@@ -1,0 +1,94 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace lidc {
+
+std::optional<ByteSize> ByteSize::parse(std::string_view text) {
+  text = strings::trim(text);
+  if (text.empty()) return std::nullopt;
+
+  // Find the boundary between the numeric part and the suffix.
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) {
+    ++i;
+  }
+  const std::string_view number = text.substr(0, i);
+  const std::string_view suffix = text.substr(i);
+
+  const auto value = strings::parseDouble(number);
+  if (!value || *value < 0) return std::nullopt;
+
+  double multiplier = 1.0;
+  if (suffix.empty() || suffix == "B") {
+    multiplier = 1.0;
+  } else if (suffix == "K") {
+    multiplier = 1e3;
+  } else if (suffix == "M") {
+    multiplier = 1e6;
+  } else if (suffix == "G") {
+    multiplier = 1e9;
+  } else if (suffix == "T") {
+    multiplier = 1e12;
+  } else if (suffix == "Ki") {
+    multiplier = 1024.0;
+  } else if (suffix == "Mi") {
+    multiplier = 1024.0 * 1024.0;
+  } else if (suffix == "Gi") {
+    multiplier = 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "Ti") {
+    multiplier = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return std::nullopt;
+  }
+  return ByteSize(static_cast<std::uint64_t>(std::llround(*value * multiplier)));
+}
+
+std::string ByteSize::toString() const {
+  // Prefer exact binary suffixes when the value divides evenly.
+  char buf[32];
+  if (bytes_ != 0 && bytes_ % (1ULL << 30) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluGi",
+                  static_cast<unsigned long long>(bytes_ >> 30));
+  } else if (bytes_ != 0 && bytes_ % (1ULL << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluMi",
+                  static_cast<unsigned long long>(bytes_ >> 20));
+  } else if (bytes_ != 0 && bytes_ % (1ULL << 10) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluKi",
+                  static_cast<unsigned long long>(bytes_ >> 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(bytes_));
+  }
+  return buf;
+}
+
+std::optional<MilliCpu> MilliCpu::parse(std::string_view text) {
+  text = strings::trim(text);
+  if (text.empty()) return std::nullopt;
+  if (text.back() == 'm') {
+    const auto milli = strings::parseUint(text.substr(0, text.size() - 1));
+    if (!milli) return std::nullopt;
+    return MilliCpu(*milli);
+  }
+  const auto cores = strings::parseDouble(text);
+  if (!cores || *cores < 0) return std::nullopt;
+  return MilliCpu(static_cast<std::uint64_t>(std::llround(*cores * 1000.0)));
+}
+
+std::string MilliCpu::toString() const {
+  char buf[32];
+  if (millicores_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(millicores_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llum",
+                  static_cast<unsigned long long>(millicores_));
+  }
+  return buf;
+}
+
+}  // namespace lidc

@@ -1,0 +1,97 @@
+// Typed byte and time quantities shared by the K8s resource model and
+// the network simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lidc {
+
+/// Byte counts with K8s-style suffix parsing ("4Gi", "512Mi", "100M").
+class ByteSize {
+ public:
+  constexpr ByteSize() noexcept = default;
+  constexpr explicit ByteSize(std::uint64_t bytes) noexcept : bytes_(bytes) {}
+
+  static constexpr ByteSize fromKiB(std::uint64_t v) noexcept { return ByteSize(v << 10); }
+  static constexpr ByteSize fromMiB(std::uint64_t v) noexcept { return ByteSize(v << 20); }
+  static constexpr ByteSize fromGiB(std::uint64_t v) noexcept { return ByteSize(v << 30); }
+
+  /// Parses "4Gi" / "512Mi" / "100K" / "1024" (bytes). Decimal (K/M/G) and
+  /// binary (Ki/Mi/Gi) suffixes are both accepted, as in Kubernetes.
+  static std::optional<ByteSize> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] constexpr double gib() const noexcept {
+    return static_cast<double>(bytes_) / (1ULL << 30);
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+  constexpr auto operator<=>(const ByteSize&) const noexcept = default;
+
+  constexpr ByteSize operator+(ByteSize other) const noexcept {
+    return ByteSize(bytes_ + other.bytes_);
+  }
+  constexpr ByteSize operator-(ByteSize other) const noexcept {
+    return ByteSize(bytes_ >= other.bytes_ ? bytes_ - other.bytes_ : 0);
+  }
+  ByteSize& operator+=(ByteSize other) noexcept {
+    bytes_ += other.bytes_;
+    return *this;
+  }
+  ByteSize& operator-=(ByteSize other) noexcept {
+    bytes_ = bytes_ >= other.bytes_ ? bytes_ - other.bytes_ : 0;
+    return *this;
+  }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+/// Milli-CPU resource quantity, as in K8s ("500m" = half a core, "2" = 2 cores).
+class MilliCpu {
+ public:
+  constexpr MilliCpu() noexcept = default;
+  constexpr explicit MilliCpu(std::uint64_t millicores) noexcept
+      : millicores_(millicores) {}
+
+  static constexpr MilliCpu fromCores(std::uint64_t cores) noexcept {
+    return MilliCpu(cores * 1000);
+  }
+
+  /// Parses "500m", "2", "2.5".
+  static std::optional<MilliCpu> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t millicores() const noexcept { return millicores_; }
+  [[nodiscard]] constexpr double cores() const noexcept {
+    return static_cast<double>(millicores_) / 1000.0;
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+  constexpr auto operator<=>(const MilliCpu&) const noexcept = default;
+
+  constexpr MilliCpu operator+(MilliCpu other) const noexcept {
+    return MilliCpu(millicores_ + other.millicores_);
+  }
+  constexpr MilliCpu operator-(MilliCpu other) const noexcept {
+    return MilliCpu(millicores_ >= other.millicores_ ? millicores_ - other.millicores_
+                                                     : 0);
+  }
+  MilliCpu& operator+=(MilliCpu other) noexcept {
+    millicores_ += other.millicores_;
+    return *this;
+  }
+  MilliCpu& operator-=(MilliCpu other) noexcept {
+    millicores_ = millicores_ >= other.millicores_ ? millicores_ - other.millicores_ : 0;
+    return *this;
+  }
+
+ private:
+  std::uint64_t millicores_ = 0;
+};
+
+}  // namespace lidc

@@ -1,0 +1,40 @@
+// Workload arrival processes for benches: Poisson (exponential
+// inter-arrival) and fixed-rate generators over simulated time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace lidc {
+
+/// Poisson arrival process: next() yields successive inter-arrival gaps
+/// with the configured mean rate (events per simulated second).
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double eventsPerSecond, std::uint64_t seed)
+      : mean_gap_s_(1.0 / eventsPerSecond), rng_(seed) {}
+
+  [[nodiscard]] sim::Duration next() {
+    return sim::Duration::seconds(rng_.exponential(mean_gap_s_));
+  }
+
+ private:
+  double mean_gap_s_;
+  Rng rng_;
+};
+
+/// Deterministic fixed-rate arrivals.
+class FixedArrivals {
+ public:
+  explicit FixedArrivals(double eventsPerSecond)
+      : gap_(sim::Duration::seconds(1.0 / eventsPerSecond)) {}
+
+  [[nodiscard]] sim::Duration next() const { return gap_; }
+
+ private:
+  sim::Duration gap_;
+};
+
+}  // namespace lidc

@@ -1,0 +1,76 @@
+// Adaptive placement — the paper's SVII "intelligence in the control
+// plane": "the network [can] identify the most suitable cluster for
+// executing requests ... based on computing and timing requirements,
+// data size, past performances, and other factors."
+//
+// AdaptivePlacement watches per-cluster observed completion latency and
+// current resource utilization, converts them into an extra route cost,
+// and re-announces each cluster's compute prefix with that bias. The
+// BestRoute strategy then steers new jobs toward the cluster expected
+// to finish them soonest — no client involvement.
+//
+// Driving: call recordCompletion() as jobs finish and tick() on
+// whatever cadence the deployment wants (benches tick once per
+// simulated second). Updates are explicit rather than self-scheduling
+// so simulations that run()-to-idle terminate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+#include "sim/time.hpp"
+
+namespace lidc::core {
+
+struct AdaptiveOptions {
+  /// Extra cost per second of observed mean completion latency, in
+  /// microseconds of equivalent link distance.
+  double latencyCostUsPerSecond = 2'000.0;
+  /// Extra cost at 100% cpu utilization.
+  double loadCostUs = 100'000.0;
+  /// EWMA smoothing for observed completion latency.
+  double alpha = 0.3;
+  /// Re-announce only when a cluster's cost moved by at least this much
+  /// (hysteresis; avoids FIB churn).
+  std::uint64_t updateThresholdUs = 5'000;
+};
+
+class AdaptivePlacement {
+ public:
+  AdaptivePlacement(ClusterOverlay& overlay, AdaptiveOptions options = {})
+      : overlay_(overlay), options_(options) {}
+
+  /// Feeds one observed end-to-end completion (submit -> terminal).
+  void recordCompletion(const std::string& cluster, sim::Duration totalLatency);
+
+  /// Feeds a cluster's /ndn/k8s/info advertisement. When info has been
+  /// observed for a cluster, load costing uses the advertised free/total
+  /// capacity instead of peeking at the cluster object — the pure
+  /// "network learns over names" mode of SVII.
+  void observeInfo(const ClusterInfo& info);
+
+  /// Recomputes per-cluster extra costs and re-announces the compute
+  /// routes for clusters whose cost moved beyond the threshold.
+  /// Returns the number of clusters re-announced.
+  int tick();
+
+  /// Current extra cost assigned to a cluster (0 if never updated).
+  [[nodiscard]] std::uint64_t extraCostUs(const std::string& cluster) const;
+
+  [[nodiscard]] std::uint64_t updatesApplied() const noexcept { return updates_; }
+
+ private:
+  [[nodiscard]] std::uint64_t computeCost(const std::string& cluster) const;
+
+  ClusterOverlay& overlay_;
+  AdaptiveOptions options_;
+  std::map<std::string, double> observed_latency_s_;  // EWMA per cluster
+  std::map<std::string, double> advertised_utilization_;  // from /info
+  std::map<std::string, std::uint64_t> applied_cost_us_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace lidc::core

@@ -1,0 +1,300 @@
+#include "core/client.hpp"
+
+#include "common/logging.hpp"
+#include "core/wire_format.hpp"
+
+namespace lidc::core {
+
+LidcClient::LidcClient(ndn::Forwarder& forwarder, std::string name,
+                       ClientOptions options, std::uint64_t seed)
+    : forwarder_(forwarder), name_(std::move(name)), options_(options), rng_(seed) {
+  face_ = std::make_shared<ndn::AppFace>("app://client/" + name_,
+                                         forwarder_.simulator(), seed);
+  forwarder_.addFace(face_);
+  retriever_ = std::make_unique<datalake::Retriever>(*face_);
+}
+
+void LidcClient::submit(ComputeRequest request, SubmitCallback done) {
+  if (options_.bypassCache && request.requestId.empty()) {
+    // Unique request id defeats caches and Interest aggregation.
+    request.requestId = name_ + "-" + std::to_string(next_request_id_++);
+  }
+  auto shared = std::make_shared<ComputeRequest>(std::move(request));
+  submitAttempt(std::move(shared), 0, forwarder_.simulator().now(), std::move(done));
+}
+
+void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
+                               sim::Time startedAt, SubmitCallback done) {
+  ++submits_;
+  ndn::Interest interest(request->toName());
+  interest.setLifetime(options_.interestLifetime);
+  // MustBeFresh keeps network caches from answering with acks older
+  // than the gateway's ackFreshness; within that window, identical
+  // canonical requests may legitimately be served from any CS.
+  interest.setMustBeFresh(true);
+
+  face_->expressInterest(
+      interest,
+      [this, startedAt, done](const ndn::Interest&, const ndn::Data& data) {
+        const KvMap fields = decodeKv(data.contentAsString());
+        if (auto it = fields.find("error"); it != fields.end()) {
+          done(Status::InvalidArgument(it->second));
+          return;
+        }
+        SubmitResult result;
+        if (auto it = fields.find("job_id"); it != fields.end()) {
+          result.jobId = it->second;
+        }
+        if (auto it = fields.find("cluster"); it != fields.end()) {
+          result.cluster = it->second;
+        }
+        if (auto it = fields.find("status_name"); it != fields.end()) {
+          result.statusName = it->second;
+        } else if (!result.jobId.empty() && !result.cluster.empty()) {
+          result.statusName = makeStatusName(result.cluster, result.jobId).toUri();
+        }
+        result.cached = fields.count("cached") > 0;
+        result.deduplicated = fields.count("deduplicated") > 0;
+        if (auto it = fields.find("result"); it != fields.end()) {
+          result.resultPath = it->second;
+        }
+        if (auto it = fields.find("output_bytes"); it != fields.end()) {
+          result.outputBytes = strings::parseUint(it->second).value_or(0);
+        }
+        result.placementLatency = forwarder_.simulator().now() - startedAt;
+        done(std::move(result));
+      },
+      [done](const ndn::Interest&, const ndn::Nack& nack) {
+        done(Status::Unavailable(
+            "compute request nacked: " +
+            std::string(ndn::nackReasonName(nack.reason()))));
+      },
+      [this, request, attempt, startedAt, done](const ndn::Interest&) {
+        if (attempt + 1 <= options_.maxSubmitRetries) {
+          submitAttempt(request, attempt + 1, startedAt, done);
+        } else {
+          done(Status::Timeout("compute request timed out after " +
+                               std::to_string(attempt + 1) + " attempts"));
+        }
+      });
+}
+
+void LidcClient::queryStatus(const ndn::Name& statusName, StatusCallback done) {
+  ndn::Interest interest(statusName);
+  interest.setMustBeFresh(true);  // never accept a stale cached state
+  interest.setLifetime(options_.interestLifetime);
+
+  face_->expressInterest(
+      interest,
+      [done](const ndn::Interest&, const ndn::Data& data) {
+        const KvMap fields = decodeKv(data.contentAsString());
+        JobStatusSnapshot snapshot;
+        if (auto it = fields.find("error");
+            it != fields.end() && fields.count("state") == 0) {
+          done(Status::NotFound(it->second));
+          return;
+        }
+        if (auto it = fields.find("state"); it != fields.end()) {
+          const std::string& state = it->second;
+          if (state == "Pending") {
+            snapshot.state = k8s::JobState::kPending;
+          } else if (state == "Running") {
+            snapshot.state = k8s::JobState::kRunning;
+          } else if (state == "Completed") {
+            snapshot.state = k8s::JobState::kCompleted;
+          } else {
+            snapshot.state = k8s::JobState::kFailed;
+          }
+        }
+        if (auto it = fields.find("cluster"); it != fields.end()) {
+          snapshot.cluster = it->second;
+        }
+        if (auto it = fields.find("result"); it != fields.end()) {
+          snapshot.resultPath = it->second;
+        }
+        if (auto it = fields.find("output_bytes"); it != fields.end()) {
+          snapshot.outputBytes = strings::parseUint(it->second).value_or(0);
+        }
+        if (auto it = fields.find("runtime_s"); it != fields.end()) {
+          snapshot.runtime =
+              sim::Duration::seconds(strings::parseDouble(it->second).value_or(0));
+        }
+        if (auto it = fields.find("error"); it != fields.end()) {
+          snapshot.error = it->second;
+        }
+        done(std::move(snapshot));
+      },
+      [done](const ndn::Interest&, const ndn::Nack& nack) {
+        done(Status::Unavailable("status query nacked: " +
+                                 std::string(ndn::nackReasonName(nack.reason()))));
+      },
+      [done](const ndn::Interest& i) {
+        done(Status::Timeout("status query timed out: " + i.name().toUri()));
+      });
+}
+
+void LidcClient::waitForCompletion(const ndn::Name& statusName, StatusCallback done) {
+  pollLoop(statusName, 0, std::move(done));
+}
+
+void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
+                          StatusCallback done) {
+  queryStatus(statusName, [this, statusName, consecutiveFailures,
+                           done](Result<JobStatusSnapshot> result) {
+    if (!result.ok()) {
+      // Timeouts on a lossy path are transient: keep polling within the
+      // failure budget. Nacks and other errors are terminal.
+      if (result.status().code() == StatusCode::kTimeout &&
+          consecutiveFailures + 1 < options_.maxStatusPollFailures) {
+        forwarder_.simulator().scheduleAfter(
+            options_.statusPollInterval, [this, statusName, consecutiveFailures,
+                                          done] {
+              pollLoop(statusName, consecutiveFailures + 1, done);
+            });
+        return;
+      }
+      done(std::move(result));
+      return;
+    }
+    if (result->state == k8s::JobState::kCompleted ||
+        result->state == k8s::JobState::kFailed) {
+      done(std::move(result));
+      return;
+    }
+    forwarder_.simulator().scheduleAfter(
+        options_.statusPollInterval,
+        [this, statusName, done] { pollLoop(statusName, 0, done); });
+  });
+}
+
+void LidcClient::runToCompletion(ComputeRequest request, OutcomeCallback done) {
+  const sim::Time startedAt = forwarder_.simulator().now();
+  submit(std::move(request), [this, startedAt, done](Result<SubmitResult> submitted) {
+    if (!submitted.ok()) {
+      done(submitted.status());
+      return;
+    }
+    if (submitted->cached) {
+      // Cache hit: no job to wait for.
+      JobOutcome outcome;
+      outcome.submit = *submitted;
+      outcome.finalStatus.state = k8s::JobState::kCompleted;
+      outcome.finalStatus.cluster = submitted->cluster;
+      outcome.finalStatus.resultPath = submitted->resultPath;
+      outcome.finalStatus.outputBytes = submitted->outputBytes;
+      outcome.totalLatency = forwarder_.simulator().now() - startedAt;
+      done(std::move(outcome));
+      return;
+    }
+    const SubmitResult submitCopy = *submitted;
+    waitForCompletion(
+        ndn::Name(submitCopy.statusName),
+        [this, startedAt, submitCopy, done](Result<JobStatusSnapshot> status) {
+          if (!status.ok()) {
+            done(status.status());
+            return;
+          }
+          JobOutcome outcome;
+          outcome.submit = submitCopy;
+          outcome.finalStatus = *status;
+          outcome.totalLatency = forwarder_.simulator().now() - startedAt;
+          done(std::move(outcome));
+        });
+  });
+}
+
+void LidcClient::fetchData(const ndn::Name& objectName, FetchCallback done) {
+  retriever_->fetch(objectName, std::move(done));
+}
+
+void LidcClient::publishData(const std::string& path,
+                             std::vector<std::uint8_t> bytes,
+                             PublishCallback done) {
+  // Digest binds the command name to the exact payload bytes.
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : bytes) {
+    digest ^= byte;
+    digest *= 0x100000001b3ULL;
+  }
+  ndn::Name name = kPublishPrefix;
+  for (auto part : strings::splitSkipEmpty(path, '/')) name.append(part);
+  name.append("sha=" + std::to_string(digest));
+
+  ndn::Interest interest(name);
+  interest.setMustBeFresh(true);
+  interest.setLifetime(options_.interestLifetime);
+  interest.setApplicationParameters(std::move(bytes));
+
+  face_->expressInterest(
+      interest,
+      [done](const ndn::Interest&, const ndn::Data& data) {
+        const KvMap fields = decodeKv(data.contentAsString());
+        if (auto it = fields.find("error"); it != fields.end()) {
+          done(Status::InvalidArgument(it->second));
+          return;
+        }
+        if (auto it = fields.find("stored"); it != fields.end()) {
+          done(ndn::Name(it->second));
+          return;
+        }
+        done(Status::Internal("malformed publish ack"));
+      },
+      [done](const ndn::Interest&, const ndn::Nack& nack) {
+        done(Status::Unavailable("publish nacked: " +
+                                 std::string(ndn::nackReasonName(nack.reason()))));
+      },
+      [done](const ndn::Interest& i) {
+        done(Status::Timeout("publish timed out: " + i.name().toUri()));
+      });
+}
+
+void LidcClient::queryClusterInfo(const std::string& cluster, InfoCallback done) {
+  ndn::Name name = kInfoPrefix;
+  name.append(cluster);
+  ndn::Interest interest(name);
+  interest.setMustBeFresh(true);  // capabilities change with load
+  interest.setLifetime(options_.interestLifetime);
+
+  face_->expressInterest(
+      interest,
+      [done](const ndn::Interest&, const ndn::Data& data) {
+        const KvMap fields = decodeKv(data.contentAsString());
+        ClusterInfo info;
+        if (auto it = fields.find("cluster"); it != fields.end()) {
+          info.cluster = it->second;
+        }
+        if (auto it = fields.find("free_cpu_m"); it != fields.end()) {
+          info.freeCpu = MilliCpu(strings::parseUint(it->second).value_or(0));
+        }
+        if (auto it = fields.find("free_mem_bytes"); it != fields.end()) {
+          info.freeMemory = ByteSize(strings::parseUint(it->second).value_or(0));
+        }
+        if (auto it = fields.find("total_cpu_m"); it != fields.end()) {
+          info.totalCpu = MilliCpu(strings::parseUint(it->second).value_or(0));
+        }
+        if (auto it = fields.find("total_mem_bytes"); it != fields.end()) {
+          info.totalMemory = ByteSize(strings::parseUint(it->second).value_or(0));
+        }
+        if (auto it = fields.find("running_jobs"); it != fields.end()) {
+          info.runningJobs = strings::parseUint(it->second).value_or(0);
+        }
+        if (auto it = fields.find("nodes"); it != fields.end()) {
+          info.nodes = strings::parseUint(it->second).value_or(0);
+        }
+        if (auto it = fields.find("apps"); it != fields.end()) {
+          for (auto app : strings::splitSkipEmpty(it->second, ',')) {
+            info.apps.emplace_back(app);
+          }
+        }
+        done(std::move(info));
+      },
+      [done](const ndn::Interest&, const ndn::Nack& nack) {
+        done(Status::Unavailable("info query nacked: " +
+                                 std::string(ndn::nackReasonName(nack.reason()))));
+      },
+      [done](const ndn::Interest& i) {
+        done(Status::Timeout("info query timed out: " + i.name().toUri()));
+      });
+}
+
+}  // namespace lidc::core

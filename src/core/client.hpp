@@ -1,0 +1,133 @@
+// LidcClient: the user-side application (the paper's "sample client
+// application", SIV-A). Expresses semantically named compute Interests,
+// polls /ndn/k8s/status, and retrieves results from the data lake —
+// without ever naming a cluster.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/semantic_name.hpp"
+#include "datalake/retriever.hpp"
+#include "k8s/job.hpp"
+#include "ndn/app_face.hpp"
+#include "ndn/forwarder.hpp"
+
+namespace lidc::core {
+
+/// Outcome of a compute submission.
+struct SubmitResult {
+  std::string jobId;
+  std::string cluster;       // which cluster took the job (informational)
+  std::string statusName;    // poll here
+  bool cached = false;       // answered from a result cache
+  bool deduplicated = false; // joined an in-flight identical job
+  std::string resultPath;    // set when cached
+  std::uint64_t outputBytes = 0;
+  sim::Duration placementLatency;  // Interest out -> ack back
+};
+
+/// One status poll answer.
+struct JobStatusSnapshot {
+  k8s::JobState state = k8s::JobState::kPending;
+  std::string cluster;
+  std::string resultPath;
+  std::uint64_t outputBytes = 0;
+  sim::Duration runtime;
+  std::string error;
+};
+
+/// A cluster's advertised capabilities (/ndn/k8s/info/<cluster>).
+struct ClusterInfo {
+  std::string cluster;
+  MilliCpu freeCpu;
+  ByteSize freeMemory;
+  MilliCpu totalCpu;
+  ByteSize totalMemory;
+  std::size_t runningJobs = 0;
+  std::size_t nodes = 0;
+  std::vector<std::string> apps;
+};
+
+/// Terminal outcome of runToCompletion().
+struct JobOutcome {
+  SubmitResult submit;
+  JobStatusSnapshot finalStatus;
+  sim::Duration totalLatency;  // submit -> terminal status observed
+};
+
+struct ClientOptions {
+  /// Attach a unique request id to every submission, bypassing result
+  /// caches (false = canonical names; identical requests may be served
+  /// from caches, the paper's SVII behaviour).
+  bool bypassCache = true;
+  sim::Duration interestLifetime = sim::Duration::seconds(10);
+  sim::Duration statusPollInterval = sim::Duration::seconds(2);
+  int maxSubmitRetries = 2;  // on timeout
+  /// waitForCompletion() tolerates this many *consecutive* failed polls
+  /// (lossy networks) before giving up.
+  int maxStatusPollFailures = 5;
+};
+
+class LidcClient {
+ public:
+  LidcClient(ndn::Forwarder& forwarder, std::string name, ClientOptions options = {},
+             std::uint64_t seed = 1234);
+
+  using SubmitCallback = std::function<void(Result<SubmitResult>)>;
+  using StatusCallback = std::function<void(Result<JobStatusSnapshot>)>;
+  using OutcomeCallback = std::function<void(Result<JobOutcome>)>;
+  using FetchCallback = datalake::Retriever::CompletionCallback;
+
+  /// Sends the compute Interest; the callback fires with the gateway ack
+  /// (job id / cached result) or an error.
+  void submit(ComputeRequest request, SubmitCallback done);
+
+  /// One status poll by status name ("/ndn/k8s/status/<cluster>/<job>").
+  void queryStatus(const ndn::Name& statusName, StatusCallback done);
+
+  /// Polls until the job reaches Completed or Failed.
+  void waitForCompletion(const ndn::Name& statusName, StatusCallback done);
+
+  /// Full workflow: submit -> poll -> final status (Fig. 5's timeline).
+  void runToCompletion(ComputeRequest request, OutcomeCallback done);
+
+  /// Retrieves a named object from the data lake.
+  void fetchData(const ndn::Name& objectName, FetchCallback done);
+
+  /// Queries a cluster's advertised capabilities (paper SVII: "once the
+  /// network knows cluster capabilities, it can select the best cluster").
+  using InfoCallback = std::function<void(Result<ClusterInfo>)>;
+  void queryClusterInfo(const std::string& cluster, InfoCallback done);
+
+  /// Publishes a dataset into the nearest lake that accepts publishes
+  /// (paper: workflows "publish intermediate datasets back to the
+  /// lake"). `path` is '/'-separated under /ndn/k8s/data. The callback
+  /// receives the stored content name.
+  using PublishCallback = std::function<void(Result<ndn::Name>)>;
+  void publishData(const std::string& path, std::vector<std::uint8_t> bytes,
+                   PublishCallback done);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t submitsSent() const noexcept { return submits_; }
+
+ private:
+  void submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
+                     sim::Time startedAt, SubmitCallback done);
+  void pollLoop(const ndn::Name& statusName, int consecutiveFailures,
+                StatusCallback done);
+
+  ndn::Forwarder& forwarder_;
+  std::string name_;
+  ClientOptions options_;
+  Rng rng_;
+  std::shared_ptr<ndn::AppFace> face_;
+  std::unique_ptr<datalake::Retriever> retriever_;
+  std::uint64_t submits_ = 0;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace lidc::core

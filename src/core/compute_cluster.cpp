@@ -1,0 +1,81 @@
+#include "core/compute_cluster.hpp"
+
+#include <cassert>
+
+#include "apps/compress_app.hpp"
+#include "genomics/fasta.hpp"
+
+namespace lidc::core {
+
+ComputeCluster::ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig config)
+    : config_(std::move(config)), forwarder_(forwarder) {
+  assert(!config_.name.empty());
+  cluster_ = std::make_unique<k8s::Cluster>(config_.name, forwarder_.simulator());
+  for (int i = 0; i < config_.nodeCount; ++i) {
+    cluster_->addNode(config_.name + "-node-" + std::to_string(i), config_.perNode);
+  }
+
+  // The data lake: a PVC, its object store, and the NDN file server
+  // exposed under /ndn/k8s/data (paper SIV: "a Kubernetes PVC ...
+  // mounts it to an NFS server, which functions like a remote data lake").
+  auto pvcResult = cluster_->createPvc("datalake-pvc", config_.pvcCapacity);
+  assert(pvcResult.ok());
+  pvc_ = *pvcResult;
+  store_ = std::make_unique<datalake::ObjectStore>(*pvc_);
+  file_server_ =
+      std::make_unique<datalake::FileServer>(forwarder_, *store_, kDataPrefix);
+
+  // Expose the gateway NFD as a NodePort service, as in Fig. 3.
+  k8s::ServiceSpec nfdSpec;
+  nfdSpec.type = k8s::ServiceType::kNodePort;
+  nfdSpec.selector = {{"app", "nfd"}};
+  nfdSpec.port = 6363;
+  (void)cluster_->createService("ndnk8s", "gateway-nfd", nfdSpec);
+  // The data lake's internal NFD service with its cluster DNS name
+  // ("dl-nfd.ndnk8s.svc.cluster.local" in the paper).
+  k8s::ServiceSpec dlSpec;
+  dlSpec.selector = {{"app", "dl-nfd"}};
+  dlSpec.port = 6363;
+  (void)cluster_->createService("ndnk8s", "dl-nfd", dlSpec);
+
+  // Application-specific validators (paper SIV-B): format checks first,
+  // then data-lake existence so doomed jobs never launch.
+  ValidatorRegistry validators;
+  validators.add("BLAST", combineValidators(makeBlastValidator(),
+                                            makeDataLakeValidator(*store_)));
+  validators.add("compress", combineValidators(makeCompressionValidator(),
+                                               makeDataLakeValidator(*store_)));
+
+  gateway_ = std::make_unique<Gateway>(forwarder_, *cluster_, std::move(validators),
+                                       config_.gateway, &predictor_);
+  gateway_->jobs().mapAppToImage("BLAST", "magic-blast");
+  gateway_->enablePublish(*store_);
+
+  // The second stock application (paper SIV-B): a file compression tool
+  // with its own validation rules.
+  apps::installCompressApp(*cluster_, *store_);
+}
+
+void ComputeCluster::loadGenomicsDatasets(const genomics::DatasetCatalog& catalog) {
+  // Reference database.
+  {
+    ndn::Name refName = kDataPrefix;
+    refName.append(config_.blast.referenceObject);
+    if (!store_->contains(refName)) {
+      const auto reference = catalog.generateReference();
+      (void)store_->put(refName, genomics::toFasta({reference}));
+    }
+  }
+  // SRA samples (rice + kidney, paper SV-B).
+  const auto reference = catalog.generateReference();
+  for (const auto& spec : catalog.allSamples()) {
+    ndn::Name sampleName = kDataPrefix;
+    sampleName.append(spec.srrId);
+    if (store_->contains(sampleName)) continue;
+    const auto reads = catalog.generateSample(spec, reference.bases);
+    (void)store_->put(sampleName, genomics::toFasta(reads));
+  }
+  genomics::installMagicBlast(*cluster_, *store_, catalog, config_.blast);
+}
+
+}  // namespace lidc::core

@@ -1,0 +1,61 @@
+// ComputeCluster: one LIDC cluster as deployed in the paper (SIV) — a
+// Kubernetes cluster with a gateway NFD pod (here: the node's
+// Forwarder + Gateway app), a PVC-backed data lake with its file
+// server, and application images. This is the unit that joins the
+// multi-cluster overlay.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/gateway.hpp"
+#include "core/predictor.hpp"
+#include "datalake/file_server.hpp"
+#include "datalake/object_store.hpp"
+#include "genomics/datasets.hpp"
+#include "genomics/magic_blast_app.hpp"
+#include "k8s/cluster.hpp"
+#include "ndn/forwarder.hpp"
+
+namespace lidc::core {
+
+struct ComputeClusterConfig {
+  std::string name;
+  int nodeCount = 1;  // the paper's default deployment is single-node
+  k8s::Resources perNode{MilliCpu::fromCores(8), ByteSize::fromGiB(16)};
+  ByteSize pvcCapacity = ByteSize::fromGiB(4);
+  GatewayOptions gateway;
+  genomics::MagicBlastConfig blast;
+};
+
+class ComputeCluster {
+ public:
+  /// Builds the cluster on an existing forwarder (typically a node of
+  /// the overlay topology).
+  ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig config);
+
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] k8s::Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] Gateway& gateway() noexcept { return *gateway_; }
+  [[nodiscard]] datalake::ObjectStore& store() noexcept { return *store_; }
+  [[nodiscard]] datalake::FileServer& fileServer() noexcept { return *file_server_; }
+  [[nodiscard]] CompletionTimePredictor& predictor() noexcept { return predictor_; }
+  [[nodiscard]] ndn::Forwarder& forwarder() noexcept { return forwarder_; }
+
+  /// Loads the synthetic genomics datasets into the data lake and
+  /// installs the magic-blast image (the paper's data-loading tool +
+  /// app deployment, SV-B). Idempotent per object name.
+  void loadGenomicsDatasets(const genomics::DatasetCatalog& catalog);
+
+ private:
+  ComputeClusterConfig config_;
+  ndn::Forwarder& forwarder_;
+  std::unique_ptr<k8s::Cluster> cluster_;
+  k8s::PersistentVolumeClaim* pvc_ = nullptr;
+  std::unique_ptr<datalake::ObjectStore> store_;
+  std::unique_ptr<datalake::FileServer> file_server_;
+  CompletionTimePredictor predictor_;
+  std::unique_ptr<Gateway> gateway_;
+};
+
+}  // namespace lidc::core

@@ -1,0 +1,313 @@
+#include "core/gateway.hpp"
+
+#include "common/logging.hpp"
+#include "core/wire_format.hpp"
+
+namespace lidc::core {
+
+Gateway::Gateway(ndn::Forwarder& forwarder, k8s::Cluster& cluster,
+                 ValidatorRegistry validators, GatewayOptions options,
+                 CompletionTimePredictor* predictor)
+    : forwarder_(forwarder),
+      cluster_(cluster),
+      cluster_name_(cluster.name()),
+      validators_(std::move(validators)),
+      options_(options),
+      predictor_(predictor),
+      jobs_(cluster),
+      cache_(options.cacheCapacity, options.cacheTtl) {
+  face_ = std::make_shared<ndn::AppFace>("app://gateway/" + cluster_name_,
+                                         forwarder_.simulator());
+  face_->setInterestHandler([this](const ndn::Interest& i) { handleInterest(i); });
+  face_id_ = forwarder_.addFace(face_);
+
+  // The gateway NFD's prefix registrations (paper SIV): compute handled
+  // locally, status scoped to this cluster.
+  forwarder_.registerPrefix(kComputePrefix, face_id_, /*cost=*/0);
+  ndn::Name statusPrefix = kStatusPrefix;
+  statusPrefix.append(cluster_name_);
+  forwarder_.registerPrefix(statusPrefix, face_id_, /*cost=*/0);
+  // Capability advertisement endpoint (paper SVII: the network learning
+  // cluster capabilities).
+  ndn::Name infoPrefix = kInfoPrefix;
+  infoPrefix.append(cluster_name_);
+  forwarder_.registerPrefix(infoPrefix, face_id_, /*cost=*/0);
+
+  cluster_.onJobFinished([this](const k8s::Job& job) { onJobFinished(job); });
+}
+
+void Gateway::enablePublish(datalake::ObjectStore& store) {
+  publish_store_ = &store;
+  forwarder_.registerPrefix(kPublishPrefix, face_id_, /*cost=*/0);
+}
+
+void Gateway::handleInterest(const ndn::Interest& interest) {
+  if (kComputePrefix.isPrefixOf(interest.name())) {
+    onCompute(interest);
+  } else if (kStatusPrefix.isPrefixOf(interest.name())) {
+    onStatus(interest);
+  } else if (kInfoPrefix.isPrefixOf(interest.name())) {
+    onInfo(interest);
+  } else if (kPublishPrefix.isPrefixOf(interest.name())) {
+    onPublish(interest);
+  } else {
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+  }
+}
+
+void Gateway::replyKv(const ndn::Name& name, const KvMap& fields,
+                      sim::Duration freshness) {
+  ndn::Data data(name);
+  data.setContent(encodeKv(fields));
+  data.setFreshnessPeriod(freshness);
+  data.sign();
+  face_->putData(std::move(data));
+}
+
+void Gateway::onCompute(const ndn::Interest& interest) {
+  ++counters_.computeReceived;
+
+  auto parsed = ComputeRequest::fromName(interest.name());
+  if (!parsed.ok()) {
+    ++counters_.computeRejected;
+    replyKv(interest.name(),
+            {{"error", parsed.status().toString()}, {"cluster", cluster_name_}},
+            options_.ackFreshness);
+    return;
+  }
+  const ComputeRequest& request = *parsed;
+
+  // Application-specific validation (paper SIV-B). Cluster-local
+  // conditions (NOT_FOUND: e.g. a dataset absent from *this* lake) nack
+  // so the network fails over to a cluster that can serve the request;
+  // malformed requests get a terminal error Data — no cluster can help.
+  if (Status valid = validators_.validate(request); !valid.ok()) {
+    ++counters_.computeRejected;
+    if (valid.code() == StatusCode::kNotFound) {
+      face_->putNack(interest, ndn::NackReason::kNoRoute);
+      return;
+    }
+    replyKv(interest.name(),
+            {{"error", valid.toString()}, {"cluster", cluster_name_}},
+            options_.ackFreshness);
+    return;
+  }
+
+  const ndn::Name canonical = request.canonicalName();
+
+  // Result cache: identical canonical requests are answered directly
+  // with the stored result location (paper SVII).
+  if (options_.enableResultCache && request.requestId.empty()) {
+    if (auto cached = cache_.get(canonical, forwarder_.simulator().now())) {
+      ++counters_.cacheHits;
+      replyKv(interest.name(),
+              {{"cached", "1"},
+               {"job_id", cached->jobId},
+               {"cluster", cluster_name_},
+               {"result", cached->resultPath},
+               {"output_bytes", std::to_string(cached->outputBytes)}},
+              options_.ackFreshness);
+      return;
+    }
+    // In-flight dedup: join a running job for the same canonical name.
+    if (auto it = inflight_.find(canonical); it != inflight_.end()) {
+      ++counters_.inflightDedup;
+      replyKv(interest.name(),
+              {{"job_id", it->second},
+               {"cluster", cluster_name_},
+               {"status_name", makeStatusName(cluster_name_, it->second).toUri()},
+               {"deduplicated", "1"}},
+              options_.ackFreshness);
+      return;
+    }
+  }
+
+  // Admission control: if this cluster cannot fit the job now, nack so
+  // the forwarding strategy fails over to another cluster (the paper's
+  // "any cluster with sufficient resources" property).
+  if (admission_control_) {
+    k8s::Resources needed;
+    needed.cpu = request.cpu.millicores() > 0 ? request.cpu
+                                              : MilliCpu(JobManager::kDefaultCpuMillicores);
+    needed.memory = request.memory.bytes() > 0 ? request.memory
+                                               : JobManager::defaultMemory();
+    if (!needed.fitsWithin(cluster_.totalFree())) {
+      ++counters_.capacityRejected;
+      face_->putNack(interest, ndn::NackReason::kCongestion);
+      return;
+    }
+  }
+
+  auto jobId = jobs_.submit(request);
+  if (!jobId.ok()) {
+    ++counters_.computeRejected;
+    if (jobId.status().code() == StatusCode::kNotFound) {
+      // e.g. this cluster does not serve the application image; another
+      // cluster in the overlay might.
+      face_->putNack(interest, ndn::NackReason::kNoRoute);
+      return;
+    }
+    if (jobId.status().code() == StatusCode::kResourceExhausted) {
+      // e.g. the tenant's ResourceQuota on *this* cluster is exhausted;
+      // quotas are per-cluster, so fail over.
+      face_->putNack(interest, ndn::NackReason::kCongestion);
+      return;
+    }
+    replyKv(interest.name(),
+            {{"error", jobId.status().toString()}, {"cluster", cluster_name_}},
+            options_.ackFreshness);
+    return;
+  }
+
+  ++counters_.jobsLaunched;
+  launched_.emplace(*jobId, request);
+  if (request.requestId.empty()) inflight_.emplace(canonical, *jobId);
+
+  LIDC_LOG(kInfo, "gateway") << cluster_name_ << " launched " << *jobId << " for "
+                             << interest.name().toUri();
+  replyKv(interest.name(),
+          {{"job_id", *jobId},
+           {"cluster", cluster_name_},
+           {"status_name", makeStatusName(cluster_name_, *jobId).toUri()}},
+          options_.ackFreshness);
+}
+
+void Gateway::onStatus(const ndn::Interest& interest) {
+  ++counters_.statusReceived;
+  auto parsed = parseStatusName(interest.name());
+  if (!parsed.ok() || parsed->first != cluster_name_) {
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  auto status = jobs_.status(parsed->second);
+  if (!status.ok()) {
+    replyKv(interest.name(), {{"error", status.status().toString()}},
+            options_.statusFreshness);
+    return;
+  }
+
+  KvMap fields{{"state", std::string(k8s::jobStateName(status->state))},
+               {"cluster", cluster_name_}};
+  switch (status->state) {
+    case k8s::JobState::kCompleted:
+      // Paper SIV-A: "The response contains the information as to how to
+      // retrieve the results from the data lake."
+      fields["result"] = status->resultPath;
+      fields["output_bytes"] = std::to_string(status->outputBytes);
+      fields["runtime_s"] = std::to_string(status->runtime.toSeconds());
+      break;
+    case k8s::JobState::kFailed:
+      fields["error"] = status->message;
+      break;
+    case k8s::JobState::kRunning:
+    case k8s::JobState::kPending:
+      break;
+  }
+  replyKv(interest.name(), fields, options_.statusFreshness);
+}
+
+void Gateway::onInfo(const ndn::Interest& interest) {
+  ++counters_.infoReceived;
+  const auto free = cluster_.totalFree();
+  const auto total = cluster_.totalAllocatable();
+  std::string apps;
+  for (const auto& app : cluster_.appNames()) {
+    if (!apps.empty()) apps += ',';
+    apps += app;
+  }
+  replyKv(interest.name(),
+          {{"cluster", cluster_name_},
+           {"free_cpu_m", std::to_string(free.cpu.millicores())},
+           {"free_mem_bytes", std::to_string(free.memory.bytes())},
+           {"total_cpu_m", std::to_string(total.cpu.millicores())},
+           {"total_mem_bytes", std::to_string(total.memory.bytes())},
+           {"running_jobs", std::to_string(cluster_.runningJobCount())},
+           {"nodes", std::to_string(cluster_.nodeCount())},
+           {"apps", apps}},
+          options_.infoFreshness);
+}
+
+void Gateway::onPublish(const ndn::Interest& interest) {
+  // Command Interest: /ndn/k8s/publish/<object...>/sha=<digest>, payload
+  // in ApplicationParameters. The trailing digest makes the command name
+  // unique per content version and lets the gateway verify integrity.
+  auto reject = [this, &interest](const std::string& reason) {
+    ++counters_.publishesRejected;
+    replyKv(interest.name(), {{"error", reason}, {"cluster", cluster_name_}},
+            options_.statusFreshness);
+  };
+
+  if (publish_store_ == nullptr) {
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  const ndn::Name& name = interest.name();
+  if (name.size() < kPublishPrefix.size() + 2) {
+    reject("publish name needs /<object...>/sha=<digest>");
+    return;
+  }
+  const std::string last = name[name.size() - 1].toString();
+  if (!strings::startsWith(last, "sha=")) {
+    reject("publish name missing trailing sha= component");
+    return;
+  }
+  const auto& payload = interest.applicationParameters();
+  if (payload.empty()) {
+    reject("publish carries no ApplicationParameters payload");
+    return;
+  }
+  if (payload.size() > options_.maxPublishBytes) {
+    reject("publish payload exceeds " +
+           std::to_string(options_.maxPublishBytes) + " bytes");
+    return;
+  }
+  // Integrity: the digest in the name must match the payload.
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : payload) {
+    digest ^= byte;
+    digest *= 0x100000001b3ULL;
+  }
+  if (last != "sha=" + std::to_string(digest)) {
+    reject("payload digest mismatch");
+    return;
+  }
+
+  ndn::Name objectName = kDataPrefix;
+  objectName.append(
+      name.subName(kPublishPrefix.size(), name.size() - kPublishPrefix.size() - 1));
+  if (auto stored = publish_store_->put(objectName, payload); !stored.ok()) {
+    reject(stored.toString());
+    return;
+  }
+  ++counters_.publishesAccepted;
+  LIDC_LOG(kInfo, "gateway") << cluster_name_ << " stored published object "
+                             << objectName.toUri();
+  replyKv(interest.name(),
+          {{"stored", objectName.toUri()},
+           {"bytes", std::to_string(payload.size())},
+           {"cluster", cluster_name_}},
+          options_.statusFreshness);
+}
+
+void Gateway::onJobFinished(const k8s::Job& job) {
+  auto it = launched_.find(job.name());
+  if (it == launched_.end()) return;  // not one of ours
+  const ComputeRequest& request = it->second;
+  const ndn::Name canonical = request.canonicalName();
+  inflight_.erase(canonical);
+
+  if (job.status().state == k8s::JobState::kCompleted) {
+    if (options_.enableResultCache && request.requestId.empty()) {
+      cache_.put(canonical, CachedResult{job.name(), job.status().resultPath,
+                                         job.status().outputBytes,
+                                         forwarder_.simulator().now()});
+    }
+    if (predictor_ != nullptr) {
+      predictor_->record(request,
+                         job.status().completionTime - job.status().startTime);
+    }
+  }
+  launched_.erase(it);
+}
+
+}  // namespace lidc::core

@@ -1,0 +1,108 @@
+// The LIDC Gateway (paper SIII-C, Fig. 4): the decision-maker running
+// at each cluster's edge. It receives compute Interests from the NDN
+// network, parses the semantic name, runs application-specific
+// validation, launches a Kubernetes Job, and answers with the job id.
+// It also serves /ndn/k8s/status/<cluster>/<job_id> queries and — for
+// canonical (request-id-free) names — a result cache so identical
+// requests never recompute (paper SVII).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/job_manager.hpp"
+#include "core/predictor.hpp"
+#include "core/result_cache.hpp"
+#include "core/semantic_name.hpp"
+#include "core/validators.hpp"
+#include "core/wire_format.hpp"
+#include "ndn/app_face.hpp"
+#include "ndn/forwarder.hpp"
+
+namespace lidc::core {
+
+struct GatewayOptions {
+  bool enableResultCache = true;
+  std::size_t cacheCapacity = 256;
+  sim::Duration cacheTtl = sim::Duration::hours(24);
+  /// Freshness on compute acks (lets the NDN content stores aggregate
+  /// identical canonical requests network-wide).
+  sim::Duration ackFreshness = sim::Duration::seconds(5);
+  sim::Duration statusFreshness = sim::Duration::millis(500);
+  /// Freshness on /ndn/k8s/info/<cluster> capability advertisements.
+  sim::Duration infoFreshness = sim::Duration::seconds(2);
+  /// Largest object accepted through a single publish command Interest.
+  std::size_t maxPublishBytes = 1 << 20;
+};
+
+struct GatewayCounters {
+  std::uint64_t computeReceived = 0;
+  std::uint64_t computeRejected = 0;   // validation/parse failures
+  std::uint64_t jobsLaunched = 0;
+  std::uint64_t cacheHits = 0;         // served from the result cache
+  std::uint64_t inflightDedup = 0;     // joined an already-running job
+  std::uint64_t statusReceived = 0;
+  std::uint64_t capacityRejected = 0;  // cluster could not fit the job
+  std::uint64_t infoReceived = 0;      // capability queries served
+  std::uint64_t publishesAccepted = 0;
+  std::uint64_t publishesRejected = 0;
+};
+
+class Gateway {
+ public:
+  /// Attaches to `forwarder`, registering /ndn/k8s/compute and
+  /// /ndn/k8s/status/<clusterName> toward a new AppFace.
+  Gateway(ndn::Forwarder& forwarder, k8s::Cluster& cluster,
+          ValidatorRegistry validators, GatewayOptions options = {},
+          CompletionTimePredictor* predictor = nullptr);
+
+  /// Enables /ndn/k8s/publish: clients push named objects into this
+  /// cluster's data lake via command Interests.
+  void enablePublish(datalake::ObjectStore& store);
+
+  [[nodiscard]] const std::string& clusterName() const noexcept {
+    return cluster_name_;
+  }
+  [[nodiscard]] JobManager& jobs() noexcept { return jobs_; }
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const GatewayCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] ValidatorRegistry& validators() noexcept { return validators_; }
+  [[nodiscard]] ndn::FaceId faceId() const noexcept { return face_id_; }
+
+  /// Reject new jobs when the cluster's free capacity cannot fit them
+  /// (the gateway nacks, letting the network fail over to another
+  /// cluster). Enabled by default.
+  void setAdmissionControl(bool enabled) noexcept { admission_control_ = enabled; }
+
+ private:
+  void handleInterest(const ndn::Interest& interest);
+  void onCompute(const ndn::Interest& interest);
+  void onStatus(const ndn::Interest& interest);
+  void onInfo(const ndn::Interest& interest);
+  void onPublish(const ndn::Interest& interest);
+  void replyKv(const ndn::Name& name, const KvMap& fields, sim::Duration freshness);
+  void onJobFinished(const k8s::Job& job);
+
+  ndn::Forwarder& forwarder_;
+  k8s::Cluster& cluster_;
+  std::string cluster_name_;
+  ValidatorRegistry validators_;
+  GatewayOptions options_;
+  CompletionTimePredictor* predictor_;
+  datalake::ObjectStore* publish_store_ = nullptr;
+  JobManager jobs_;
+  ResultCache cache_;
+  std::shared_ptr<ndn::AppFace> face_;
+  ndn::FaceId face_id_ = ndn::kInvalidFaceId;
+  GatewayCounters counters_;
+  bool admission_control_ = true;
+
+  /// canonical name -> jobId for jobs still in flight (dedup).
+  std::unordered_map<ndn::Name, std::string, ndn::NameHash> inflight_;
+  /// jobId -> originating request (for cache/predictor bookkeeping).
+  std::unordered_map<std::string, ComputeRequest> launched_;
+};
+
+}  // namespace lidc::core

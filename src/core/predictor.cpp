@@ -1,0 +1,46 @@
+#include "core/predictor.hpp"
+
+#include <cmath>
+
+namespace lidc::core {
+
+std::string CompletionTimePredictor::fineKey(const ComputeRequest& request) {
+  std::string key = request.app;
+  if (auto it = request.params.find("srr_id"); it != request.params.end()) {
+    key += "|" + it->second;
+  }
+  for (const auto& dataset : request.datasets) key += "|" + dataset;
+  return key;
+}
+
+void CompletionTimePredictor::record(const ComputeRequest& request,
+                                     sim::Duration runtime) {
+  const double seconds = runtime.toSeconds();
+
+  // Score the prediction we *would* have made before updating the model.
+  if (auto predicted = predict(request)) {
+    error_sum_ += std::abs(predicted->toSeconds() - seconds);
+    ++samples_;
+  }
+
+  auto update = [this, seconds](std::map<std::string, double>& model,
+                                const std::string& key) {
+    auto [it, inserted] = model.try_emplace(key, seconds);
+    if (!inserted) it->second = (1.0 - alpha_) * it->second + alpha_ * seconds;
+  };
+  update(fine_, fineKey(request));
+  update(coarse_, request.app);
+}
+
+std::optional<sim::Duration> CompletionTimePredictor::predict(
+    const ComputeRequest& request) const {
+  if (auto it = fine_.find(fineKey(request)); it != fine_.end()) {
+    return sim::Duration::seconds(it->second);
+  }
+  if (auto it = coarse_.find(request.app); it != coarse_.end()) {
+    return sim::Duration::seconds(it->second);
+  }
+  return std::nullopt;
+}
+
+}  // namespace lidc::core

@@ -1,0 +1,47 @@
+// Completion-time predictor (paper SVII: "leveraging machine learning
+// algorithms to predict completion times"). An online learner that keeps
+// per-(app, dataset) and per-app exponentially weighted runtime
+// averages; cluster selection can use predictions to route jobs to the
+// cluster expected to finish first.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/semantic_name.hpp"
+#include "sim/time.hpp"
+
+namespace lidc::core {
+
+class CompletionTimePredictor {
+ public:
+  explicit CompletionTimePredictor(double alpha = 0.25) : alpha_(alpha) {}
+
+  /// Records an observed completion time for a finished request.
+  void record(const ComputeRequest& request, sim::Duration runtime);
+
+  /// Predicts the runtime: exact (app, dataset) model first, then the
+  /// per-app model; nullopt with no history at all.
+  [[nodiscard]] std::optional<sim::Duration> predict(
+      const ComputeRequest& request) const;
+
+  /// Mean absolute prediction error observed so far (seconds); the
+  /// "did the intelligence learn?" metric used by the benches.
+  [[nodiscard]] double meanAbsoluteErrorSeconds() const noexcept {
+    return samples_ == 0 ? 0.0 : error_sum_ / static_cast<double>(samples_);
+  }
+  [[nodiscard]] std::size_t sampleCount() const noexcept { return samples_; }
+
+ private:
+  /// Returns "app|dataset-ish" keys for the request.
+  [[nodiscard]] static std::string fineKey(const ComputeRequest& request);
+
+  double alpha_;
+  std::map<std::string, double> fine_;    // (app, dataset) -> EWMA seconds
+  std::map<std::string, double> coarse_;  // app -> EWMA seconds
+  double error_sum_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace lidc::core

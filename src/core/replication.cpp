@@ -1,0 +1,68 @@
+#include "core/replication.hpp"
+
+#include "common/logging.hpp"
+
+namespace lidc::core {
+
+DataReplicator::DataReplicator(ComputeCluster& destination,
+                               datalake::RetrieveOptions options)
+    : destination_(destination) {
+  face_ = std::make_shared<ndn::AppFace>(
+      "app://replicator/" + destination.name(),
+      destination.forwarder().simulator(),
+      std::hash<std::string>{}(destination.name()) | 1);
+  destination_.forwarder().addFace(face_);
+  retriever_ = std::make_unique<datalake::Retriever>(*face_, options);
+}
+
+void DataReplicator::replicate(const ndn::Name& objectName, DoneCallback done) {
+  if (destination_.store().contains(objectName)) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  retriever_->fetch(objectName, [this, objectName,
+                                 done](Result<std::vector<std::uint8_t>> bytes) {
+    if (!bytes.ok()) {
+      if (done) done(bytes.status());
+      return;
+    }
+    const std::size_t size = bytes->size();
+    Status stored = destination_.store().put(objectName, std::move(*bytes));
+    if (stored.ok()) {
+      ++replicated_;
+      bytes_ += size;
+      LIDC_LOG(kInfo, "replicator")
+          << objectName.toUri() << " -> " << destination_.name() << " (" << size
+          << " bytes)";
+    }
+    if (done) done(stored);
+  });
+}
+
+void DataReplicator::replicateAll(const std::vector<ndn::Name>& objects,
+                                  DoneCallback done) {
+  if (objects.empty()) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  struct Progress {
+    std::size_t remaining;
+    Status firstError = Status::Ok();
+    bool reported = false;
+  };
+  auto progress = std::make_shared<Progress>();
+  progress->remaining = objects.size();
+  for (const auto& object : objects) {
+    replicate(object, [progress, done](Status status) {
+      if (!status.ok() && progress->firstError.ok()) {
+        progress->firstError = status;
+      }
+      if (--progress->remaining == 0 && !progress->reported) {
+        progress->reported = true;
+        if (done) done(progress->firstError);
+      }
+    });
+  }
+}
+
+}  // namespace lidc::core

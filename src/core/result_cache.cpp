@@ -1,0 +1,49 @@
+#include "core/result_cache.hpp"
+
+namespace lidc::core {
+
+void ResultCache::put(const ndn::Name& canonicalName, CachedResult result) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(canonicalName);
+  if (it != entries_.end()) {
+    it->second.first = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return;
+  }
+  lru_.push_front(canonicalName);
+  entries_.emplace(canonicalName, std::make_pair(std::move(result), lru_.begin()));
+  evictIfNeeded();
+}
+
+std::optional<CachedResult> ResultCache::get(const ndn::Name& canonicalName,
+                                             sim::Time now) {
+  auto it = entries_.find(canonicalName);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (now - it->second.first.storedAt > ttl_) {
+    // Expired: drop it.
+    lru_.erase(it->second.second);
+    entries_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.second);
+  ++hits_;
+  return it->second.first;
+}
+
+void ResultCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+void ResultCache::evictIfNeeded() {
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace lidc::core

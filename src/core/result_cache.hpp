@@ -1,0 +1,55 @@
+// Result cache (paper SVII future work, implemented here): maps the
+// canonical compute-request name to the completed job's result location
+// so identical requests from any client are answered without
+// re-executing the computation. LRU with TTL.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ndn/name.hpp"
+#include "sim/time.hpp"
+
+namespace lidc::core {
+
+struct CachedResult {
+  std::string jobId;
+  std::string resultPath;  // data-lake name of the output object
+  std::uint64_t outputBytes = 0;
+  sim::Time storedAt;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity = 256,
+                       sim::Duration ttl = sim::Duration::hours(24))
+      : capacity_(capacity), ttl_(ttl) {}
+
+  void put(const ndn::Name& canonicalName, CachedResult result);
+
+  /// Fresh entry for the canonical name, or nullopt.
+  [[nodiscard]] std::optional<CachedResult> get(const ndn::Name& canonicalName,
+                                                sim::Time now);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  void evictIfNeeded();
+
+  std::size_t capacity_;
+  sim::Duration ttl_;
+  std::list<ndn::Name> lru_;  // front = most recent
+  std::unordered_map<ndn::Name, std::pair<CachedResult, std::list<ndn::Name>::iterator>,
+                     ndn::NameHash>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace lidc::core

@@ -1,0 +1,138 @@
+#include "core/semantic_name.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace lidc::core {
+
+namespace {
+
+/// Formats memory as integer GB when possible (the paper writes "mem=4").
+std::string formatMemGb(ByteSize memory) {
+  const double gib = memory.gib();
+  if (gib == std::floor(gib)) {
+    return std::to_string(static_cast<std::uint64_t>(gib));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", gib);
+  return buf;
+}
+
+/// Formats cpu as integer cores when whole ("cpu=6"), else millicores.
+std::string formatCpu(MilliCpu cpu) {
+  if (cpu.millicores() % 1000 == 0) {
+    return std::to_string(cpu.millicores() / 1000);
+  }
+  return std::to_string(cpu.millicores()) + "m";
+}
+
+}  // namespace
+
+ndn::Name ComputeRequest::toName() const {
+  // Assemble "key=value" pairs sorted by key for canonical ordering.
+  std::vector<std::string> pairs;
+  pairs.push_back("app=" + app);
+  if (cpu.millicores() > 0) pairs.push_back("cpu=" + formatCpu(cpu));
+  if (memory.bytes() > 0) pairs.push_back("mem=" + formatMemGb(memory));
+  for (const auto& [key, value] : params) pairs.push_back(key + "=" + value);
+  for (const auto& dataset : datasets) pairs.push_back("dataset=" + dataset);
+  std::sort(pairs.begin(), pairs.end());
+
+  std::string component;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i != 0) component += '&';
+    component += pairs[i];
+  }
+
+  ndn::Name name = kComputePrefix;
+  name.append(component);
+  if (!requestId.empty()) name.append("req=" + requestId);
+  return name;
+}
+
+ndn::Name ComputeRequest::canonicalName() const {
+  ComputeRequest copy = *this;
+  copy.requestId.clear();
+  return copy.toName();
+}
+
+Result<ComputeRequest> ComputeRequest::fromName(const ndn::Name& name) {
+  if (!kComputePrefix.isPrefixOf(name) || name.size() <= kComputePrefix.size()) {
+    return Status::InvalidArgument("not a compute name: " + name.toUri());
+  }
+
+  ComputeRequest request;
+  // Component 0 after the prefix holds the '&'-joined job description;
+  // later components may carry "req=<id>".
+  for (std::size_t i = kComputePrefix.size(); i < name.size(); ++i) {
+    const std::string component = name[i].toString();
+    for (auto pair : strings::splitSkipEmpty(component, '&')) {
+      const auto eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("malformed key=value pair '" +
+                                       std::string(pair) + "' in " + name.toUri());
+      }
+      const std::string key(strings::trim(pair.substr(0, eq)));
+      const std::string value(strings::trim(pair.substr(eq + 1)));
+      if (key.empty() || value.empty()) {
+        return Status::InvalidArgument("empty key or value in " + name.toUri());
+      }
+      if (key == "app") {
+        request.app = value;
+      } else if (key == "cpu") {
+        auto cpu = MilliCpu::parse(value);
+        if (!cpu) return Status::InvalidArgument("bad cpu value '" + value + "'");
+        request.cpu = *cpu;
+      } else if (key == "mem") {
+        // Bare numbers mean GB, per the paper's "mem=4".
+        auto mem = strings::parseDouble(value);
+        if (mem) {
+          request.memory = ByteSize(
+              static_cast<std::uint64_t>(*mem * (1ULL << 30)));
+        } else if (auto parsed = ByteSize::parse(value)) {
+          request.memory = *parsed;
+        } else {
+          return Status::InvalidArgument("bad mem value '" + value + "'");
+        }
+      } else if (key == "dataset") {
+        request.datasets.push_back(value);
+      } else if (key == "req") {
+        request.requestId = value;
+      } else {
+        request.params[key] = value;
+      }
+    }
+  }
+
+  if (request.app.empty()) {
+    return Status::InvalidArgument("compute name missing app= : " + name.toUri());
+  }
+  return request;
+}
+
+ndn::Name makeStatusName(const std::string& cluster, const std::string& jobId) {
+  ndn::Name name = kStatusPrefix;
+  name.append(cluster);
+  name.append(jobId);
+  return name;
+}
+
+Result<std::pair<std::string, std::string>> parseStatusName(const ndn::Name& name) {
+  if (!kStatusPrefix.isPrefixOf(name) ||
+      name.size() < kStatusPrefix.size() + 2) {
+    return Status::InvalidArgument("not a status name: " + name.toUri());
+  }
+  return std::make_pair(name[kStatusPrefix.size()].toString(),
+                        name[kStatusPrefix.size() + 1].toString());
+}
+
+ndn::Name makeDataName(const std::string& path) {
+  ndn::Name name = kDataPrefix;
+  for (auto part : strings::splitSkipEmpty(path, '/')) name.append(part);
+  return name;
+}
+
+}  // namespace lidc::core

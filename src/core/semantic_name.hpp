@@ -1,0 +1,63 @@
+// The LIDC semantic-name grammar (paper SIII-C): computation requests
+// are NDN names of the form
+//   /ndn/k8s/compute/mem=4&cpu=6&app=BLAST&srr_id=SRR2931415
+// carrying the application, resource requirements, and dataset names in
+// one '&'-joined key=value component. This module parses and builds
+// those names, plus the /ndn/k8s/data and /ndn/k8s/status namespaces.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ndn/name.hpp"
+
+namespace lidc::core {
+
+/// Well-known LIDC namespaces (paper SIV; /info supports SVII's
+/// capability discovery: "once the network knows cluster capabilities").
+inline const ndn::Name kComputePrefix{"/ndn/k8s/compute"};
+inline const ndn::Name kDataPrefix{"/ndn/k8s/data"};
+inline const ndn::Name kStatusPrefix{"/ndn/k8s/status"};
+inline const ndn::Name kInfoPrefix{"/ndn/k8s/info"};
+/// Command-Interest namespace for pushing client datasets into a lake
+/// (paper: workflows "publish intermediate datasets back to the lake").
+inline const ndn::Name kPublishPrefix{"/ndn/k8s/publish"};
+
+/// A parsed computation request.
+struct ComputeRequest {
+  std::string app;        // e.g. "BLAST"
+  MilliCpu cpu;           // "cpu=6"
+  ByteSize memory;        // "mem=4" (GB, per the paper's examples)
+  std::map<std::string, std::string> params;  // everything else (srr_id, ...)
+  /// Dataset content names the job consumes ("dataset" keys).
+  std::vector<std::string> datasets;
+  /// Optional unique request id ("req" key). When absent the request
+  /// name is canonical and may be satisfied from result caches.
+  std::string requestId;
+
+  /// Builds the Interest name. Keys are emitted in sorted order so
+  /// semantically identical requests produce byte-identical names —
+  /// the property LIDC's result caching keys on (paper SVII).
+  [[nodiscard]] ndn::Name toName() const;
+
+  /// Canonical cache key: the name with any request id stripped.
+  [[nodiscard]] ndn::Name canonicalName() const;
+
+  /// Parses a /ndn/k8s/compute/... name.
+  static Result<ComputeRequest> fromName(const ndn::Name& name);
+};
+
+/// Builds /ndn/k8s/status/<cluster>/<job_id>.
+ndn::Name makeStatusName(const std::string& cluster, const std::string& jobId);
+
+/// Parses a status name; returns {cluster, jobId}.
+Result<std::pair<std::string, std::string>> parseStatusName(const ndn::Name& name);
+
+/// Builds /ndn/k8s/data/<path components...> from a '/'-separated path.
+ndn::Name makeDataName(const std::string& path);
+
+}  // namespace lidc::core

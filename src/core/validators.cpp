@@ -1,0 +1,79 @@
+#include "core/validators.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace lidc::core {
+
+bool isValidSrrId(const std::string& id) {
+  if (id.size() < 9 || id.size() > 12) return false;
+  if (id.compare(0, 3, "SRR") != 0) return false;
+  for (std::size_t i = 3; i < id.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(id[i]))) return false;
+  }
+  return true;
+}
+
+Validator makeBlastValidator() {
+  return [](const ComputeRequest& request) -> Status {
+    auto it = request.params.find("srr_id");
+    if (it == request.params.end()) {
+      return Status::InvalidArgument("BLAST requires an srr_id parameter");
+    }
+    if (!isValidSrrId(it->second)) {
+      return Status::InvalidArgument("malformed SRR id '" + it->second + "'");
+    }
+    if (request.cpu.millicores() < 1000) {
+      return Status::InvalidArgument("BLAST requires at least cpu=1");
+    }
+    if (request.memory < ByteSize::fromGiB(1)) {
+      return Status::InvalidArgument("BLAST requires at least mem=1 (GB)");
+    }
+    return Status::Ok();
+  };
+}
+
+Validator makeCompressionValidator() {
+  return [](const ComputeRequest& request) -> Status {
+    if (request.datasets.empty() && request.params.count("input") == 0) {
+      return Status::InvalidArgument(
+          "compression requires a dataset= or input= parameter");
+    }
+    // No SRR id requirement — each app owns its own checks (paper SIV-B).
+    return Status::Ok();
+  };
+}
+
+Validator makeDataLakeValidator(const datalake::ObjectStore& store) {
+  return [&store](const ComputeRequest& request) -> Status {
+    auto checkExists = [&store](const std::string& object) -> Status {
+      ndn::Name name = kDataPrefix;
+      for (auto part : strings::splitSkipEmpty(object, '/')) name.append(part);
+      if (!store.contains(name)) {
+        return Status::NotFound("dataset not in data lake: " + name.toUri());
+      }
+      return Status::Ok();
+    };
+    if (auto it = request.params.find("srr_id"); it != request.params.end()) {
+      LIDC_RETURN_IF_ERROR(checkExists(it->second));
+    }
+    if (auto it = request.params.find("input"); it != request.params.end()) {
+      LIDC_RETURN_IF_ERROR(checkExists(it->second));
+    }
+    for (const auto& dataset : request.datasets) {
+      LIDC_RETURN_IF_ERROR(checkExists(dataset));
+    }
+    return Status::Ok();
+  };
+}
+
+Validator combineValidators(Validator first, Validator second) {
+  return [first = std::move(first),
+          second = std::move(second)](const ComputeRequest& request) -> Status {
+    LIDC_RETURN_IF_ERROR(first(request));
+    return second(request);
+  };
+}
+
+}  // namespace lidc::core

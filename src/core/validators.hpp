@@ -1,0 +1,62 @@
+// Application-specific request validation (paper SIV-B): checks are
+// modular and managed per application. The BLAST validator confirms
+// SRR id syntax; a compression tool has different checks; new apps
+// register their own.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/semantic_name.hpp"
+#include "datalake/object_store.hpp"
+
+namespace lidc::core {
+
+/// Validates one parsed request; OK means the Gateway may launch it.
+using Validator = std::function<Status(const ComputeRequest&)>;
+
+class ValidatorRegistry {
+ public:
+  /// Registers (or replaces) the validator for an application name.
+  void add(const std::string& app, Validator validator) {
+    validators_[app] = std::move(validator);
+  }
+  void remove(const std::string& app) { validators_.erase(app); }
+  [[nodiscard]] bool has(const std::string& app) const {
+    return validators_.count(app) > 0;
+  }
+
+  /// Runs the app's validator; apps without one pass by default.
+  [[nodiscard]] Status validate(const ComputeRequest& request) const {
+    auto it = validators_.find(request.app);
+    if (it == validators_.end()) return Status::Ok();
+    return it->second(request);
+  }
+
+ private:
+  std::map<std::string, Validator> validators_;
+};
+
+/// True iff `id` looks like an SRA run accession ("SRR" + 6-9 digits).
+bool isValidSrrId(const std::string& id);
+
+/// The Magic-BLAST validator: requires a well-formed srr_id parameter
+/// and at least 1 CPU / 1 GiB requests.
+Validator makeBlastValidator();
+
+/// Example second application (paper SIV-B): a file compression tool
+/// that needs an "input" dataset but no SRR id.
+Validator makeCompressionValidator();
+
+/// Runs both validators; fails on the first error.
+Validator combineValidators(Validator first, Validator second);
+
+/// Checks that every dataset the request references — the srr_id and
+/// input parameters plus all dataset= entries — exists in the local
+/// data lake, so jobs that would fail on missing inputs are rejected at
+/// the gateway instead of consuming cluster resources.
+Validator makeDataLakeValidator(const datalake::ObjectStore& store);
+
+}  // namespace lidc::core

@@ -1,0 +1,36 @@
+// Tiny "k=v;k=v" text format used in LIDC response payloads (job
+// submission acks, status reports). Human-readable, order-insensitive.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/strings.hpp"
+
+namespace lidc::core {
+
+using KvMap = std::map<std::string, std::string>;
+
+inline std::string encodeKv(const KvMap& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+inline KvMap decodeKv(std::string_view text) {
+  KvMap fields;
+  for (auto pair : strings::splitSkipEmpty(text, ';')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    fields.emplace(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+  }
+  return fields;
+}
+
+}  // namespace lidc::core

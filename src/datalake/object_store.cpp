@@ -1,0 +1,41 @@
+#include "datalake/object_store.hpp"
+
+#include "common/strings.hpp"
+
+namespace lidc::datalake {
+
+Status ObjectStore::put(const ndn::Name& name, std::vector<std::uint8_t> bytes) {
+  if (name.empty()) return Status::InvalidArgument("object name must not be empty");
+  return pvc_.write(pathFor(name), std::move(bytes));
+}
+
+Status ObjectStore::putText(const ndn::Name& name, std::string_view text) {
+  return put(name, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+std::optional<std::vector<std::uint8_t>> ObjectStore::get(const ndn::Name& name) const {
+  return pvc_.read(pathFor(name));
+}
+
+bool ObjectStore::contains(const ndn::Name& name) const {
+  return pvc_.exists(pathFor(name));
+}
+
+std::optional<std::uint64_t> ObjectStore::sizeOf(const ndn::Name& name) const {
+  return pvc_.sizeOf(pathFor(name));
+}
+
+Status ObjectStore::remove(const ndn::Name& name) { return pvc_.remove(pathFor(name)); }
+
+std::vector<ndn::Name> ObjectStore::list(const ndn::Name& prefix) const {
+  std::vector<ndn::Name> names;
+  const std::string pathPrefix = root_ + (prefix.empty() ? "" : prefix.toUri());
+  for (const auto& path : pvc_.list(pathPrefix)) {
+    // Strip the storage root back off to recover the content name.
+    if (path.size() <= root_.size()) continue;
+    names.emplace_back(std::string_view(path).substr(root_.size()));
+  }
+  return names;
+}
+
+}  // namespace lidc::datalake

@@ -1,0 +1,46 @@
+// Named object storage over a K8s PVC: maps NDN content names to files
+// on the claim, exactly as the paper's data lake serves "/ndn/k8s/data"
+// out of an NFS-backed PVC (SIV, SV-B).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "k8s/pvc.hpp"
+#include "ndn/name.hpp"
+
+namespace lidc::datalake {
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(k8s::PersistentVolumeClaim& pvc,
+                       std::string rootPrefix = "objects")
+      : pvc_(pvc), root_(std::move(rootPrefix)) {}
+
+  /// Stores bytes under a content name (replaces any existing object).
+  Status put(const ndn::Name& name, std::vector<std::uint8_t> bytes);
+  Status putText(const ndn::Name& name, std::string_view text);
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const ndn::Name& name) const;
+  [[nodiscard]] bool contains(const ndn::Name& name) const;
+  [[nodiscard]] std::optional<std::uint64_t> sizeOf(const ndn::Name& name) const;
+  Status remove(const ndn::Name& name);
+
+  /// All object names under a name prefix.
+  [[nodiscard]] std::vector<ndn::Name> list(const ndn::Name& prefix) const;
+
+  [[nodiscard]] k8s::PersistentVolumeClaim& volume() noexcept { return pvc_; }
+
+ private:
+  [[nodiscard]] std::string pathFor(const ndn::Name& name) const {
+    return root_ + name.toUri();
+  }
+
+  k8s::PersistentVolumeClaim& pvc_;
+  std::string root_;
+};
+
+}  // namespace lidc::datalake

@@ -1,0 +1,154 @@
+#include "datalake/retriever.hpp"
+
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace lidc::datalake {
+
+struct Retriever::Transfer {
+  ndn::Name objectName;
+  CompletionCallback done;
+  std::uint64_t totalSegments = 0;
+  std::uint64_t totalSize = 0;
+  std::uint64_t nextToRequest = 0;
+  std::size_t inFlight = 0;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> segments;
+  bool finished = false;
+};
+
+void Retriever::fetch(const ndn::Name& objectName, CompletionCallback done) {
+  auto transfer = std::make_shared<Transfer>();
+  transfer->objectName = objectName;
+  transfer->done = std::move(done);
+  fetchMeta(std::move(transfer), 0);
+}
+
+void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt) {
+  ndn::Name metaName = transfer->objectName;
+  metaName.append("meta");
+  ndn::Interest interest(metaName);
+  interest.setMustBeFresh(false);
+  interest.setLifetime(options_.interestLifetime);
+
+  face_.expressInterest(
+      interest,
+      [this, transfer](const ndn::Interest&, const ndn::Data& data) {
+        if (transfer->finished) return;
+        if (options_.verifySignatures && !data.verify()) {
+          finish(transfer, Status::PermissionDenied(
+                               "meta failed signature verification: " +
+                               data.name().toUri()));
+          return;
+        }
+        // Parse "segments=N;size=M;segment_size=S".
+        std::uint64_t segments = 0;
+        std::uint64_t size = 0;
+        const std::string meta = data.contentAsString();
+        for (auto field : strings::split(meta, ';')) {
+          const auto kv = strings::split(field, '=');
+          if (kv.size() != 2) continue;
+          if (kv[0] == "segments") {
+            segments = strings::parseUint(kv[1]).value_or(0);
+          } else if (kv[0] == "size") {
+            size = strings::parseUint(kv[1]).value_or(0);
+          }
+        }
+        if (segments == 0 && size > 0) {
+          finish(transfer, Status::Internal("malformed meta for " +
+                                            transfer->objectName.toUri()));
+          return;
+        }
+        transfer->totalSegments = segments;
+        transfer->totalSize = size;
+        if (segments == 0) {
+          finish(transfer, std::vector<std::uint8_t>{});
+          return;
+        }
+        pumpWindow(transfer);
+      },
+      [this, transfer](const ndn::Interest&, const ndn::Nack& nack) {
+        finish(transfer,
+               Status::NotFound("object " + transfer->objectName.toUri() +
+                                " nacked: " +
+                                std::string(ndn::nackReasonName(nack.reason()))));
+      },
+      [this, transfer, attempt](const ndn::Interest&) {
+        if (attempt + 1 < options_.maxRetriesPerSegment) {
+          fetchMeta(transfer, attempt + 1);
+        } else {
+          finish(transfer, Status::Timeout("meta fetch timed out for " +
+                                           transfer->objectName.toUri()));
+        }
+      });
+}
+
+void Retriever::pumpWindow(const std::shared_ptr<Transfer>& transfer) {
+  while (transfer->inFlight < options_.window &&
+         transfer->nextToRequest < transfer->totalSegments) {
+    const std::uint64_t index = transfer->nextToRequest++;
+    ++transfer->inFlight;
+    fetchSegment(transfer, index, 0);
+  }
+}
+
+void Retriever::fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t index,
+                             int attempt) {
+  ndn::Name segName = transfer->objectName;
+  segName.append("seg=" + std::to_string(index));
+  ndn::Interest interest(segName);
+  interest.setLifetime(options_.interestLifetime);
+
+  face_.expressInterest(
+      interest,
+      [this, transfer, index](const ndn::Interest&, const ndn::Data& data) {
+        if (transfer->finished) return;
+        if (options_.verifySignatures && !data.verify()) {
+          finish(transfer, Status::PermissionDenied(
+                               "segment failed signature verification: " +
+                               data.name().toUri()));
+          return;
+        }
+        --transfer->inFlight;
+        transfer->segments[index] = data.content();
+        if (transfer->segments.size() == transfer->totalSegments) {
+          std::vector<std::uint8_t> assembled;
+          assembled.reserve(transfer->totalSize);
+          for (auto& [i, segment] : transfer->segments) {
+            assembled.insert(assembled.end(), segment.begin(), segment.end());
+          }
+          if (assembled.size() != transfer->totalSize) {
+            finish(transfer,
+                   Status::Internal("reassembled size mismatch for " +
+                                    transfer->objectName.toUri()));
+            return;
+          }
+          finish(transfer, std::move(assembled));
+          return;
+        }
+        pumpWindow(transfer);
+      },
+      [this, transfer](const ndn::Interest& i, const ndn::Nack&) {
+        --transfer->inFlight;
+        finish(transfer, Status::NotFound("segment nacked: " + i.name().toUri()));
+      },
+      [this, transfer, index, attempt](const ndn::Interest& i) {
+        if (transfer->finished) return;
+        if (attempt + 1 < options_.maxRetriesPerSegment) {
+          fetchSegment(transfer, index, attempt + 1);
+        } else {
+          --transfer->inFlight;
+          finish(transfer,
+                 Status::Timeout("segment timed out: " + i.name().toUri()));
+        }
+      });
+}
+
+void Retriever::finish(const std::shared_ptr<Transfer>& transfer,
+                       Result<std::vector<std::uint8_t>> result) {
+  if (transfer->finished) return;
+  transfer->finished = true;
+  if (transfer->done) transfer->done(std::move(result));
+}
+
+}  // namespace lidc::datalake

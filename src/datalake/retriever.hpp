@@ -1,0 +1,53 @@
+// Consumer-side object retrieval: fetches <object>/meta, then pipelines
+// segment Interests with a configurable window, reassembles, and invokes
+// the completion callback. Retries each segment a bounded number of
+// times on timeout. This is the client half of the paper's
+// "/ndn/k8s/data/<data-identifier>" retrieval path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.hpp"
+#include "datalake/object_store.hpp"
+#include "ndn/app_face.hpp"
+
+namespace lidc::datalake {
+
+struct RetrieveOptions {
+  std::size_t window = 8;        // concurrent segment Interests
+  int maxRetriesPerSegment = 3;  // timeout retries before giving up
+  sim::Duration interestLifetime = sim::Duration::millis(4000);
+  /// Enforce NDN data authentication (paper SVII: "NDN inherently
+  /// secures data and provides built-in data authentication and
+  /// integrity"): Data packets failing signature verification are
+  /// rejected and the transfer aborts with PERMISSION_DENIED.
+  bool verifySignatures = true;
+};
+
+class Retriever {
+ public:
+  using CompletionCallback = std::function<void(Result<std::vector<std::uint8_t>>)>;
+
+  explicit Retriever(ndn::AppFace& face, RetrieveOptions options = {})
+      : face_(face), options_(options) {}
+
+  /// Starts an asynchronous fetch of the full object.
+  void fetch(const ndn::Name& objectName, CompletionCallback done);
+
+ private:
+  struct Transfer;
+
+  void fetchMeta(std::shared_ptr<Transfer> transfer, int attempt);
+  void pumpWindow(const std::shared_ptr<Transfer>& transfer);
+  void fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t index,
+                    int attempt);
+  void finish(const std::shared_ptr<Transfer>& transfer,
+              Result<std::vector<std::uint8_t>> result);
+
+  ndn::AppFace& face_;
+  RetrieveOptions options_;
+};
+
+}  // namespace lidc::datalake

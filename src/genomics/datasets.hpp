@@ -1,0 +1,57 @@
+// Synthetic stand-ins for the paper's datasets: the NCBI human
+// reference database and the two SRA samples of Table I —
+// SRR2931415 (rice RNA, 99-sample study) and SRR5139395 (kidney tumour
+// RNA, 36-sample study). Generation is seeded and scaled down to
+// laptop size; each spec also records the *testbed-scale* input size
+// used by the Magic-BLAST runtime model so Table I's shape reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "genomics/sequence.hpp"
+
+namespace lidc::genomics {
+
+struct DatasetSpec {
+  std::string srrId;       // e.g. "SRR2931415"
+  std::string genomeType;  // "RICE" / "KIDNEY"
+  std::size_t readCount;   // reads at simulation scale
+  std::size_t readLength;
+  double derivedFraction;  // fraction of reads that align to the reference
+  double mutationRate;
+  std::uint64_t testbedBytes;  // real SRA input size the runtime model scales to
+};
+
+class DatasetCatalog {
+ public:
+  /// scale multiplies read counts / reference length (1.0 = defaults).
+  explicit DatasetCatalog(double scale = 1.0, std::uint64_t seed = 2024)
+      : scale_(scale), seed_(seed) {}
+
+  /// Table I sample: rice RNA reads vs the human reference.
+  [[nodiscard]] DatasetSpec riceSample() const;
+  /// Table I sample: human kidney tumour RNA reads (aligns far more).
+  [[nodiscard]] DatasetSpec kidneySample() const;
+  /// Looks a spec up by SRR id; empty srrId when unknown.
+  [[nodiscard]] DatasetSpec bySrrId(const std::string& srrId) const;
+  [[nodiscard]] std::vector<DatasetSpec> allSamples() const;
+
+  /// The "HUMAN reference database" at simulation scale.
+  [[nodiscard]] Sequence generateReference() const;
+  [[nodiscard]] std::size_t referenceLength() const;
+
+  /// Reads for a sample, derived from the given reference.
+  [[nodiscard]] std::vector<Sequence> generateSample(const DatasetSpec& spec,
+                                                     std::string_view reference) const;
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double scale_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lidc::genomics

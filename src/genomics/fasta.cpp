@@ -1,0 +1,46 @@
+#include "genomics/fasta.hpp"
+
+#include "common/strings.hpp"
+
+namespace lidc::genomics {
+
+std::vector<std::uint8_t> toFasta(const std::vector<Sequence>& sequences) {
+  constexpr std::size_t kLineWidth = 70;
+  std::string out;
+  for (const auto& sequence : sequences) {
+    out += '>';
+    out += sequence.id;
+    out += '\n';
+    for (std::size_t pos = 0; pos < sequence.bases.size(); pos += kLineWidth) {
+      out += sequence.bases.substr(pos, kLineWidth);
+      out += '\n';
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+Result<std::vector<Sequence>> fromFasta(const std::vector<std::uint8_t>& bytes) {
+  std::vector<Sequence> sequences;
+  const std::string_view text(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  Sequence current;
+  bool inSequence = false;
+  for (auto line : strings::split(text, '\n')) {
+    line = strings::trim(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      if (inSequence) sequences.push_back(std::move(current));
+      current = Sequence{std::string(line.substr(1)), ""};
+      inSequence = true;
+    } else {
+      if (!inSequence) {
+        return Status::InvalidArgument("FASTA: sequence data before first header");
+      }
+      current.bases += line;
+    }
+  }
+  if (inSequence) sequences.push_back(std::move(current));
+  return sequences;
+}
+
+}  // namespace lidc::genomics

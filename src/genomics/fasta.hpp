@@ -1,0 +1,21 @@
+// FASTA serialization, the interchange format between the dataset
+// loader, the data lake, and the aligner (the paper's PVCs hold FASTA /
+// SRA files downloaded from NCBI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "genomics/sequence.hpp"
+
+namespace lidc::genomics {
+
+/// Serializes sequences as FASTA (">id\n<bases, 70 cols>\n...").
+std::vector<std::uint8_t> toFasta(const std::vector<Sequence>& sequences);
+
+/// Parses FASTA bytes; tolerates arbitrary line widths and blank lines.
+Result<std::vector<Sequence>> fromFasta(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace lidc::genomics

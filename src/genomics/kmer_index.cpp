@@ -1,0 +1,49 @@
+#include "genomics/kmer_index.hpp"
+
+#include <cassert>
+
+#include "genomics/sequence.hpp"
+
+namespace lidc::genomics {
+
+bool KmerIndex::pack(std::string_view bases, std::size_t pos, unsigned k,
+                     std::uint64_t& out) noexcept {
+  if (pos + k > bases.size()) return false;
+  std::uint64_t packed = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    const std::uint8_t code = baseCode(bases[pos + i]);
+    if (code > 3) return false;
+    packed = (packed << 2) | code;
+  }
+  out = packed;
+  return true;
+}
+
+KmerIndex::KmerIndex(std::string_view reference, unsigned k,
+                     std::size_t maxOccurrences)
+    : k_(k) {
+  assert(k >= 4 && k <= 31);
+  if (reference.size() < k) return;
+  index_.reserve(reference.size());
+  for (std::size_t pos = 0; pos + k <= reference.size(); ++pos) {
+    std::uint64_t packed = 0;
+    if (!pack(reference, pos, k, packed)) continue;
+    index_[packed].push_back(static_cast<std::uint32_t>(pos));
+  }
+  // Repeat masking: drop k-mers that occur too often.
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.size() > maxOccurrences) {
+      ++masked_;
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const std::vector<std::uint32_t>* KmerIndex::find(std::uint64_t packed) const {
+  auto it = index_.find(packed);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lidc::genomics

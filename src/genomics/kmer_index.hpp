@@ -1,0 +1,37 @@
+// K-mer hash index over a reference sequence: the seeding stage of the
+// MiniBlast aligner. K-mers are 2-bit packed into 64-bit words; k <= 31.
+// High-frequency k-mers (repeats) are masked out, as real aligners do.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lidc::genomics {
+
+class KmerIndex {
+ public:
+  /// Builds an index of all k-mers of `reference`. K-mers occurring more
+  /// than `maxOccurrences` times are dropped (repeat masking).
+  KmerIndex(std::string_view reference, unsigned k, std::size_t maxOccurrences = 64);
+
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t distinctKmers() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t maskedKmers() const noexcept { return masked_; }
+
+  /// Reference positions at which this packed k-mer occurs.
+  [[nodiscard]] const std::vector<std::uint32_t>* find(std::uint64_t packed) const;
+
+  /// Packs bases[pos .. pos+k) into a 2-bit word; returns false when the
+  /// window contains a non-ACGT base.
+  static bool pack(std::string_view bases, std::size_t pos, unsigned k,
+                   std::uint64_t& out) noexcept;
+
+ private:
+  unsigned k_;
+  std::size_t masked_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+};
+
+}  // namespace lidc::genomics

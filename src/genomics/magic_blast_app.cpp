@@ -1,0 +1,139 @@
+#include "genomics/magic_blast_app.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "genomics/aligner.hpp"
+#include "genomics/fasta.hpp"
+#include "k8s/cluster.hpp"
+
+namespace lidc::genomics {
+
+namespace {
+
+/// Looks up an arg with a default.
+std::string argOr(const std::map<std::string, std::string>& args,
+                  const std::string& key, std::string fallback) {
+  auto it = args.find(key);
+  return it == args.end() ? std::move(fallback) : it->second;
+}
+
+}  // namespace
+
+k8s::AppRunner makeMagicBlastRunner(datalake::ObjectStore& store,
+                                    const DatasetCatalog& catalog,
+                                    MagicBlastConfig config) {
+  return [&store, catalog, config](k8s::AppContext& context) -> k8s::AppResult {
+    k8s::AppResult result;
+
+    const std::string srrId = argOr(context.spec.args, "srr_id", "");
+    if (srrId.empty()) {
+      result.status = Status::InvalidArgument("magic-blast requires srr_id");
+      return result;
+    }
+    const std::string refObject =
+        argOr(context.spec.args, "ref", config.referenceObject);
+    const std::string outObject =
+        argOr(context.spec.args, "out", "results/" + srrId + "-vs-" + refObject);
+
+    // --- load inputs from the data lake ---
+    ndn::Name sampleName = config.dataPrefix;
+    sampleName.append(srrId);
+    ndn::Name refName = config.dataPrefix;
+    refName.append(refObject);
+
+    const auto sampleBytes = store.get(sampleName);
+    if (!sampleBytes) {
+      result.status = Status::NotFound("sample not in data lake: " +
+                                       sampleName.toUri());
+      return result;
+    }
+    const auto refBytes = store.get(refName);
+    if (!refBytes) {
+      result.status =
+          Status::NotFound("reference not in data lake: " + refName.toUri());
+      return result;
+    }
+
+    auto reads = fromFasta(*sampleBytes);
+    if (!reads) {
+      result.status = reads.status();
+      return result;
+    }
+    auto refSequences = fromFasta(*refBytes);
+    if (!refSequences || refSequences->empty()) {
+      result.status = Status::InvalidArgument("reference FASTA is empty");
+      return result;
+    }
+
+    // --- real alignment work ---
+    AlignerOptions options;
+    const std::size_t cores =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     context.spec.requests.cpu.cores()));
+    options.threads = std::min(cores, config.maxAlignerThreads);
+    MiniBlastAligner aligner(refSequences->front().bases, options);
+    std::vector<Alignment> alignments;
+    const AlignerStats stats = aligner.alignAll(*reads, alignments);
+
+    auto compressed = encodeCompressedReport(alignments);
+    const std::size_t simInputBytes = sampleBytes->size();
+    const std::size_t simOutputBytes = compressed.size();
+
+    ndn::Name outName = config.dataPrefix;
+    for (auto part : strings::splitSkipEmpty(outObject, '/')) outName.append(part);
+    if (auto st = store.put(outName, std::move(compressed)); !st.ok()) {
+      result.status = st;
+      return result;
+    }
+
+    // --- testbed-scale runtime model ---
+    const DatasetSpec spec = catalog.bySrrId(srrId);
+    const std::uint64_t testbedBytes =
+        spec.srrId.empty()
+            ? simInputBytes  // unknown sample: treat sim scale as real scale
+            : spec.testbedBytes;
+
+    const double basesPerRead =
+        stats.readsProcessed == 0
+            ? config.baselineBasesPerRead
+            : static_cast<double>(stats.basesExamined) /
+                  static_cast<double>(stats.readsProcessed);
+    const double workRatio =
+        std::clamp(basesPerRead / config.baselineBasesPerRead, 0.25, 4.0);
+
+    const double threadBenefit =
+        1.0 + config.threadBenefitPerExtraCpu * static_cast<double>(cores - 1);
+    double seconds = static_cast<double>(testbedBytes) /
+                     (config.throughputBytesPerSec * threadBenefit) * workRatio;
+    if (context.spec.requests.memory < config.workingSet) {
+      seconds *= config.thrashPenalty;
+    }
+    result.runtime = sim::Duration::seconds(seconds);
+
+    // Output size, scaled from simulation to testbed input volume.
+    const double scaleUp = simInputBytes == 0
+                               ? 1.0
+                               : static_cast<double>(testbedBytes) /
+                                     static_cast<double>(simInputBytes);
+    result.outputBytes =
+        static_cast<std::uint64_t>(static_cast<double>(simOutputBytes) * scaleUp);
+    result.resultPath = outName.toUri();
+    result.message = "aligned " + std::to_string(stats.readsAligned) + "/" +
+                     std::to_string(stats.readsProcessed) + " reads, " +
+                     std::to_string(stats.alignmentsReported) + " alignments";
+    LIDC_LOG(kDebug, "magic-blast")
+        << srrId << ": " << result.message << ", runtime "
+        << result.runtime.toString();
+    return result;
+  };
+}
+
+void installMagicBlast(k8s::Cluster& cluster, datalake::ObjectStore& store,
+                       const DatasetCatalog& catalog, MagicBlastConfig config) {
+  cluster.registerApp("magic-blast",
+                      makeMagicBlastRunner(store, catalog, std::move(config)));
+}
+
+}  // namespace lidc::genomics

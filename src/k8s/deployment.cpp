@@ -1,0 +1,68 @@
+#include "k8s/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lidc::k8s {
+
+Deployment::Deployment(Cluster& cluster, std::string ns, std::string name,
+                       PodSpec podTemplate, int replicas)
+    : cluster_(cluster),
+      namespace_(std::move(ns)),
+      name_(std::move(name)),
+      template_(std::move(podTemplate)),
+      desired_(std::max(0, replicas)) {
+  template_.labels["deployment"] = name_;
+  (void)reconcile();
+}
+
+Status Deployment::scaleTo(int replicas) {
+  desired_ = std::max(0, replicas);
+  return reconcile();
+}
+
+Status Deployment::reconcile() {
+  // Scale up: create missing replicas.
+  while (static_cast<int>(pod_names_.size()) < desired_) {
+    const std::string podName = name_ + "-" + std::to_string(next_ordinal_++);
+    auto created = cluster_.createPod(namespace_, podName, template_);
+    if (!created.ok()) return created.status();
+    pod_names_.push_back(podName);
+  }
+  // Scale down: delete newest first (K8s deletes by pod cost/age heuristics;
+  // newest-first is deterministic here).
+  while (static_cast<int>(pod_names_.size()) > desired_) {
+    const std::string podName = pod_names_.back();
+    pod_names_.pop_back();
+    LIDC_RETURN_IF_ERROR(cluster_.deletePod(namespace_, podName));
+  }
+  return Status::Ok();
+}
+
+int Deployment::readyReplicas() const {
+  int ready = 0;
+  for (const auto& podName : pod_names_) {
+    const auto* pod =
+        const_cast<Cluster&>(cluster_).pod(namespace_, podName);
+    if (pod != nullptr && pod->phase() == PodPhase::kRunning) ++ready;
+  }
+  return ready;
+}
+
+int HorizontalAutoscaler::reconcile(double observedUtilization) {
+  const int current = deployment_.replicas();
+  int desired = current;
+  if (target_ > 0.0) {
+    // Standard HPA formula: desired = ceil(current * observed / target),
+    // with a +-20% tolerance band to avoid thrashing.
+    const double ratio = observedUtilization / target_;
+    if (ratio > 1.2 || ratio < 0.8) {
+      desired = static_cast<int>(std::ceil(current * ratio));
+    }
+  }
+  desired = std::clamp(desired, min_, max_);
+  if (desired != current) (void)deployment_.scaleTo(desired);
+  return desired;
+}
+
+}  // namespace lidc::k8s

@@ -1,0 +1,68 @@
+// Deployment: keeps N replica pods of a template alive, plus a
+// horizontal autoscaler. The paper leans on K8s horizontal/vertical
+// scaling so that "the network can serve as a simple matchmaker"
+// (SIII-A); this is that substrate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "k8s/cluster.hpp"
+#include "k8s/pod.hpp"
+
+namespace lidc::k8s {
+
+class Deployment {
+ public:
+  Deployment(Cluster& cluster, std::string ns, std::string name, PodSpec podTemplate,
+             int replicas);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int replicas() const noexcept { return desired_; }
+
+  /// Reconciles toward the new replica count (creates/deletes pods).
+  Status scaleTo(int replicas);
+
+  /// Pods currently Running.
+  [[nodiscard]] int readyReplicas() const;
+
+  [[nodiscard]] const std::vector<std::string>& podNames() const noexcept {
+    return pod_names_;
+  }
+
+ private:
+  Status reconcile();
+
+  Cluster& cluster_;
+  std::string namespace_;
+  std::string name_;
+  PodSpec template_;
+  int desired_;
+  int next_ordinal_ = 0;
+  std::vector<std::string> pod_names_;
+};
+
+/// Simple HPA: scale up when utilization exceeds target by 20%, scale
+/// down when below target by 20%, clamped to [minReplicas, maxReplicas].
+class HorizontalAutoscaler {
+ public:
+  HorizontalAutoscaler(Deployment& deployment, int minReplicas, int maxReplicas,
+                       double targetUtilization)
+      : deployment_(deployment),
+        min_(minReplicas),
+        max_(maxReplicas),
+        target_(targetUtilization) {}
+
+  /// One reconcile step given the currently observed utilization [0, 1].
+  /// Returns the (possibly unchanged) desired replica count.
+  int reconcile(double observedUtilization);
+
+ private:
+  Deployment& deployment_;
+  int min_;
+  int max_;
+  double target_;
+};
+
+}  // namespace lidc::k8s

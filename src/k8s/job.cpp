@@ -1,0 +1,19 @@
+#include "k8s/job.hpp"
+
+namespace lidc::k8s {
+
+std::string_view jobStateName(JobState state) noexcept {
+  switch (state) {
+    case JobState::kPending:
+      return "Pending";
+    case JobState::kRunning:
+      return "Running";
+    case JobState::kCompleted:
+      return "Completed";
+    case JobState::kFailed:
+      return "Failed";
+  }
+  return "Unknown";
+}
+
+}  // namespace lidc::k8s

@@ -1,0 +1,88 @@
+// Kubernetes Job objects: run-to-completion workloads. The LIDC gateway
+// turns each named compute Interest into one Job (paper SIII-C: "the
+// Gateway initiates a Kubernetes job to run the desired computation").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "k8s/pvc.hpp"
+#include "k8s/resources.hpp"
+#include "sim/time.hpp"
+
+namespace lidc::k8s {
+
+enum class JobState { kPending, kRunning, kCompleted, kFailed };
+
+std::string_view jobStateName(JobState state) noexcept;
+
+struct JobSpec {
+  std::string app;  // application image, e.g. "magic-blast"
+  Resources requests;
+  std::map<std::string, std::string> args;  // e.g. {"srr_id": "SRR2931415"}
+  int backoffLimit = 0;                     // pod retries on failure
+  std::string pvcName;                      // volume mounted into the pod
+};
+
+struct JobStatus {
+  JobState state = JobState::kPending;
+  std::string message;
+  std::string resultPath;  // where the output landed in the PVC
+  std::uint64_t outputBytes = 0;
+  sim::Time submitTime;
+  sim::Time startTime;
+  sim::Time completionTime;
+  int attempts = 0;
+};
+
+class Job {
+ public:
+  Job(std::string name, std::string namespaceName, JobSpec spec)
+      : name_(std::move(name)),
+        namespace_(std::move(namespaceName)),
+        spec_(std::move(spec)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& namespaceName() const noexcept { return namespace_; }
+  [[nodiscard]] const JobSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const JobStatus& status() const noexcept { return status_; }
+  [[nodiscard]] JobStatus& mutableStatus() noexcept { return status_; }
+
+  [[nodiscard]] const std::string& podName() const noexcept { return pod_name_; }
+  void setPodName(std::string pod) { pod_name_ = std::move(pod); }
+
+ private:
+  std::string name_;
+  std::string namespace_;
+  JobSpec spec_;
+  JobStatus status_;
+  std::string pod_name_;
+};
+
+/// Execution context handed to an application runner.
+struct AppContext {
+  const JobSpec& spec;
+  PersistentVolumeClaim* volume = nullptr;  // nullptr when no PVC mounted
+  Rng& rng;
+};
+
+/// Outcome of running an application: the *simulated* runtime (how long
+/// the pod occupies its resources) plus result metadata. Runners perform
+/// their real work eagerly (e.g. alignment into the PVC) and report the
+/// virtual duration that work would take at testbed scale.
+struct AppResult {
+  Status status = Status::Ok();
+  sim::Duration runtime;
+  std::string resultPath;
+  std::uint64_t outputBytes = 0;
+  std::string message;
+};
+
+/// A runnable application "image". Registered per app name on the Cluster.
+using AppRunner = std::function<AppResult(AppContext&)>;
+
+}  // namespace lidc::k8s

@@ -1,0 +1,56 @@
+// Worker node: allocatable resources and the accounting of what running
+// pods have claimed. The paper's testbed is a single MicroK8s node per
+// cluster; this model supports N nodes per cluster.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "k8s/resources.hpp"
+
+namespace lidc::k8s {
+
+class Node {
+ public:
+  Node(std::string name, Resources allocatable)
+      : name_(std::move(name)), allocatable_(allocatable) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Resources& allocatable() const noexcept { return allocatable_; }
+  [[nodiscard]] const Resources& allocated() const noexcept { return allocated_; }
+  [[nodiscard]] Resources free() const noexcept { return allocatable_ - allocated_; }
+
+  [[nodiscard]] bool ready() const noexcept { return ready_; }
+  void setReady(bool ready) noexcept { ready_ = ready; }
+
+  /// True if `requests` fits into the remaining capacity.
+  [[nodiscard]] bool canFit(const Resources& requests) const noexcept {
+    return ready_ && requests.fitsWithin(free());
+  }
+
+  void allocate(const std::string& podName, const Resources& requests) {
+    allocated_ += requests;
+    pods_.insert(podName);
+  }
+  void release(const std::string& podName, const Resources& requests) {
+    if (pods_.erase(podName) > 0) allocated_ -= requests;
+  }
+
+  [[nodiscard]] const std::set<std::string>& podNames() const noexcept { return pods_; }
+
+  /// Fraction of CPU currently allocated, in [0, 1].
+  [[nodiscard]] double cpuUtilization() const noexcept {
+    if (allocatable_.cpu.millicores() == 0) return 0.0;
+    return static_cast<double>(allocated_.cpu.millicores()) /
+           static_cast<double>(allocatable_.cpu.millicores());
+  }
+
+ private:
+  std::string name_;
+  Resources allocatable_;
+  Resources allocated_;
+  std::set<std::string> pods_;
+  bool ready_ = true;
+};
+
+}  // namespace lidc::k8s

@@ -1,0 +1,19 @@
+#include "k8s/pod.hpp"
+
+namespace lidc::k8s {
+
+std::string_view podPhaseName(PodPhase phase) noexcept {
+  switch (phase) {
+    case PodPhase::kPending:
+      return "Pending";
+    case PodPhase::kRunning:
+      return "Running";
+    case PodPhase::kSucceeded:
+      return "Succeeded";
+    case PodPhase::kFailed:
+      return "Failed";
+  }
+  return "Unknown";
+}
+
+}  // namespace lidc::k8s

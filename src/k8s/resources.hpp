@@ -1,0 +1,52 @@
+// K8s-style resource model: requests/limits of CPU (millicores) and
+// memory (bytes), plus label maps used by selectors.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace lidc::k8s {
+
+/// Resource quantities requested by (or allocatable on) a workload/node.
+struct Resources {
+  MilliCpu cpu;
+  ByteSize memory;
+
+  [[nodiscard]] bool fitsWithin(const Resources& available) const noexcept {
+    return cpu <= available.cpu && memory <= available.memory;
+  }
+  Resources& operator+=(const Resources& other) noexcept {
+    cpu += other.cpu;
+    memory += other.memory;
+    return *this;
+  }
+  Resources& operator-=(const Resources& other) noexcept {
+    cpu -= other.cpu;
+    memory -= other.memory;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend Resources operator-(Resources a, const Resources& b) noexcept {
+    a -= b;
+    return a;
+  }
+  friend bool operator==(const Resources&, const Resources&) = default;
+};
+
+using Labels = std::map<std::string, std::string>;
+
+/// True if every selector key/value is present in `labels`.
+inline bool selectorMatches(const Labels& selector, const Labels& labels) {
+  for (const auto& [key, value] : selector) {
+    auto it = labels.find(key);
+    if (it == labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+}  // namespace lidc::k8s

@@ -1,0 +1,46 @@
+#include "k8s/scheduler.hpp"
+
+#include <algorithm>
+
+namespace lidc::k8s {
+
+double Scheduler::score(const Node& node, const Resources& requests) const {
+  // Utilization the node would have after placing the pod, averaged over
+  // cpu and memory.
+  const Resources after = node.allocated() + requests;
+  double cpuFrac = 0.0;
+  double memFrac = 0.0;
+  if (node.allocatable().cpu.millicores() > 0) {
+    cpuFrac = static_cast<double>(after.cpu.millicores()) /
+              static_cast<double>(node.allocatable().cpu.millicores());
+  }
+  if (node.allocatable().memory.bytes() > 0) {
+    memFrac = static_cast<double>(after.memory.bytes()) /
+              static_cast<double>(node.allocatable().memory.bytes());
+  }
+  const double utilization = (cpuFrac + memFrac) / 2.0;
+  // Higher score = better node.
+  return policy_ == ScoringPolicy::kLeastAllocated ? 1.0 - utilization : utilization;
+}
+
+Result<std::string> Scheduler::selectNode(const Pod& pod,
+                                          const std::vector<Node*>& nodes) const {
+  const Node* best = nullptr;
+  double bestScore = -1.0;
+  for (const Node* node : nodes) {
+    if (node == nullptr || !node->canFit(pod.spec().requests)) continue;
+    const double s = score(*node, pod.spec().requests);
+    if (s > bestScore) {
+      bestScore = s;
+      best = node;
+    }
+  }
+  if (best == nullptr) {
+    return Status::ResourceExhausted("no node can fit pod " + pod.name() + " (cpu=" +
+                                     pod.spec().requests.cpu.toString() + ", mem=" +
+                                     pod.spec().requests.memory.toString() + ")");
+  }
+  return best->name();
+}
+
+}  // namespace lidc::k8s

@@ -1,0 +1,82 @@
+#include "ndn/app_face.hpp"
+
+#include <algorithm>
+
+namespace lidc::ndn {
+
+void AppFace::expressInterest(Interest interest, DataCallback onData,
+                              NackCallback onNack, TimeoutCallback onTimeout) {
+  if (interest.nonce() == 0) {
+    interest.setNonce(static_cast<std::uint32_t>(nonce_rng_() & 0xFFFFFFFFu) | 1u);
+  }
+
+  pending_.push_back(Pending{interest, std::move(onData), std::move(onNack),
+                             std::move(onTimeout), sim::EventHandle{}});
+  auto it = std::prev(pending_.end());
+
+  // App-level timeout mirrors the Interest lifetime.
+  it->timeoutEvent = sim_.scheduleAfter(interest.lifetime(), [this, it] {
+    Pending pending = std::move(*it);
+    pending_.erase(it);
+    if (pending.onTimeout) pending.onTimeout(pending.interest);
+  });
+
+  // Into the forwarder.
+  receiveInterest(it->interest);
+}
+
+void AppFace::putData(Data data) {
+  if (!data.verify()) data.sign();
+  receiveData(data);
+}
+
+void AppFace::putNack(const Interest& interest, NackReason reason) {
+  receiveNack(Nack(interest, reason));
+}
+
+void AppFace::sendInterest(const Interest& interest) {
+  countOutInterest(interest);
+  if (interest_handler_) interest_handler_(interest);
+}
+
+AppFace::PendingList::iterator AppFace::findPendingForData(const Data& data) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    const bool match = it->interest.canBePrefix()
+                           ? it->interest.name().isPrefixOf(data.name())
+                           : it->interest.name() == data.name();
+    if (match) return it;
+  }
+  return pending_.end();
+}
+
+AppFace::PendingList::iterator AppFace::findPendingForInterest(const Name& name) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->interest.name() == name) return it;
+  }
+  return pending_.end();
+}
+
+void AppFace::sendData(const Data& data) {
+  countOutData(data);
+  // All pending Interests this Data satisfies fire (typically one).
+  while (true) {
+    auto it = findPendingForData(data);
+    if (it == pending_.end()) return;
+    Pending pending = std::move(*it);
+    pending_.erase(it);
+    pending.timeoutEvent.cancel();
+    if (pending.onData) pending.onData(pending.interest, data);
+  }
+}
+
+void AppFace::sendNack(const Nack& nack) {
+  countOutNack();
+  auto it = findPendingForInterest(nack.interest().name());
+  if (it == pending_.end()) return;
+  Pending pending = std::move(*it);
+  pending_.erase(it);
+  pending.timeoutEvent.cancel();
+  if (pending.onNack) pending.onNack(pending.interest, nack);
+}
+
+}  // namespace lidc::ndn

@@ -1,0 +1,80 @@
+#include "ndn/cs.hpp"
+
+namespace lidc::ndn {
+
+void ContentStore::insert(const Data& data, sim::Time now) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(data.name());
+  if (it != index_.end()) {
+    it->second.first = Entry{data, now};
+    touch(it->second.second);
+    return;
+  }
+  lru_.push_front(data.name());
+  index_.emplace(data.name(), std::make_pair(Entry{data, now}, lru_.begin()));
+  evictIfNeeded();
+}
+
+std::optional<Data> ContentStore::find(const Interest& interest, sim::Time now) {
+  const Name& name = interest.name();
+
+  if (!interest.canBePrefix()) {
+    auto it = index_.find(name);
+    if (it != index_.end() && isFreshEnough(it->second.first, interest, now)) {
+      touch(it->second.second);
+      ++hits_;
+      return it->second.first.data;
+    }
+    ++misses_;
+    return std::nullopt;
+  }
+
+  // CanBePrefix: scan names >= prefix until we leave the subtree.
+  for (auto it = index_.lower_bound(name); it != index_.end(); ++it) {
+    if (!name.isPrefixOf(it->first)) break;
+    if (isFreshEnough(it->second.first, interest, now)) {
+      touch(it->second.second);
+      ++hits_;
+      return it->second.first.data;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ContentStore::erase(const Name& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return;
+  lru_.erase(it->second.second);
+  index_.erase(it);
+}
+
+void ContentStore::clear() {
+  index_.clear();
+  lru_.clear();
+}
+
+void ContentStore::setCapacity(std::size_t capacity) {
+  capacity_ = capacity;
+  evictIfNeeded();
+}
+
+void ContentStore::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void ContentStore::evictIfNeeded() {
+  while (index_.size() > capacity_ && !lru_.empty()) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+bool ContentStore::isFreshEnough(const Entry& entry, const Interest& interest,
+                                 sim::Time now) const noexcept {
+  if (!interest.mustBeFresh()) return true;
+  if (entry.data.freshnessPeriod() == sim::Duration()) return false;
+  return now < entry.arrival + entry.data.freshnessPeriod();
+}
+
+}  // namespace lidc::ndn

@@ -1,0 +1,60 @@
+// Content Store: the forwarder's in-network cache of Data packets with
+// LRU eviction and freshness semantics. This is the substrate for
+// LIDC's result caching (paper SVII): identical compute requests are
+// satisfied from the CS without re-executing the job.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+
+#include "ndn/packet.hpp"
+#include "sim/time.hpp"
+
+namespace lidc::ndn {
+
+class ContentStore {
+ public:
+  explicit ContentStore(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Inserts (or refreshes) a Data packet observed at time `now`.
+  void insert(const Data& data, sim::Time now);
+
+  /// Looks up a match for the Interest. Exact-name match, or the
+  /// lexicographically smallest name under the prefix when CanBePrefix.
+  /// MustBeFresh requires now < arrival + freshnessPeriod.
+  [[nodiscard]] std::optional<Data> find(const Interest& interest, sim::Time now);
+
+  void erase(const Name& name);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void setCapacity(std::size_t capacity);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    Data data;
+    sim::Time arrival;
+  };
+  using LruList = std::list<Name>;
+
+  void touch(LruList::iterator it);
+  void evictIfNeeded();
+
+  [[nodiscard]] bool isFreshEnough(const Entry& entry, const Interest& interest,
+                                   sim::Time now) const noexcept;
+
+  std::size_t capacity_;
+  // Ordered index enables prefix scans for CanBePrefix lookups.
+  std::map<Name, std::pair<Entry, LruList::iterator>> index_;
+  LruList lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace lidc::ndn

@@ -1,0 +1,95 @@
+// Faces are the forwarder's packet interfaces, as in NFD: a face can be
+// a point-to-point link to a remote forwarder (net::LinkFace) or a local
+// application endpoint (AppFace). The forwarder installs receive
+// handlers; transports call the receive*() methods to inject packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ndn/packet.hpp"
+
+namespace lidc::ndn {
+
+using FaceId = std::uint64_t;
+constexpr FaceId kInvalidFaceId = 0;
+
+/// Per-face packet counters (mirrors NFD's face counters).
+struct FaceCounters {
+  std::uint64_t nInInterests = 0;
+  std::uint64_t nOutInterests = 0;
+  std::uint64_t nInData = 0;
+  std::uint64_t nOutData = 0;
+  std::uint64_t nInNacks = 0;
+  std::uint64_t nOutNacks = 0;
+  std::uint64_t nInBytes = 0;
+  std::uint64_t nOutBytes = 0;
+};
+
+class Face {
+ public:
+  explicit Face(std::string uri) : uri_(std::move(uri)) {}
+  virtual ~Face() = default;
+  Face(const Face&) = delete;
+  Face& operator=(const Face&) = delete;
+
+  [[nodiscard]] FaceId id() const noexcept { return id_; }
+  void setId(FaceId id) noexcept { id_ = id; }
+
+  [[nodiscard]] const std::string& uri() const noexcept { return uri_; }
+
+  [[nodiscard]] bool isUp() const noexcept { return up_; }
+  virtual void setUp(bool up) noexcept { up_ = up; }
+
+  [[nodiscard]] const FaceCounters& counters() const noexcept { return counters_; }
+
+  // --- outgoing direction (forwarder -> transport) ---
+  virtual void sendInterest(const Interest& interest) = 0;
+  virtual void sendData(const Data& data) = 0;
+  virtual void sendNack(const Nack& nack) = 0;
+
+  // --- incoming direction (transport -> forwarder) ---
+  /// Handlers installed by the owning Forwarder.
+  std::function<void(Face&, const Interest&)> onReceiveInterest;
+  std::function<void(Face&, const Data&)> onReceiveData;
+  std::function<void(Face&, const Nack&)> onReceiveNack;
+
+  /// Called by the transport when a packet arrives on this face.
+  void receiveInterest(const Interest& interest) {
+    if (!up_) return;
+    ++counters_.nInInterests;
+    counters_.nInBytes += interest.wireSize();
+    if (onReceiveInterest) onReceiveInterest(*this, interest);
+  }
+  void receiveData(const Data& data) {
+    if (!up_) return;
+    ++counters_.nInData;
+    counters_.nInBytes += data.wireSize();
+    if (onReceiveData) onReceiveData(*this, data);
+  }
+  void receiveNack(const Nack& nack) {
+    if (!up_) return;
+    ++counters_.nInNacks;
+    if (onReceiveNack) onReceiveNack(*this, nack);
+  }
+
+ protected:
+  void countOutInterest(const Interest& interest) {
+    ++counters_.nOutInterests;
+    counters_.nOutBytes += interest.wireSize();
+  }
+  void countOutData(const Data& data) {
+    ++counters_.nOutData;
+    counters_.nOutBytes += data.wireSize();
+  }
+  void countOutNack() { ++counters_.nOutNacks; }
+
+ private:
+  FaceId id_ = kInvalidFaceId;
+  std::string uri_;
+  bool up_ = true;
+  FaceCounters counters_;
+};
+
+}  // namespace lidc::ndn

@@ -1,0 +1,206 @@
+#include "ndn/forwarder.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace lidc::ndn {
+
+Forwarder::Forwarder(std::string name, sim::Simulator& sim)
+    : name_(std::move(name)), sim_(sim) {
+  // Default strategy for the whole namespace, as in NFD.
+  strategies_.emplace(Name("/"), std::make_unique<BestRouteStrategy>(*this));
+}
+
+Forwarder::~Forwarder() = default;
+
+FaceId Forwarder::addFace(std::shared_ptr<Face> face) {
+  assert(face);
+  const FaceId id = next_face_id_++;
+  face->setId(id);
+  installHandlers(*face);
+  faces_.emplace(id, std::move(face));
+  return id;
+}
+
+void Forwarder::removeFace(FaceId id) {
+  fib_.removeFaceFromAll(id);
+  measurements_.forget(id);
+  faces_.erase(id);
+}
+
+Face* Forwarder::face(FaceId id) noexcept {
+  auto it = faces_.find(id);
+  return it == faces_.end() ? nullptr : it->second.get();
+}
+
+void Forwarder::registerPrefix(const Name& prefix, FaceId face, std::uint64_t cost) {
+  fib_.insert(prefix, face, cost);
+}
+
+void Forwarder::unregisterPrefix(const Name& prefix, FaceId face) {
+  fib_.removeNextHop(prefix, face);
+}
+
+void Forwarder::setStrategy(const Name& prefix, std::unique_ptr<Strategy> strategy) {
+  assert(strategy);
+  strategies_[prefix] = std::move(strategy);
+}
+
+Strategy& Forwarder::findStrategy(const Name& name) {
+  // Longest-prefix match over the strategy-choice table.
+  for (std::size_t len = name.size() + 1; len-- > 0;) {
+    auto it = strategies_.find(name.prefix(len));
+    if (it != strategies_.end()) return *it->second;
+  }
+  // The root entry always exists.
+  return *strategies_.at(Name("/"));
+}
+
+void Forwarder::installHandlers(Face& face) {
+  face.onReceiveInterest = [this](Face& inFace, const Interest& interest) {
+    onIncomingInterest(inFace, interest);
+  };
+  face.onReceiveData = [this](Face& inFace, const Data& data) {
+    onIncomingData(inFace, data);
+  };
+  face.onReceiveNack = [this](Face& inFace, const Nack& nack) {
+    onIncomingNack(inFace, nack);
+  };
+}
+
+void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
+  ++counters_.nInInterests;
+  LIDC_LOG(kTrace, "forwarder") << name_ << " <- Interest " << interest.name().toUri()
+                                << " via face " << inFace.id();
+
+  // Hop limit.
+  if (interest.hopLimit() == 0) return;
+
+  // Dead Nonce List: a nonce that looped back after its PIT entry was
+  // consumed is still a duplicate.
+  if (dnl_.has(interest.name(), interest.nonce())) {
+    ++counters_.nDuplicateNonce;
+    inFace.sendNack(Nack(interest, NackReason::kDuplicate));
+    return;
+  }
+
+  auto [entry, isNew] = pit_.insert(interest);
+
+  // Loop detection by nonce.
+  if (!isNew && entry->isDuplicateNonce(interest.nonce(), inFace.id())) {
+    ++counters_.nDuplicateNonce;
+    inFace.sendNack(Nack(interest, NackReason::kDuplicate));
+    return;
+  }
+
+  // Content Store lookup.
+  if (auto cached = cs_.find(interest, sim_.now())) {
+    ++counters_.nCsHits;
+    if (isNew) pit_.erase(entry);
+    ++counters_.nOutData;
+    inFace.sendData(*cached);
+    return;
+  }
+  ++counters_.nCsMisses;
+
+  const sim::Time expiry = sim_.now() + interest.lifetime();
+  entry->insertInRecord(inFace.id(), interest.nonce(), expiry);
+
+  if (isNew) {
+    // Unsatisfy timer.
+    std::weak_ptr<PitEntry> weak = entry;
+    entry->expiryTimer =
+        sim_.scheduleAfter(interest.lifetime(), [this, weak] { onInterestExpiry(weak); });
+    findStrategy(interest.name()).afterReceiveInterest(interest, inFace, entry);
+  } else if (!entry->hasOutRecords()) {
+    // Entry exists but was never forwarded (e.g. all upstreams were down);
+    // give the strategy another chance.
+    findStrategy(interest.name()).afterReceiveInterest(interest, inFace, entry);
+  }
+  // Otherwise: aggregated onto the in-flight Interest (no re-forwarding).
+}
+
+void Forwarder::onIncomingData(Face& inFace, const Data& data) {
+  ++counters_.nInData;
+  LIDC_LOG(kTrace, "forwarder") << name_ << " <- Data " << data.name().toUri()
+                                << " via face " << inFace.id();
+
+  auto matches = pit_.findMatches(data);
+  if (matches.empty()) {
+    ++counters_.nUnsolicitedData;
+    return;  // unsolicited Data is dropped, as in NFD's default policy
+  }
+
+  cs_.insert(data, sim_.now());
+
+  for (const auto& entry : matches) {
+    entry->expiryTimer.cancel();
+    findStrategy(entry->name()).beforeSatisfyInterest(entry, inFace, data);
+    for (const auto& in : entry->inRecords()) {
+      if (in.face == inFace.id()) continue;
+      if (auto* downstream = face(in.face); downstream != nullptr) {
+        ++counters_.nOutData;
+        downstream->sendData(data);
+      }
+    }
+    ++counters_.nSatisfied;
+    recordDeadNonces(*entry);
+    pit_.erase(entry);
+  }
+}
+
+void Forwarder::recordDeadNonces(const PitEntry& entry) {
+  for (const auto& in : entry.inRecords()) {
+    dnl_.add(entry.name(), in.nonce);
+  }
+  for (const auto& out : entry.outRecords()) {
+    dnl_.add(entry.name(), out.nonce);
+  }
+}
+
+void Forwarder::onIncomingNack(Face& inFace, const Nack& nack) {
+  auto entry = pit_.find(nack.interest());
+  if (!entry) return;
+  // Only meaningful if we actually sent on that face.
+  if (entry->findOutRecord(inFace.id()) == nullptr) return;
+  findStrategy(entry->name()).afterReceiveNack(nack, inFace, entry);
+}
+
+void Forwarder::onInterestExpiry(std::weak_ptr<PitEntry> weakEntry) {
+  auto entry = weakEntry.lock();
+  if (!entry) return;
+  ++counters_.nUnsatisfied;
+  findStrategy(entry->name()).onInterestTimeout(entry);
+  recordDeadNonces(*entry);
+  pit_.erase(entry);
+}
+
+void Forwarder::sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upstream) {
+  auto* outFace = face(upstream);
+  if (outFace == nullptr || !outFace->isUp()) return;
+
+  Interest interest = entry->interest();
+  // Decrement hop limit on the wire.
+  if (interest.hopLimit() > 0) interest.setHopLimit(interest.hopLimit() - 1);
+
+  entry->insertOutRecord(upstream, interest.nonce(), sim_.now());
+  ++counters_.nOutInterests;
+  LIDC_LOG(kTrace, "forwarder") << name_ << " -> Interest " << interest.name().toUri()
+                                << " via face " << upstream;
+  outFace->sendInterest(interest);
+}
+
+void Forwarder::sendNackDownstream(const std::shared_ptr<PitEntry>& entry,
+                                   NackReason reason) {
+  ++counters_.nNoRoute;
+  for (const auto& in : entry->inRecords()) {
+    if (auto* downstream = face(in.face); downstream != nullptr) {
+      downstream->sendNack(Nack(entry->interest(), reason));
+    }
+  }
+  entry->expiryTimer.cancel();
+  pit_.erase(entry);
+}
+
+}  // namespace lidc::ndn

@@ -1,0 +1,102 @@
+// The NDN forwarding daemon (NFD) model: faces + PIT + FIB + CS + a
+// strategy-choice table, wired through the standard incoming-Interest /
+// incoming-Data / incoming-Nack pipelines. Each LIDC node — client hosts,
+// network routers, and the cluster gateway NFD pods — runs one Forwarder.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "ndn/cs.hpp"
+#include "ndn/dead_nonce_list.hpp"
+#include "ndn/face.hpp"
+#include "ndn/fib.hpp"
+#include "ndn/packet.hpp"
+#include "ndn/pit.hpp"
+#include "ndn/strategy.hpp"
+#include "sim/simulator.hpp"
+
+namespace lidc::ndn {
+
+/// Aggregate forwarder counters.
+struct ForwarderCounters {
+  std::uint64_t nInInterests = 0;
+  std::uint64_t nOutInterests = 0;
+  std::uint64_t nInData = 0;
+  std::uint64_t nOutData = 0;
+  std::uint64_t nCsHits = 0;
+  std::uint64_t nCsMisses = 0;
+  std::uint64_t nSatisfied = 0;
+  std::uint64_t nUnsatisfied = 0;
+  std::uint64_t nDuplicateNonce = 0;
+  std::uint64_t nNoRoute = 0;
+  std::uint64_t nUnsolicitedData = 0;
+};
+
+class Forwarder {
+ public:
+  Forwarder(std::string name, sim::Simulator& sim);
+  ~Forwarder();
+  Forwarder(const Forwarder&) = delete;
+  Forwarder& operator=(const Forwarder&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  // --- face management ---
+  FaceId addFace(std::shared_ptr<Face> face);
+  void removeFace(FaceId id);
+  [[nodiscard]] Face* face(FaceId id) noexcept;
+  [[nodiscard]] std::size_t faceCount() const noexcept { return faces_.size(); }
+
+  // --- RIB-ish registration (paper: gateway registers /ndn/k8s/compute) ---
+  void registerPrefix(const Name& prefix, FaceId face, std::uint64_t cost = 0);
+  void unregisterPrefix(const Name& prefix, FaceId face);
+
+  // --- strategy choice (per-namespace, longest-prefix match) ---
+  void setStrategy(const Name& prefix, std::unique_ptr<Strategy> strategy);
+  [[nodiscard]] Strategy& findStrategy(const Name& name);
+
+  // --- tables ---
+  [[nodiscard]] Pit& pit() noexcept { return pit_; }
+  [[nodiscard]] Fib& fib() noexcept { return fib_; }
+  [[nodiscard]] const Fib& fib() const noexcept { return fib_; }
+  [[nodiscard]] ContentStore& cs() noexcept { return cs_; }
+  [[nodiscard]] DeadNonceList& deadNonceList() noexcept { return dnl_; }
+  [[nodiscard]] RttMeasurements& measurements() noexcept { return measurements_; }
+  [[nodiscard]] const ForwarderCounters& counters() const noexcept { return counters_; }
+
+  // --- actions used by strategies ---
+  void sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upstream);
+  void sendNackDownstream(const std::shared_ptr<PitEntry>& entry, NackReason reason);
+
+ private:
+  // Pipelines (called via face receive handlers).
+  void onIncomingInterest(Face& inFace, const Interest& interest);
+  void onIncomingData(Face& inFace, const Data& data);
+  void onIncomingNack(Face& inFace, const Nack& nack);
+  void onInterestExpiry(std::weak_ptr<PitEntry> weakEntry);
+  /// Records the entry's nonces in the Dead Nonce List before removal.
+  void recordDeadNonces(const PitEntry& entry);
+
+  void installHandlers(Face& face);
+
+  std::string name_;
+  sim::Simulator& sim_;
+  FaceId next_face_id_ = 1;
+  std::unordered_map<FaceId, std::shared_ptr<Face>> faces_;
+  Pit pit_;
+  Fib fib_;
+  ContentStore cs_;
+  DeadNonceList dnl_;
+  RttMeasurements measurements_;
+  ForwarderCounters counters_;
+  // Strategy-choice table: ordered by name for longest-prefix resolution.
+  std::map<Name, std::unique_ptr<Strategy>> strategies_;
+};
+
+}  // namespace lidc::ndn

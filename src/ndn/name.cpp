@@ -1,0 +1,161 @@
+#include "ndn/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace lidc::ndn {
+
+namespace {
+
+constexpr bool isUriUnreserved(std::uint8_t c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '-' || c == '.' || c == '_' || c == '~' ||
+         // Kept readable in LIDC semantic names:
+         c == '=' || c == '&' || c == '+' || c == ':';
+}
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+int hexValue(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Component> Component::fromEscaped(std::string_view escaped) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%') {
+      if (i + 2 >= escaped.size()) return std::nullopt;
+      const int hi = hexValue(escaped[i + 1]);
+      const int lo = hexValue(escaped[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      bytes.push_back(static_cast<std::uint8_t>(hi * 16 + lo));
+      i += 2;
+    } else {
+      bytes.push_back(static_cast<std::uint8_t>(escaped[i]));
+    }
+  }
+  return Component(std::move(bytes));
+}
+
+std::string Component::toEscapedString() const {
+  std::string out;
+  out.reserve(value_.size());
+  for (std::uint8_t byte : value_) {
+    if (isUriUnreserved(byte)) {
+      out.push_back(static_cast<char>(byte));
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[byte >> 4]);
+      out.push_back(kHexDigits[byte & 0x0F]);
+    }
+  }
+  return out;
+}
+
+std::strong_ordering Component::compare(const Component& other) const noexcept {
+  // NDN canonical order: shorter components sort first.
+  if (value_.size() != other.value_.size()) {
+    return value_.size() < other.value_.size() ? std::strong_ordering::less
+                                               : std::strong_ordering::greater;
+  }
+  const int cmp = value_.empty()
+                      ? 0
+                      : std::memcmp(value_.data(), other.value_.data(), value_.size());
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Name::Name(std::string_view uri) {
+  // Accept both "/a/b" and "ndn:/a/b".
+  if (strings::startsWith(uri, "ndn:")) uri.remove_prefix(4);
+  for (auto segment : strings::splitSkipEmpty(uri, '/')) {
+    if (auto component = Component::fromEscaped(segment)) {
+      components_.push_back(std::move(*component));
+    } else {
+      // Malformed escape: keep the raw text so the name is still usable.
+      components_.emplace_back(segment);
+    }
+  }
+}
+
+Name& Name::append(const Name& suffix) {
+  components_.insert(components_.end(), suffix.components_.begin(),
+                     suffix.components_.end());
+  return *this;
+}
+
+Name& Name::appendNumber(std::uint64_t number) {
+  return append(Component(std::string_view(std::to_string(number))));
+}
+
+Name Name::subName(std::size_t start, std::size_t count) const {
+  if (start >= components_.size()) return {};
+  const std::size_t end = count == static_cast<std::size_t>(-1)
+                              ? components_.size()
+                              : std::min(components_.size(), start + count);
+  return Name(std::vector<Component>(components_.begin() + static_cast<long>(start),
+                                     components_.begin() + static_cast<long>(end)));
+}
+
+bool Name::isPrefixOf(const Name& other) const noexcept {
+  if (components_.size() > other.components_.size()) return false;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (!(components_[i] == other.components_[i])) return false;
+  }
+  return true;
+}
+
+std::strong_ordering Name::compare(const Name& other) const noexcept {
+  const std::size_t n = std::min(components_.size(), other.components_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cmp = components_[i].compare(other.components_[i]);
+    if (cmp != std::strong_ordering::equal) return cmp;
+  }
+  if (components_.size() < other.components_.size()) return std::strong_ordering::less;
+  if (components_.size() > other.components_.size())
+    return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Name::toUri() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& component : components_) {
+    out += '/';
+    out += component.toEscapedString();
+  }
+  return out;
+}
+
+std::size_t Name::hash() const noexcept {
+  // FNV-1a over (length, bytes) pairs so component boundaries matter.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& component : components_) {
+    const std::size_t len = component.size();
+    mix(static_cast<std::uint8_t>(len & 0xFF));
+    mix(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+    for (std::uint8_t byte : component.value()) mix(byte);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::ostream& operator<<(std::ostream& os, const Name& name) {
+  return os << name.toUri();
+}
+
+}  // namespace lidc::ndn

@@ -1,0 +1,123 @@
+// NDN hierarchical names. A Name is an ordered list of Components
+// (arbitrary byte strings); the URI form is '/'-separated with
+// percent-escaping of non-URI-safe bytes, per the NDN naming conventions.
+// Names are the addressing primitive of all of LIDC: computations, data,
+// status checks, and service endpoints are all Names.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lidc::ndn {
+
+/// One name component: an opaque byte string.
+class Component {
+ public:
+  Component() = default;
+  explicit Component(std::vector<std::uint8_t> value) : value_(std::move(value)) {}
+  /// Builds from raw text (no unescaping).
+  explicit Component(std::string_view text)
+      : value_(text.begin(), text.end()) {}
+
+  /// Parses one percent-escaped URI component ("mem%3D4" -> "mem=4").
+  static std::optional<Component> fromEscaped(std::string_view escaped);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& value() const noexcept { return value_; }
+  [[nodiscard]] bool empty() const noexcept { return value_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return value_.size(); }
+
+  /// Raw bytes as string (no escaping).
+  [[nodiscard]] std::string toString() const {
+    return {value_.begin(), value_.end()};
+  }
+  /// Percent-escaped URI form.
+  [[nodiscard]] std::string toEscapedString() const;
+
+  /// Canonical NDN order: shorter first, then lexicographic.
+  [[nodiscard]] std::strong_ordering compare(const Component& other) const noexcept;
+
+  friend bool operator==(const Component& a, const Component& b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend std::strong_ordering operator<=>(const Component& a,
+                                          const Component& b) noexcept {
+    return a.compare(b);
+  }
+
+ private:
+  std::vector<std::uint8_t> value_;
+};
+
+/// Hierarchical NDN name, e.g. /ndn/k8s/compute/mem=4&cpu=6&app=BLAST.
+class Name {
+ public:
+  Name() = default;
+  /// Parses a URI like "/ndn/k8s/data/human-ref". Empty segments collapse.
+  // NOLINTNEXTLINE(google-explicit-constructor): URI literals read naturally.
+  Name(std::string_view uri);
+  Name(const char* uri) : Name(std::string_view(uri)) {}
+  explicit Name(std::vector<Component> components)
+      : components_(std::move(components)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return components_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return components_.empty(); }
+
+  [[nodiscard]] const Component& at(std::size_t i) const { return components_.at(i); }
+  [[nodiscard]] const Component& operator[](std::size_t i) const {
+    return components_[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return components_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return components_.end(); }
+
+  /// Appends one component (chainable).
+  Name& append(Component component) {
+    components_.push_back(std::move(component));
+    return *this;
+  }
+  Name& append(std::string_view text) { return append(Component(text)); }
+  Name& append(const char* text) { return append(std::string_view(text)); }
+  /// Appends all components of another name.
+  Name& append(const Name& suffix);
+  /// Appends a decimal number as a text component.
+  Name& appendNumber(std::uint64_t number);
+
+  /// Sub-name [start, start+count); count npos-like means "to the end".
+  [[nodiscard]] Name subName(std::size_t start,
+                             std::size_t count = static_cast<std::size_t>(-1)) const;
+  /// First `count` components.
+  [[nodiscard]] Name prefix(std::size_t count) const { return subName(0, count); }
+
+  /// True if this name is a prefix of (or equal to) `other`.
+  [[nodiscard]] bool isPrefixOf(const Name& other) const noexcept;
+
+  /// Canonical NDN order: shorter-prefix first, then component order.
+  [[nodiscard]] std::strong_ordering compare(const Name& other) const noexcept;
+
+  [[nodiscard]] std::string toUri() const;
+
+  friend bool operator==(const Name& a, const Name& b) noexcept {
+    return a.components_ == b.components_;
+  }
+  friend std::strong_ordering operator<=>(const Name& a, const Name& b) noexcept {
+    return a.compare(b);
+  }
+
+  /// FNV-1a hash over the wire bytes; suitable for unordered containers.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  std::vector<Component> components_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Name& name);
+
+struct NameHash {
+  std::size_t operator()(const Name& name) const noexcept { return name.hash(); }
+};
+
+}  // namespace lidc::ndn

@@ -1,0 +1,178 @@
+// NDN Interest / Data / Nack packets with real TLV wire encoding.
+// LIDC compute requests are Interests whose names carry semantic job
+// descriptions; results and acknowledgements travel as Data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ndn/name.hpp"
+#include "ndn/tlv.hpp"
+#include "sim/time.hpp"
+
+namespace lidc::ndn {
+
+/// An Interest requests the Data identified (or prefixed) by its Name.
+class Interest {
+ public:
+  Interest() = default;
+  explicit Interest(Name name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const Name& name() const noexcept { return name_; }
+  void setName(Name name) { name_ = std::move(name); }
+
+  [[nodiscard]] bool canBePrefix() const noexcept { return can_be_prefix_; }
+  Interest& setCanBePrefix(bool v) noexcept {
+    can_be_prefix_ = v;
+    return *this;
+  }
+
+  [[nodiscard]] bool mustBeFresh() const noexcept { return must_be_fresh_; }
+  Interest& setMustBeFresh(bool v) noexcept {
+    must_be_fresh_ = v;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint32_t nonce() const noexcept { return nonce_; }
+  Interest& setNonce(std::uint32_t nonce) noexcept {
+    nonce_ = nonce;
+    return *this;
+  }
+
+  [[nodiscard]] sim::Duration lifetime() const noexcept { return lifetime_; }
+  Interest& setLifetime(sim::Duration lifetime) noexcept {
+    lifetime_ = lifetime;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint8_t hopLimit() const noexcept { return hop_limit_; }
+  Interest& setHopLimit(std::uint8_t limit) noexcept {
+    hop_limit_ = limit;
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& applicationParameters()
+      const noexcept {
+    return app_parameters_;
+  }
+  Interest& setApplicationParameters(std::vector<std::uint8_t> params) {
+    app_parameters_ = std::move(params);
+    return *this;
+  }
+  Interest& setApplicationParameters(std::string_view text) {
+    app_parameters_.assign(text.begin(), text.end());
+    return *this;
+  }
+
+  /// Full TLV wire encoding.
+  [[nodiscard]] tlv::Buffer wireEncode() const;
+  static Result<Interest> wireDecode(std::span<const std::uint8_t> wire);
+
+  /// Size of the wire encoding in bytes (used for link transmission delay).
+  [[nodiscard]] std::size_t wireSize() const { return wireEncode().size(); }
+
+ private:
+  Name name_;
+  bool can_be_prefix_ = false;
+  bool must_be_fresh_ = false;
+  std::uint32_t nonce_ = 0;
+  sim::Duration lifetime_ = sim::Duration::millis(4000);
+  std::uint8_t hop_limit_ = 64;
+  std::vector<std::uint8_t> app_parameters_;
+};
+
+/// Content type codes (subset of the NDN spec).
+enum class ContentType : std::uint32_t {
+  kBlob = 0,
+  kLink = 1,
+  kKey = 2,
+  kNack = 3,  // application-level NACK content
+};
+
+/// A Data packet carries named, signed content.
+class Data {
+ public:
+  Data() = default;
+  explicit Data(Name name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const Name& name() const noexcept { return name_; }
+  void setName(Name name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& content() const noexcept {
+    return content_;
+  }
+  Data& setContent(std::vector<std::uint8_t> content) {
+    content_ = std::move(content);
+    return *this;
+  }
+  Data& setContent(std::string_view text) {
+    content_.assign(text.begin(), text.end());
+    return *this;
+  }
+  [[nodiscard]] std::string contentAsString() const {
+    return {content_.begin(), content_.end()};
+  }
+
+  [[nodiscard]] ContentType contentType() const noexcept { return content_type_; }
+  Data& setContentType(ContentType type) noexcept {
+    content_type_ = type;
+    return *this;
+  }
+
+  /// How long a cached copy may satisfy MustBeFresh Interests.
+  [[nodiscard]] sim::Duration freshnessPeriod() const noexcept { return freshness_; }
+  Data& setFreshnessPeriod(sim::Duration period) noexcept {
+    freshness_ = period;
+    return *this;
+  }
+
+  /// Computes and attaches the (simulated DigestSha256-style) signature.
+  Data& sign();
+  /// True if a signature is present and matches the payload.
+  [[nodiscard]] bool verify() const;
+
+  [[nodiscard]] tlv::Buffer wireEncode() const;
+  static Result<Data> wireDecode(std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] std::size_t wireSize() const { return wireEncode().size(); }
+
+ private:
+  [[nodiscard]] std::uint64_t computeDigest() const;
+
+  Name name_;
+  std::vector<std::uint8_t> content_;
+  ContentType content_type_ = ContentType::kBlob;
+  sim::Duration freshness_ = sim::Duration::millis(0);
+  std::optional<std::uint64_t> signature_;
+};
+
+/// Network NACK reasons (NDNLPv2 subset).
+enum class NackReason : std::uint32_t {
+  kNone = 0,
+  kCongestion = 50,
+  kDuplicate = 100,
+  kNoRoute = 150,
+};
+
+std::string_view nackReasonName(NackReason reason) noexcept;
+
+/// A Nack rejects a specific Interest (carried alongside it).
+class Nack {
+ public:
+  Nack() = default;
+  Nack(Interest interest, NackReason reason)
+      : interest_(std::move(interest)), reason_(reason) {}
+
+  [[nodiscard]] const Interest& interest() const noexcept { return interest_; }
+  [[nodiscard]] NackReason reason() const noexcept { return reason_; }
+
+ private:
+  Interest interest_;
+  NackReason reason_ = NackReason::kNone;
+};
+
+}  // namespace lidc::ndn

@@ -1,0 +1,116 @@
+// Pending Interest Table. Records which faces asked for which names so
+// returning Data retraces the Interest path, and aggregates duplicate
+// Interests (the mechanism behind NDN's built-in request collapsing,
+// which LIDC's result caching leans on).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ndn/face.hpp"
+#include "ndn/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace lidc::ndn {
+
+struct InRecord {
+  FaceId face = kInvalidFaceId;
+  std::uint32_t nonce = 0;
+  sim::Time expiry;
+};
+
+struct OutRecord {
+  FaceId face = kInvalidFaceId;
+  std::uint32_t nonce = 0;
+  sim::Time lastSent;
+  bool nacked = false;
+};
+
+class PitEntry {
+ public:
+  explicit PitEntry(Interest interest) : interest_(std::move(interest)) {}
+
+  [[nodiscard]] const Interest& interest() const noexcept { return interest_; }
+  [[nodiscard]] const Name& name() const noexcept { return interest_.name(); }
+
+  [[nodiscard]] std::vector<InRecord>& inRecords() noexcept { return in_records_; }
+  [[nodiscard]] const std::vector<InRecord>& inRecords() const noexcept {
+    return in_records_;
+  }
+  [[nodiscard]] std::vector<OutRecord>& outRecords() noexcept { return out_records_; }
+  [[nodiscard]] const std::vector<OutRecord>& outRecords() const noexcept {
+    return out_records_;
+  }
+
+  /// Adds or refreshes the in-record for a downstream face.
+  void insertInRecord(FaceId face, std::uint32_t nonce, sim::Time expiry);
+  /// Adds or refreshes the out-record for an upstream face.
+  void insertOutRecord(FaceId face, std::uint32_t nonce, sim::Time sentAt);
+  [[nodiscard]] OutRecord* findOutRecord(FaceId face) noexcept;
+  void deleteInRecord(FaceId face);
+
+  /// Loop detection: has this nonce been seen on a *different* face?
+  [[nodiscard]] bool isDuplicateNonce(std::uint32_t nonce, FaceId face) const noexcept;
+
+  /// True once the Interest has been forwarded upstream at least once.
+  [[nodiscard]] bool hasOutRecords() const noexcept { return !out_records_.empty(); }
+
+  /// True when every out-record has been nacked (no viable upstream left).
+  [[nodiscard]] bool allUpstreamsNacked() const noexcept;
+
+  sim::EventHandle expiryTimer;
+  /// Retransmission attempts made by the strategy for this entry.
+  int retxCount = 0;
+
+ private:
+  Interest interest_;
+  std::vector<InRecord> in_records_;
+  std::vector<OutRecord> out_records_;
+};
+
+/// The table itself, keyed by (name, canBePrefix, mustBeFresh).
+class Pit {
+ public:
+  struct InsertResult {
+    std::shared_ptr<PitEntry> entry;
+    bool isNew = false;
+  };
+
+  /// Finds or creates the entry for this Interest.
+  InsertResult insert(const Interest& interest);
+
+  /// Finds the entry for this exact Interest (nullptr if absent).
+  [[nodiscard]] std::shared_ptr<PitEntry> find(const Interest& interest) const;
+
+  /// All entries that `data` satisfies (exact name, or prefix when the
+  /// Interest allows it).
+  [[nodiscard]] std::vector<std::shared_ptr<PitEntry>> findMatches(
+      const Data& data) const;
+
+  void erase(const std::shared_ptr<PitEntry>& entry);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Key {
+    Name name;
+    bool canBePrefix;
+    bool mustBeFresh;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return k.name.hash() ^ (k.canBePrefix ? 0x9e3779b9U : 0U) ^
+             (k.mustBeFresh ? 0x85ebca6bU : 0U);
+    }
+  };
+  static Key makeKey(const Interest& interest) {
+    return Key{interest.name(), interest.canBePrefix(), interest.mustBeFresh()};
+  }
+
+  std::unordered_map<Key, std::shared_ptr<PitEntry>, KeyHash> entries_;
+};
+
+}  // namespace lidc::ndn

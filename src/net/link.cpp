@@ -1,0 +1,82 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace lidc::net {
+
+std::pair<ndn::FaceId, ndn::FaceId> Link::connect(sim::Simulator& sim,
+                                                  ndn::Forwarder& a,
+                                                  ndn::Forwarder& b, LinkParams params,
+                                                  std::shared_ptr<Link>* out,
+                                                  std::uint64_t lossSeed) {
+  auto link = std::make_shared<Link>(sim, params, lossSeed);
+  auto faceA =
+      std::make_shared<LinkFace>("link://" + a.name() + "->" + b.name(), link, 0);
+  auto faceB =
+      std::make_shared<LinkFace>("link://" + b.name() + "->" + a.name(), link, 1);
+  link->ends_[0] = faceA.get();
+  link->ends_[1] = faceB.get();
+  const ndn::FaceId idA = a.addFace(faceA);
+  const ndn::FaceId idB = b.addFace(faceB);
+  if (out != nullptr) *out = link;
+  return {idA, idB};
+}
+
+void Link::setUp(bool up) {
+  up_ = up;
+  for (auto* end : ends_) {
+    if (end != nullptr) end->setUp(up);
+  }
+}
+
+sim::Duration Link::transitDelay(std::size_t bytes, int direction) {
+  sim::Duration serialization;
+  if (params_.bandwidthBitsPerSec > 0) {
+    serialization =
+        sim::Duration::seconds(static_cast<double>(bytes) * 8.0 /
+                               params_.bandwidthBitsPerSec);
+  }
+  // FIFO serialization per direction: packets queue behind earlier ones.
+  const sim::Time depart = std::max(sim_.now(), next_free_[direction]);
+  next_free_[direction] = depart + serialization;
+  return (depart - sim_.now()) + serialization + params_.latency;
+}
+
+bool LinkFace::scheduleDelivery(std::size_t bytes, std::function<void()> deliver) {
+  if (!link_->up_ || !isUp()) return false;
+  if (link_->shouldDrop()) {
+    ++link_->dropped_;
+    return false;
+  }
+  const sim::Duration delay = link_->transitDelay(bytes, direction_);
+  ++link_->delivered_;
+  link_->sim_.scheduleAfter(delay, std::move(deliver));
+  return true;
+}
+
+void LinkFace::sendInterest(const ndn::Interest& interest) {
+  countOutInterest(interest);
+  LinkFace* remote = peer();
+  if (remote == nullptr) return;
+  scheduleDelivery(interest.wireSize(), [remote, interest] {
+    remote->receiveInterest(interest);
+  });
+}
+
+void LinkFace::sendData(const ndn::Data& data) {
+  countOutData(data);
+  LinkFace* remote = peer();
+  if (remote == nullptr) return;
+  scheduleDelivery(data.wireSize(), [remote, data] { remote->receiveData(data); });
+}
+
+void LinkFace::sendNack(const ndn::Nack& nack) {
+  countOutNack();
+  LinkFace* remote = peer();
+  if (remote == nullptr) return;
+  // Nacks are small control packets; use the Interest's wire size.
+  scheduleDelivery(nack.interest().wireSize(),
+                   [remote, nack] { remote->receiveNack(nack); });
+}
+
+}  // namespace lidc::net

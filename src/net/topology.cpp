@@ -1,0 +1,148 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace lidc::net {
+
+ndn::Forwarder& Topology::addNode(const std::string& name) {
+  auto [it, inserted] =
+      nodes_.emplace(name, std::make_unique<ndn::Forwarder>(name, sim_));
+  assert(inserted && "duplicate node name");
+  return *it->second;
+}
+
+ndn::Forwarder* Topology::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Topology::nodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, fw] : nodes_) names.push_back(name);
+  return names;
+}
+
+const Topology::Edge& Topology::connect(const std::string& a, const std::string& b,
+                                        LinkParams params) {
+  auto* nodeA = node(a);
+  auto* nodeB = node(b);
+  assert(nodeA != nullptr && nodeB != nullptr && "connect() on unknown node");
+  std::shared_ptr<Link> link;
+  // Derive a per-edge loss seed so loss patterns are reproducible.
+  const std::uint64_t lossSeed =
+      std::hash<std::string>{}(a) * 31 + std::hash<std::string>{}(b);
+  auto [faceAtA, faceAtB] = Link::connect(sim_, *nodeA, *nodeB, params, &link, lossSeed);
+  edges_.push_back(Edge{a, b, faceAtA, faceAtB, std::move(link)});
+  return edges_.back();
+}
+
+Link* Topology::linkBetween(const std::string& a, const std::string& b) {
+  for (auto& edge : edges_) {
+    if ((edge.a == a && edge.b == b) || (edge.a == b && edge.b == a)) {
+      return edge.link.get();
+    }
+  }
+  return nullptr;
+}
+
+std::map<std::string, std::pair<std::uint64_t, ndn::FaceId>>
+Topology::shortestPathsTo(const std::string& source) const {
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+  // Adjacency: node -> [(neighbor, latency_us, face at node toward neighbor)]
+  std::map<std::string, std::vector<std::tuple<std::string, std::uint64_t, ndn::FaceId>>>
+      adjacency;
+  for (const auto& edge : edges_) {
+    if (!edge.link->isUp()) continue;
+    const auto latencyUs =
+        static_cast<std::uint64_t>(edge.link->params().latency.toNanos() / 1000);
+    adjacency[edge.a].emplace_back(edge.b, latencyUs, edge.faceAtA);
+    adjacency[edge.b].emplace_back(edge.a, latencyUs, edge.faceAtB);
+  }
+
+  std::map<std::string, std::pair<std::uint64_t, ndn::FaceId>> result;
+  for (const auto& [name, fw] : nodes_) {
+    result[name] = {kInf, ndn::kInvalidFaceId};
+  }
+  result[source] = {0, ndn::kInvalidFaceId};
+
+  using QueueItem = std::pair<std::uint64_t, std::string>;  // (distance, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  queue.emplace(0, source);
+
+  while (!queue.empty()) {
+    auto [dist, current] = queue.top();
+    queue.pop();
+    if (dist > result[current].first) continue;
+    for (const auto& [neighbor, weight, faceAtNeighborSide] : adjacency[current]) {
+      // faceAtNeighborSide is the face at `current` toward `neighbor`; for
+      // routing toward the source, the neighbor needs its face toward
+      // `current`. Look it up from the neighbor's adjacency list below.
+      const std::uint64_t candidate = dist + weight;
+      if (candidate < result[neighbor].first) {
+        // Find the neighbor's face toward `current`.
+        ndn::FaceId toward = ndn::kInvalidFaceId;
+        for (const auto& [n2, w2, f2] : adjacency[neighbor]) {
+          if (n2 == current) {
+            toward = f2;
+            break;
+          }
+        }
+        result[neighbor] = {candidate, toward};
+        queue.emplace(candidate, neighbor);
+      }
+    }
+  }
+  return result;
+}
+
+void Topology::installRoutesTo(const ndn::Name& prefix,
+                               const std::string& producerNode,
+                               std::uint64_t extraCostUs) {
+  auto paths = shortestPathsTo(producerNode);
+  RouteInstallation installation{prefix, producerNode, {}};
+  for (auto& [name, info] : paths) {
+    auto [distanceUs, face] = info;
+    if (name == producerNode || face == ndn::kInvalidFaceId) continue;
+    if (distanceUs == std::numeric_limits<std::uint64_t>::max()) continue;
+    nodes_.at(name)->registerPrefix(prefix, face, distanceUs + extraCostUs);
+    installation.entries.emplace_back(name, face);
+  }
+  installations_.push_back(std::move(installation));
+}
+
+void Topology::uninstallRoutesTo(const ndn::Name& prefix,
+                                 const std::string& producerNode) {
+  // A (node, face) next hop may be shared by several producers of the
+  // same prefix (e.g. two far-away clusters reached via one uplink);
+  // only remove it from the FIB when no *other* installation still
+  // needs it.
+  auto stillNeeded = [&](const std::string& nodeName, ndn::FaceId face) {
+    for (const auto& installation : installations_) {
+      if (installation.prefix != prefix || installation.producer == producerNode) {
+        continue;
+      }
+      for (const auto& [otherNode, otherFace] : installation.entries) {
+        if (otherNode == nodeName && otherFace == face) return true;
+      }
+    }
+    return false;
+  };
+
+  for (auto it = installations_.begin(); it != installations_.end();) {
+    if (it->prefix == prefix && it->producer == producerNode) {
+      for (const auto& [nodeName, face] : it->entries) {
+        if (stillNeeded(nodeName, face)) continue;
+        if (auto* fw = node(nodeName)) fw->unregisterPrefix(prefix, face);
+      }
+      it = installations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace lidc::net

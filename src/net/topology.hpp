@@ -1,0 +1,81 @@
+// Topology builder: named forwarder nodes joined by simulated links,
+// with Dijkstra-based route installation (an NLSR-like stand-in). LIDC's
+// compute overlay is a Topology whose edge clusters advertise the
+// /ndn/k8s/compute prefix.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "ndn/forwarder.hpp"
+#include "sim/simulator.hpp"
+
+namespace lidc::net {
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim) : sim_(sim) {}
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Creates a node hosting one Forwarder. Names must be unique.
+  ndn::Forwarder& addNode(const std::string& name);
+
+  [[nodiscard]] ndn::Forwarder* node(const std::string& name);
+  [[nodiscard]] std::vector<std::string> nodeNames() const;
+  [[nodiscard]] std::size_t nodeCount() const noexcept { return nodes_.size(); }
+
+  struct Edge {
+    std::string a;
+    std::string b;
+    ndn::FaceId faceAtA;  // face at `a` towards `b`
+    ndn::FaceId faceAtB;  // face at `b` towards `a`
+    std::shared_ptr<Link> link;
+  };
+
+  /// Connects two existing nodes; returns the edge record.
+  const Edge& connect(const std::string& a, const std::string& b, LinkParams params);
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  /// The link between a and b (nullptr if not adjacent).
+  [[nodiscard]] Link* linkBetween(const std::string& a, const std::string& b);
+
+  /// Installs FIB routes for `prefix` at every node, pointing along the
+  /// latency-shortest path toward `producerNode`, with cost equal to the
+  /// path latency in microseconds plus `extraCostUs` (used by adaptive
+  /// placement to bias routes away from loaded/slow producers).
+  /// Multiple producers of one prefix are supported by calling this once
+  /// per producer: each node keeps next hops for all producers,
+  /// naturally enabling anycast to the nearest.
+  void installRoutesTo(const ndn::Name& prefix, const std::string& producerNode,
+                       std::uint64_t extraCostUs = 0);
+
+  /// Removes routes for `prefix` that were installed toward this producer.
+  /// (Used when a cluster leaves the overlay.)
+  void uninstallRoutesTo(const ndn::Name& prefix, const std::string& producerNode);
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  struct RouteInstallation {
+    ndn::Name prefix;
+    std::string producer;
+    // (node, face) pairs added, so they can be removed later.
+    std::vector<std::pair<std::string, ndn::FaceId>> entries;
+  };
+
+  /// Dijkstra from `source`; returns per-node (distance in us, face at
+  /// that node pointing toward source along the shortest path).
+  std::map<std::string, std::pair<std::uint64_t, ndn::FaceId>> shortestPathsTo(
+      const std::string& source) const;
+
+  sim::Simulator& sim_;
+  std::map<std::string, std::unique_ptr<ndn::Forwarder>> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<RouteInstallation> installations_;
+};
+
+}  // namespace lidc::net

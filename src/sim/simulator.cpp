@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lidc::sim {
+
+EventHandle Simulator::scheduleAt(Time at, std::function<void()> fn) {
+  assert(fn);
+  if (at < now_) at = now_;
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(alive)});
+  return handle;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, standard idiom
+    // safe because we immediately pop.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (!*event.alive) continue;  // cancelled
+    now_ = event.at;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::size_t Simulator::runUntil(Time deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Purge cancelled events at the head so the deadline check below
+    // sees the next *live* event (a cancelled head must not let step()
+    // run a live event scheduled past the deadline).
+    if (!*queue_.top().alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    if (step()) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+std::size_t Simulator::runSteps(std::size_t maxEvents) {
+  std::size_t fired = 0;
+  while (fired < maxEvents && step()) ++fired;
+  return fired;
+}
+
+}  // namespace lidc::sim

@@ -1,0 +1,89 @@
+// Deterministic discrete-event simulator. Events fire in (time, sequence)
+// order; ties break by scheduling order so runs are bit-reproducible.
+// Everything in LIDC — link delays, pod startup, job execution, Interest
+// timeouts — is an event on one Simulator instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lidc::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() noexcept {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+  [[nodiscard]] bool pending() const noexcept {
+    auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules fn to run at absolute time `at` (clamped to now).
+  EventHandle scheduleAt(Time at, std::function<void()> fn);
+
+  /// Schedules fn to run after `delay`.
+  EventHandle scheduleAfter(Duration delay, std::function<void()> fn) {
+    return scheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains. Returns number of events fired.
+  std::size_t run();
+
+  /// Runs events with firing time <= deadline; leaves later events queued.
+  /// Advances now() to `deadline` even if the queue drains earlier.
+  std::size_t runUntil(Time deadline);
+
+  /// Runs at most `maxEvents` events.
+  std::size_t runSteps(std::size_t maxEvents);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pendingEvents() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and fires one event; returns false if the queue was empty.
+  bool step();
+
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lidc::sim

@@ -1,0 +1,20 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace lidc::sim {
+
+std::string Duration::toString() const {
+  char buf[48];
+  const double s = toSeconds();
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fus", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace lidc::sim

@@ -1,0 +1,80 @@
+// Simulated time. All LIDC components run on virtual time so benches
+// measure protocol behaviour (latency, failover time) deterministically
+// and independently of host speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lidc::sim {
+
+/// Nanosecond-resolution simulated duration.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+  static constexpr Duration nanos(std::int64_t v) noexcept { return Duration(v); }
+  static constexpr Duration micros(std::int64_t v) noexcept { return Duration(v * 1000); }
+  static constexpr Duration millis(std::int64_t v) noexcept {
+    return Duration(v * 1'000'000);
+  }
+  static constexpr Duration seconds(double v) noexcept {
+    return Duration(static_cast<std::int64_t>(v * 1e9));
+  }
+  static constexpr Duration minutes(double v) noexcept { return seconds(v * 60.0); }
+  static constexpr Duration hours(double v) noexcept { return seconds(v * 3600.0); }
+
+  [[nodiscard]] constexpr std::int64_t toNanos() const noexcept { return nanos_; }
+  [[nodiscard]] constexpr double toSeconds() const noexcept {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+  [[nodiscard]] constexpr double toMillis() const noexcept {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+  constexpr Duration operator+(Duration other) const noexcept {
+    return Duration(nanos_ + other.nanos_);
+  }
+  constexpr Duration operator-(Duration other) const noexcept {
+    return Duration(nanos_ - other.nanos_);
+  }
+  constexpr Duration operator*(double factor) const noexcept {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(nanos_) * factor));
+  }
+  Duration& operator+=(Duration other) noexcept {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t nanos) noexcept : nanos_(nanos) {}
+  std::int64_t nanos_ = 0;
+};
+
+/// Absolute simulated time since simulation start.
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+  static constexpr Time fromNanos(std::int64_t v) noexcept { return Time(v); }
+
+  [[nodiscard]] constexpr std::int64_t toNanos() const noexcept { return nanos_; }
+  [[nodiscard]] constexpr double toSeconds() const noexcept {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Time&) const noexcept = default;
+  constexpr Time operator+(Duration d) const noexcept {
+    return Time(nanos_ + d.toNanos());
+  }
+  constexpr Duration operator-(Time other) const noexcept {
+    return Duration::nanos(nanos_ - other.nanos_);
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t nanos) noexcept : nanos_(nanos) {}
+  std::int64_t nanos_ = 0;
+};
+
+}  // namespace lidc::sim

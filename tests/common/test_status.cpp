@@ -1,0 +1,83 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.toString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Timeout("a"), Status::Timeout("b"));
+  EXPECT_FALSE(Status::Timeout("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kAborted); ++code) {
+    EXPECT_NE(statusCodeName(static_cast<StatusCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(ok.valueOr(0), 7);
+  EXPECT_EQ(bad.valueOr(9), 9);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status failIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status useReturnIfError(int v) {
+  LIDC_RETURN_IF_ERROR(failIfNegative(v));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(useReturnIfError(1).ok());
+  EXPECT_EQ(useReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lidc

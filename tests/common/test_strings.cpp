@@ -1,0 +1,90 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::strings {
+namespace {
+
+TEST(StringsTest, SplitPreservesEmptyTokens) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSkipEmptyDropsThem) {
+  const auto parts = splitSkipEmpty("/a//b/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, SplitOfEmptyStringYieldsOneEmptyToken) {
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_TRUE(splitSkipEmpty("", ',').empty());
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(StringsTest, TrimStripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("/ndn/k8s/compute", "/ndn"));
+  EXPECT_FALSE(startsWith("/ndn", "/ndn/k8s"));
+  EXPECT_TRUE(endsWith("file.fasta", ".fasta"));
+  EXPECT_FALSE(endsWith("x", "longer"));
+}
+
+TEST(StringsTest, ParseIntAcceptsExactIntegers) {
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-7"), -7);
+  EXPECT_FALSE(parseInt("42x").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("4.2").has_value());
+}
+
+TEST(StringsTest, ParseUintRejectsNegative) {
+  EXPECT_EQ(parseUint("10"), 10u);
+  EXPECT_FALSE(parseUint("-1").has_value());
+}
+
+TEST(StringsTest, ParseDoubleHandlesDecimals) {
+  EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+  EXPECT_FALSE(parseDouble("abc").has_value());
+  EXPECT_FALSE(parseDouble("1.0extra").has_value());
+}
+
+TEST(StringsTest, FormatBytesMatchesTableOneStyle) {
+  // The paper writes "941MB" and "2.71GB".
+  EXPECT_EQ(formatBytes(941'000'000ULL), "941MB");
+  EXPECT_EQ(formatBytes(2'710'000'000ULL), "2.71GB");
+  EXPECT_EQ(formatBytes(512), "512B");
+  EXPECT_EQ(formatBytes(2'000), "2KB");
+}
+
+TEST(StringsTest, FormatDurationMatchesTableOneStyle) {
+  // 8h9m50s and 24h16m12s appear in Table I.
+  EXPECT_EQ(formatDurationHms(8 * 3600 + 9 * 60 + 50), "8h9m50s");
+  EXPECT_EQ(formatDurationHms(24 * 3600 + 16 * 60 + 12), "24h16m12s");
+  EXPECT_EQ(formatDurationHms(59), "59s");
+  EXPECT_EQ(formatDurationHms(61), "1m1s");
+  EXPECT_EQ(formatDurationHms(-5), "0s");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(toLower("BlAsT"), "blast");
+  EXPECT_EQ(toLower("123-X"), "123-x");
+}
+
+}  // namespace
+}  // namespace lidc::strings

@@ -1,0 +1,69 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc {
+namespace {
+
+TEST(ByteSizeTest, ParseBinarySuffixes) {
+  EXPECT_EQ(ByteSize::parse("4Gi")->bytes(), 4ULL << 30);
+  EXPECT_EQ(ByteSize::parse("512Mi")->bytes(), 512ULL << 20);
+  EXPECT_EQ(ByteSize::parse("1Ki")->bytes(), 1024u);
+}
+
+TEST(ByteSizeTest, ParseDecimalSuffixes) {
+  EXPECT_EQ(ByteSize::parse("100M")->bytes(), 100'000'000u);
+  EXPECT_EQ(ByteSize::parse("2G")->bytes(), 2'000'000'000u);
+  EXPECT_EQ(ByteSize::parse("1024")->bytes(), 1024u);
+}
+
+TEST(ByteSizeTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ByteSize::parse("").has_value());
+  EXPECT_FALSE(ByteSize::parse("Gi").has_value());
+  EXPECT_FALSE(ByteSize::parse("4Q").has_value());
+  EXPECT_FALSE(ByteSize::parse("-4Gi").has_value());
+}
+
+TEST(ByteSizeTest, ToStringPicksCleanSuffix) {
+  EXPECT_EQ(ByteSize::fromGiB(4).toString(), "4Gi");
+  EXPECT_EQ(ByteSize::fromMiB(512).toString(), "512Mi");
+  EXPECT_EQ(ByteSize(1000).toString(), "1000");
+}
+
+TEST(ByteSizeTest, SaturatingSubtraction) {
+  EXPECT_EQ((ByteSize(10) - ByteSize(20)).bytes(), 0u);
+  EXPECT_EQ((ByteSize(30) - ByteSize(20)).bytes(), 10u);
+}
+
+TEST(ByteSizeTest, ArithmeticAndComparison) {
+  ByteSize a = ByteSize::fromGiB(1);
+  a += ByteSize::fromGiB(1);
+  EXPECT_EQ(a, ByteSize::fromGiB(2));
+  EXPECT_LT(ByteSize::fromMiB(1), ByteSize::fromGiB(1));
+  EXPECT_DOUBLE_EQ(ByteSize::fromGiB(4).gib(), 4.0);
+}
+
+TEST(MilliCpuTest, ParseCoresAndMillicores) {
+  EXPECT_EQ(MilliCpu::parse("2")->millicores(), 2000u);
+  EXPECT_EQ(MilliCpu::parse("500m")->millicores(), 500u);
+  EXPECT_EQ(MilliCpu::parse("2.5")->millicores(), 2500u);
+}
+
+TEST(MilliCpuTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(MilliCpu::parse("").has_value());
+  EXPECT_FALSE(MilliCpu::parse("m").has_value());
+  EXPECT_FALSE(MilliCpu::parse("two").has_value());
+  EXPECT_FALSE(MilliCpu::parse("-1").has_value());
+}
+
+TEST(MilliCpuTest, ToStringRoundTrips) {
+  EXPECT_EQ(MilliCpu::fromCores(6).toString(), "6");
+  EXPECT_EQ(MilliCpu(1500).toString(), "1500m");
+}
+
+TEST(MilliCpuTest, SaturatingSubtraction) {
+  EXPECT_EQ((MilliCpu(100) - MilliCpu(200)).millicores(), 0u);
+}
+
+}  // namespace
+}  // namespace lidc

@@ -1,0 +1,34 @@
+#include "common/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc {
+namespace {
+
+TEST(WorkloadTest, PoissonMeanRateMatches) {
+  PoissonArrivals arrivals(/*eventsPerSecond=*/2.0, 7);
+  double total = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) total += arrivals.next().toSeconds();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(WorkloadTest, PoissonIsDeterministicPerSeed) {
+  PoissonArrivals a(1.0, 42);
+  PoissonArrivals b(1.0, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(WorkloadTest, PoissonGapsAreAllPositive) {
+  PoissonArrivals arrivals(10.0, 3);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(arrivals.next().toNanos(), 0);
+}
+
+TEST(WorkloadTest, FixedArrivalsConstantGap) {
+  FixedArrivals arrivals(4.0);
+  EXPECT_EQ(arrivals.next(), sim::Duration::seconds(0.25));
+  EXPECT_EQ(arrivals.next(), arrivals.next());
+}
+
+}  // namespace
+}  // namespace lidc

@@ -1,0 +1,151 @@
+// Adaptive placement (paper SVII "intelligence"): routes shift away
+// from clusters with poor observed completion latency or high load.
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+
+namespace lidc::core {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+  }
+
+  /// slowFactor multiplies the job runtime on that cluster (an
+  /// overloaded / slow site).
+  ComputeCluster& addCluster(const std::string& name, int linkMs,
+                             double jobSeconds) {
+    ComputeClusterConfig config;
+    config.name = name;
+    config.perNode = k8s::Resources{MilliCpu::fromCores(64), ByteSize::fromGiB(256)};
+    auto& cluster = overlay_->addCluster(config);
+    cluster.cluster().registerApp("sleeper", [jobSeconds](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(jobSeconds);
+      return result;
+    });
+    cluster.gateway().jobs().mapAppToImage("sleep", "sleeper");
+    overlay_->connect("client-host", name,
+                      net::LinkParams{sim::Duration::millis(linkMs)});
+    overlay_->announceCluster(name);
+    return cluster;
+  }
+
+  ComputeRequest sleepRequest() {
+    ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(1);
+    request.memory = ByteSize::fromGiB(1);
+    return request;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<ClusterOverlay> overlay_;
+};
+
+TEST_F(AdaptiveTest, CostGrowsWithObservedLatency) {
+  addCluster("slow", 5, 600.0);
+  addCluster("fast", 50, 30.0);
+  AdaptivePlacement adaptive(*overlay_);
+  adaptive.recordCompletion("slow", sim::Duration::seconds(600));
+  adaptive.recordCompletion("fast", sim::Duration::seconds(30));
+  adaptive.tick();
+  EXPECT_GT(adaptive.extraCostUs("slow"), adaptive.extraCostUs("fast"));
+}
+
+TEST_F(AdaptiveTest, HysteresisSuppressesSmallChanges) {
+  addCluster("a", 5, 10.0);
+  AdaptiveOptions options;
+  options.updateThresholdUs = 1'000'000;  // huge threshold
+  AdaptivePlacement adaptive(*overlay_, options);
+  adaptive.recordCompletion("a", sim::Duration::seconds(1));
+  EXPECT_EQ(adaptive.tick(), 0);
+  EXPECT_EQ(adaptive.updatesApplied(), 0u);
+}
+
+TEST_F(AdaptiveTest, RoutesShiftAwayFromSlowCluster) {
+  // "slow" is nearer (5 ms) but runs jobs 20x slower than "fast" (50 ms).
+  // Static best-route would keep sending everything to "slow"; with
+  // adaptive feedback, later jobs go to "fast".
+  addCluster("slow", 5, 600.0);
+  addCluster("fast", 50, 30.0);
+  AdaptivePlacement adaptive(*overlay_);
+  LidcClient client(*overlay_->topology().node("client-host"), "user");
+
+  std::map<std::string, int> placements;
+  for (int i = 0; i < 10; ++i) {
+    client.runToCompletion(sleepRequest(), [&](Result<JobOutcome> outcome) {
+      if (!outcome.ok()) return;
+      ++placements[outcome->finalStatus.cluster];
+      adaptive.recordCompletion(outcome->finalStatus.cluster,
+                                outcome->totalLatency);
+      adaptive.tick();
+    });
+    sim_.run();
+  }
+  // First job explores "slow"; once its 600 s completion is observed,
+  // everything shifts to "fast".
+  EXPECT_GE(placements["fast"], 8);
+  EXPECT_LE(placements["slow"], 2);
+  EXPECT_GT(adaptive.updatesApplied(), 0u);
+}
+
+TEST_F(AdaptiveTest, NetworkFedInfoDrivesLoadBias) {
+  // The pure over-names mode: the adaptive layer learns load from
+  // /ndn/k8s/info advertisements polled by a client, never touching the
+  // cluster objects.
+  auto& busy = addCluster("busy", 5, 50.0);
+  addCluster("idle", 8, 50.0);
+  k8s::PodSpec filler;
+  filler.image = "filler";
+  filler.requests = k8s::Resources{MilliCpu::fromCores(48), ByteSize::fromGiB(128)};
+  (void)busy.cluster().createPod("ndnk8s", "filler", filler);
+
+  LidcClient observer(*overlay_->topology().node("client-host"), "observer");
+  AdaptiveOptions options;
+  options.updateThresholdUs = 1'000;
+  AdaptivePlacement adaptive(*overlay_, options);
+  for (const char* name : {"busy", "idle"}) {
+    observer.queryClusterInfo(name, [&](Result<ClusterInfo> info) {
+      ASSERT_TRUE(info.ok()) << info.status();
+      adaptive.observeInfo(*info);
+    });
+  }
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(2));
+  adaptive.tick();
+  EXPECT_GT(adaptive.extraCostUs("busy"), adaptive.extraCostUs("idle"));
+}
+
+TEST_F(AdaptiveTest, LoadBiasAvoidsBusyCluster) {
+  auto& busy = addCluster("busy", 5, 50.0);
+  addCluster("idle", 8, 50.0);
+  // Fill 'busy' to 75% cpu without telling the adaptive layer anything
+  // about latency — load alone should bias away once ticked.
+  k8s::PodSpec filler;
+  filler.image = "filler";
+  filler.requests =
+      k8s::Resources{MilliCpu::fromCores(48), ByteSize::fromGiB(128)};
+  (void)busy.cluster().createPod("ndnk8s", "filler", filler);
+
+  AdaptiveOptions options;
+  options.updateThresholdUs = 1'000;
+  AdaptivePlacement adaptive(*overlay_, options);
+  adaptive.tick();
+  EXPECT_GT(adaptive.extraCostUs("busy"), adaptive.extraCostUs("idle"));
+
+  LidcClient client(*overlay_->topology().node("client-host"), "user");
+  std::string placed;
+  client.submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    if (r.ok()) placed = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(2));
+  EXPECT_EQ(placed, "idle");
+}
+
+}  // namespace
+}  // namespace lidc::core

@@ -1,0 +1,93 @@
+// Cluster capability discovery over /ndn/k8s/info/<cluster> (paper
+// SVII): clients learn free resources, app lists, and load through the
+// same named network as everything else.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc::core {
+namespace {
+
+class ClusterInfoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+    ComputeClusterConfig config;
+    config.name = "c1";
+    config.nodeCount = 2;
+    config.perNode = k8s::Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)};
+    cluster_ = &overlay_->addCluster(config);
+    cluster_->cluster().registerApp("sleeper", [](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(300);
+      return result;
+    });
+    cluster_->gateway().jobs().mapAppToImage("sleep", "sleeper");
+    overlay_->connect("client-host", "c1",
+                      net::LinkParams{sim::Duration::millis(10)});
+    overlay_->announceCluster("c1");
+    client_ = std::make_unique<LidcClient>(
+        *overlay_->topology().node("client-host"), "user");
+  }
+
+  Result<ClusterInfo> query(const std::string& cluster) {
+    std::optional<Result<ClusterInfo>> result;
+    client_->queryClusterInfo(cluster,
+                              [&](Result<ClusterInfo> r) { result = std::move(r); });
+    sim_.runUntil(sim_.now() + sim::Duration::seconds(2));
+    return result.value_or(Status::Internal("no answer"));
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<ClusterOverlay> overlay_;
+  ComputeCluster* cluster_ = nullptr;
+  std::unique_ptr<LidcClient> client_;
+};
+
+TEST_F(ClusterInfoTest, ReportsCapacityAndApps) {
+  auto info = query("c1");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->cluster, "c1");
+  EXPECT_EQ(info->nodes, 2u);
+  EXPECT_EQ(info->totalCpu, MilliCpu::fromCores(16));
+  EXPECT_EQ(info->freeCpu, MilliCpu::fromCores(16));
+  EXPECT_EQ(info->runningJobs, 0u);
+  // Stock apps are installed by ComputeCluster (magic-blast requires the
+  // dataset loader, compress is always present) plus our sleeper.
+  EXPECT_NE(std::find(info->apps.begin(), info->apps.end(), "compress"),
+            info->apps.end());
+  EXPECT_NE(std::find(info->apps.begin(), info->apps.end(), "sleeper"),
+            info->apps.end());
+}
+
+TEST_F(ClusterInfoTest, FreeCapacityDropsWhileJobsRun) {
+  ComputeRequest request;
+  request.app = "sleep";
+  request.cpu = MilliCpu::fromCores(4);
+  request.memory = ByteSize::fromGiB(4);
+  client_->submit(request, [](Result<SubmitResult> r) { ASSERT_TRUE(r.ok()); });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(5));
+
+  auto info = query("c1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->freeCpu, MilliCpu::fromCores(12));
+  EXPECT_EQ(info->runningJobs, 1u);
+}
+
+TEST_F(ClusterInfoTest, UnknownClusterNacksOrTimesOut) {
+  auto info = query("nonexistent");
+  EXPECT_FALSE(info.ok());
+}
+
+TEST_F(ClusterInfoTest, InfoRouteLeavesWithTheCluster) {
+  overlay_->withdrawCluster("c1");
+  auto info = query("c1");
+  EXPECT_FALSE(info.ok());
+}
+
+}  // namespace
+}  // namespace lidc::core

@@ -1,0 +1,118 @@
+// The SIV-B compression application: real RLE round trips, data-lake
+// I/O, and the per-application runtime contrast with Magic-BLAST
+// (compression scales with CPUs; BLAST does not).
+#include "apps/compress_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+
+namespace lidc::apps {
+namespace {
+
+TEST(RleTest, RoundTripsArbitraryBytes) {
+  Rng rng(3);
+  std::vector<std::uint8_t> input(10'000);
+  for (auto& byte : input) byte = static_cast<std::uint8_t>(rng.uniform(7));
+  const auto compressed = rleCompress(input);
+  auto decompressed = rleDecompress(compressed);
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_EQ(*decompressed, input);
+}
+
+TEST(RleTest, CompressesRuns) {
+  const std::vector<std::uint8_t> runs(4'000, 0x41);
+  const auto compressed = rleCompress(runs);
+  EXPECT_LT(compressed.size(), runs.size() / 50);
+  auto decompressed = rleDecompress(compressed);
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_EQ(*decompressed, runs);
+}
+
+TEST(RleTest, EmptyInput) {
+  EXPECT_TRUE(rleCompress({}).empty());
+  auto decompressed = rleDecompress({});
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_TRUE(decompressed->empty());
+}
+
+TEST(RleTest, LongRunsSplitAt255) {
+  const std::vector<std::uint8_t> longRun(1'000, 0x7);
+  const auto compressed = rleCompress(longRun);
+  EXPECT_EQ(compressed.size(), 2u * ((1'000 + 254) / 255));
+  auto decompressed = rleDecompress(compressed);
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_EQ(decompressed->size(), 1'000u);
+}
+
+TEST(RleTest, DecompressRejectsMalformed) {
+  EXPECT_FALSE(rleDecompress({1}).ok());            // odd length
+  EXPECT_FALSE(rleDecompress({0, 0x41}).ok());      // zero run
+}
+
+class CompressAppTest : public ::testing::Test {
+ protected:
+  CompressAppTest() : pvc_("pvc", ByteSize::fromMiB(64)), store_(pvc_) {
+    std::vector<std::uint8_t> blob(512 * 1024);
+    Rng rng(9);
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+      blob[i] = static_cast<std::uint8_t>(rng.uniform(4));  // compressible-ish
+    }
+    EXPECT_TRUE(store_.put(ndn::Name("/ndn/k8s/data/archive"), blob).ok());
+    runner_ = makeCompressRunner(store_);
+  }
+
+  k8s::AppResult run(std::map<std::string, std::string> args,
+                     std::uint64_t cores = 1) {
+    k8s::JobSpec spec;
+    spec.app = "compress";
+    spec.requests = k8s::Resources{MilliCpu::fromCores(cores), ByteSize::fromGiB(1)};
+    spec.args = std::move(args);
+    k8s::AppContext context{spec, &pvc_, rng_};
+    return runner_(context);
+  }
+
+  k8s::PersistentVolumeClaim pvc_;
+  datalake::ObjectStore store_;
+  Rng rng_{1};
+  k8s::AppRunner runner_;
+};
+
+TEST_F(CompressAppTest, CompressesIntoDataLake) {
+  const auto result = run({{"input", "archive"}});
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.resultPath, "/ndn/k8s/data/results/archive.rle");
+  ASSERT_TRUE(store_.contains(ndn::Name(result.resultPath)));
+  // Output round-trips back to the original.
+  auto compressed = store_.get(ndn::Name(result.resultPath));
+  auto original = store_.get(ndn::Name("/ndn/k8s/data/archive"));
+  auto decompressed = rleDecompress(*compressed);
+  ASSERT_TRUE(decompressed.ok());
+  EXPECT_EQ(*decompressed, *original);
+}
+
+TEST_F(CompressAppTest, DatasetArgAlsoAccepted) {
+  const auto result = run({{"dataset0", "archive"}});
+  EXPECT_TRUE(result.status.ok());
+}
+
+TEST_F(CompressAppTest, MissingInputRejected) {
+  EXPECT_EQ(run({}).status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run({{"input", "ghost"}}).status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CompressAppTest, CustomOutputPath) {
+  const auto result = run({{"input", "archive"}, {"out", "results/z"}});
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.resultPath, "/ndn/k8s/data/results/z");
+}
+
+TEST_F(CompressAppTest, RuntimeScalesWithCpusUnlikeBlast) {
+  const double oneCore = run({{"input", "archive"}}, 1).runtime.toSeconds();
+  const double fourCores = run({{"input", "archive"}}, 4).runtime.toSeconds();
+  // Near-linear scaling: 4 cores => ~3.7x effective.
+  EXPECT_GT(oneCore / fourCores, 3.0);
+}
+
+}  // namespace
+}  // namespace lidc::apps

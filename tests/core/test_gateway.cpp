@@ -1,0 +1,310 @@
+// Gateway behaviour in isolation: a single forwarder hosting the
+// gateway AppFace and a client AppFace — no network links, so these
+// tests pinpoint the gateway logic itself (parsing, validation,
+// admission control, dedup, result cache, status).
+#include "core/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wire_format.hpp"
+#include "ndn/app_face.hpp"
+
+namespace lidc::core {
+namespace {
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() : forwarder_("gw-node", sim_), cluster_("cluster-x", sim_) {
+    cluster_.addNode("n0", k8s::Resources{MilliCpu::fromCores(4),
+                                          ByteSize::fromGiB(8)});
+    (void)cluster_.createPvc("datalake-pvc", ByteSize::fromGiB(1));
+    cluster_.registerApp("sleeper", [](k8s::AppContext& context) {
+      k8s::AppResult result;
+      const auto it = context.spec.args.find("duration_s");
+      const double seconds =
+          it == context.spec.args.end() ? 60.0 : std::stod(it->second);
+      result.runtime = sim::Duration::seconds(seconds);
+      result.resultPath = "/ndn/k8s/data/results/out";
+      result.outputBytes = 1234;
+      return result;
+    });
+
+    ValidatorRegistry validators;
+    validators.add("BLAST", makeBlastValidator());
+    gateway_ = std::make_unique<Gateway>(forwarder_, cluster_, std::move(validators),
+                                         options_);
+    gateway_->jobs().mapAppToImage("sleep", "sleeper");
+
+    client_ = std::make_shared<ndn::AppFace>("app://client", sim_, 77);
+    forwarder_.addFace(client_);
+
+    // These tests exercise the gateway's own dedup/result-cache logic;
+    // disable the forwarder's Content Store so every Interest reaches
+    // the gateway instead of being answered by the NDN cache.
+    forwarder_.cs().setCapacity(0);
+  }
+
+  ComputeRequest sleepRequest(double seconds = 60.0, std::uint64_t cores = 1) {
+    ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(cores);
+    request.memory = ByteSize::fromGiB(1);
+    request.params["duration_s"] = std::to_string(seconds);
+    return request;
+  }
+
+  /// Sends a compute Interest; returns the decoded ack fields.
+  KvMap submit(const ComputeRequest& request) {
+    KvMap fields;
+    client_->expressInterest(ndn::Interest(request.toName()),
+                             [&](const ndn::Interest&, const ndn::Data& data) {
+                               fields = decodeKv(data.contentAsString());
+                             });
+    sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+    return fields;
+  }
+
+  sim::Simulator sim_;
+  ndn::Forwarder forwarder_;
+  k8s::Cluster cluster_;
+  GatewayOptions options_;
+  std::unique_ptr<Gateway> gateway_;
+  std::shared_ptr<ndn::AppFace> client_;
+};
+
+TEST_F(GatewayTest, LaunchReturnsJobIdAndStatusName) {
+  const KvMap ack = submit(sleepRequest());
+  ASSERT_TRUE(ack.count("job_id"));
+  EXPECT_EQ(ack.at("cluster"), "cluster-x");
+  EXPECT_EQ(ack.at("status_name"),
+            "/ndn/k8s/status/cluster-x/" + ack.at("job_id"));
+  EXPECT_EQ(gateway_->counters().jobsLaunched, 1u);
+}
+
+TEST_F(GatewayTest, MalformedNameRejected) {
+  KvMap fields;
+  client_->expressInterest(
+      ndn::Interest(ndn::Name("/ndn/k8s/compute/not-a-kv-pair")),
+      [&](const ndn::Interest&, const ndn::Data& data) {
+        fields = decodeKv(data.contentAsString());
+      });
+  sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+  EXPECT_TRUE(fields.count("error"));
+  EXPECT_EQ(gateway_->counters().computeRejected, 1u);
+}
+
+TEST_F(GatewayTest, ValidatorRejectionReported) {
+  ComputeRequest bad;
+  bad.app = "BLAST";
+  bad.cpu = MilliCpu::fromCores(2);
+  bad.memory = ByteSize::fromGiB(4);
+  bad.params["srr_id"] = "BOGUS";
+  const KvMap ack = submit(bad);
+  ASSERT_TRUE(ack.count("error"));
+  EXPECT_NE(ack.at("error").find("SRR"), std::string::npos);
+}
+
+TEST_F(GatewayTest, CapacityExhaustionNacks) {
+  // Cluster has 4 cores; a 16-core job cannot fit anywhere, ever.
+  int nacks = 0;
+  ComputeRequest huge = sleepRequest(10.0, /*cores=*/16);
+  client_->expressInterest(
+      ndn::Interest(huge.toName()), [](const ndn::Interest&, const ndn::Data&) {},
+      [&](const ndn::Interest&, const ndn::Nack& nack) {
+        ++nacks;
+        EXPECT_EQ(nack.reason(), ndn::NackReason::kCongestion);
+      });
+  sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+  EXPECT_EQ(nacks, 1);
+  EXPECT_EQ(gateway_->counters().capacityRejected, 1u);
+}
+
+TEST_F(GatewayTest, AdmissionControlCanBeDisabled) {
+  gateway_->setAdmissionControl(false);
+  const KvMap ack = submit(sleepRequest(10.0, /*cores=*/16));
+  // Job object is created and stays Pending (no nack).
+  EXPECT_TRUE(ack.count("job_id"));
+  EXPECT_EQ(cluster_.pendingUnschedulable(), 1u);
+}
+
+TEST_F(GatewayTest, InFlightDedupJoinsSameJob) {
+  // Two canonical (no request id) identical submissions: one job.
+  const KvMap first = submit(sleepRequest());
+  const KvMap second = submit(sleepRequest());
+  ASSERT_TRUE(first.count("job_id"));
+  ASSERT_TRUE(second.count("job_id"));
+  EXPECT_EQ(first.at("job_id"), second.at("job_id"));
+  EXPECT_TRUE(second.count("deduplicated"));
+  EXPECT_EQ(gateway_->counters().jobsLaunched, 1u);
+  EXPECT_EQ(gateway_->counters().inflightDedup, 1u);
+}
+
+TEST_F(GatewayTest, UniqueRequestIdsLaunchSeparateJobs) {
+  ComputeRequest a = sleepRequest();
+  a.requestId = "r1";
+  ComputeRequest b = sleepRequest();
+  b.requestId = "r2";
+  const KvMap ackA = submit(a);
+  const KvMap ackB = submit(b);
+  EXPECT_NE(ackA.at("job_id"), ackB.at("job_id"));
+  EXPECT_EQ(gateway_->counters().jobsLaunched, 2u);
+}
+
+TEST_F(GatewayTest, CompletedJobServedFromResultCache) {
+  const KvMap first = submit(sleepRequest());
+  ASSERT_TRUE(first.count("job_id"));
+  sim_.run();  // job completes
+
+  const KvMap second = submit(sleepRequest());
+  ASSERT_TRUE(second.count("cached"));
+  EXPECT_EQ(second.at("job_id"), first.at("job_id"));
+  EXPECT_EQ(second.at("result"), "/ndn/k8s/data/results/out");
+  EXPECT_EQ(second.at("output_bytes"), "1234");
+  EXPECT_EQ(gateway_->counters().cacheHits, 1u);
+  EXPECT_EQ(gateway_->counters().jobsLaunched, 1u);
+}
+
+TEST_F(GatewayTest, CacheDisabledAlwaysLaunches) {
+  GatewayOptions noCache;
+  noCache.enableResultCache = false;
+  // Fresh world with caching off.
+  sim::Simulator sim;
+  ndn::Forwarder forwarder("gw2", sim);
+  k8s::Cluster cluster("cluster-y", sim);
+  cluster.addNode("n0", k8s::Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(8)});
+  cluster.registerApp("sleeper", [](k8s::AppContext&) {
+    k8s::AppResult result;
+    result.runtime = sim::Duration::seconds(1);
+    return result;
+  });
+  Gateway gateway(forwarder, cluster, ValidatorRegistry{}, noCache);
+  gateway.jobs().mapAppToImage("sleep", "sleeper");
+  forwarder.cs().setCapacity(0);
+  auto client = std::make_shared<ndn::AppFace>("app://c", sim, 3);
+  forwarder.addFace(client);
+
+  ComputeRequest request;
+  request.app = "sleep";
+  request.cpu = MilliCpu::fromCores(1);
+  request.memory = ByteSize::fromGiB(1);
+
+  std::vector<std::string> jobIds;
+  for (int i = 0; i < 2; ++i) {
+    client->expressInterest(ndn::Interest(request.toName()),
+                            [&](const ndn::Interest&, const ndn::Data& data) {
+                              jobIds.push_back(
+                                  decodeKv(data.contentAsString()).at("job_id"));
+                            });
+    sim.run();  // complete each job fully
+  }
+  ASSERT_EQ(jobIds.size(), 2u);
+  EXPECT_NE(jobIds[0], jobIds[1]);
+  EXPECT_EQ(gateway.counters().jobsLaunched, 2u);
+}
+
+TEST_F(GatewayTest, StatusLifecycle) {
+  const KvMap ack = submit(sleepRequest(100.0));
+  const ndn::Name statusName(ack.at("status_name"));
+
+  auto poll = [&]() {
+    KvMap fields;
+    ndn::Interest interest(statusName);
+    interest.setMustBeFresh(true);
+    client_->expressInterest(interest,
+                             [&](const ndn::Interest&, const ndn::Data& data) {
+                               fields = decodeKv(data.contentAsString());
+                             });
+    sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+    return fields;
+  };
+
+  // Immediately after submit: Pending (pod starting).
+  EXPECT_EQ(poll().at("state"), "Pending");
+  // After pod startup: Running.
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(5));
+  EXPECT_EQ(poll().at("state"), "Running");
+  // After completion: Completed with result info.
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(120));
+  const KvMap done = poll();
+  EXPECT_EQ(done.at("state"), "Completed");
+  EXPECT_EQ(done.at("result"), "/ndn/k8s/data/results/out");
+  EXPECT_TRUE(done.count("runtime_s"));
+}
+
+TEST_F(GatewayTest, UnknownJobStatusIsError) {
+  KvMap fields;
+  client_->expressInterest(
+      ndn::Interest(makeStatusName("cluster-x", "job-ghost")),
+      [&](const ndn::Interest&, const ndn::Data& data) {
+        fields = decodeKv(data.contentAsString());
+      });
+  sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+  EXPECT_TRUE(fields.count("error"));
+}
+
+TEST_F(GatewayTest, StatusForOtherClusterNacked) {
+  int nacks = 0;
+  client_->expressInterest(
+      ndn::Interest(makeStatusName("cluster-x", "j") /*valid*/),
+      [](const ndn::Interest&, const ndn::Data&) {}, nullptr, nullptr);
+  // A name under a different cluster's status prefix has no route at all
+  // on this forwarder; but if it reaches the gateway face, it is nacked.
+  ndn::Name foreign = kStatusPrefix;
+  foreign.append("cluster-z").append("job-1");
+  forwarder_.registerPrefix(foreign.prefix(kStatusPrefix.size() + 1),
+                            gateway_->faceId());
+  client_->expressInterest(
+      ndn::Interest(foreign), [](const ndn::Interest&, const ndn::Data&) {},
+      [&](const ndn::Interest&, const ndn::Nack&) { ++nacks; });
+  sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+  EXPECT_EQ(nacks, 1);
+}
+
+TEST_F(GatewayTest, FailedJobReportsError) {
+  cluster_.registerApp("failer", [](k8s::AppContext&) {
+    k8s::AppResult result;
+    result.runtime = sim::Duration::seconds(5);
+    result.status = Status::Internal("segfault in pod");
+    return result;
+  });
+  ComputeRequest request;
+  request.app = "failer";
+  request.cpu = MilliCpu::fromCores(1);
+  request.memory = ByteSize::fromGiB(1);
+  const KvMap ack = submit(request);
+  ASSERT_TRUE(ack.count("status_name"));
+  sim_.run();
+
+  KvMap fields;
+  ndn::Interest interest{ndn::Name(ack.at("status_name"))};
+  interest.setMustBeFresh(true);
+  client_->expressInterest(interest,
+                           [&](const ndn::Interest&, const ndn::Data& data) {
+                             fields = decodeKv(data.contentAsString());
+                           });
+  sim_.runUntil(sim_.now() + sim::Duration::millis(100));
+  EXPECT_EQ(fields.at("state"), "Failed");
+  EXPECT_NE(fields.at("error").find("segfault"), std::string::npos);
+}
+
+TEST_F(GatewayTest, FailedJobsAreNotCached) {
+  cluster_.registerApp("failer", [](k8s::AppContext&) {
+    k8s::AppResult result;
+    result.runtime = sim::Duration::seconds(1);
+    result.status = Status::Internal("boom");
+    return result;
+  });
+  ComputeRequest request;
+  request.app = "failer";
+  request.cpu = MilliCpu::fromCores(1);
+  request.memory = ByteSize::fromGiB(1);
+  (void)submit(request);
+  sim_.run();
+  // A repeat launches a fresh job rather than serving the failure.
+  const KvMap again = submit(request);
+  EXPECT_FALSE(again.count("cached"));
+  EXPECT_EQ(gateway_->counters().jobsLaunched, 2u);
+}
+
+}  // namespace
+}  // namespace lidc::core

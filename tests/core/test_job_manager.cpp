@@ -1,0 +1,141 @@
+#include "core/job_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::core {
+namespace {
+
+class JobManagerTest : public ::testing::Test {
+ protected:
+  JobManagerTest() : cluster_("c1", sim_), manager_(cluster_) {
+    cluster_.addNode("n0", k8s::Resources{MilliCpu::fromCores(8),
+                                          ByteSize::fromGiB(16)});
+    cluster_.registerApp("worker", [](k8s::AppContext& context) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(10);
+      result.resultPath = "/ndn/k8s/data/" + context.spec.args.at("out");
+      result.outputBytes = 42;
+      return result;
+    });
+    manager_.mapAppToImage("WORK", "worker");
+  }
+
+  ComputeRequest request(std::uint64_t cores = 1) {
+    ComputeRequest r;
+    r.app = "WORK";
+    r.cpu = MilliCpu::fromCores(cores);
+    r.memory = ByteSize::fromGiB(1);
+    return r;
+  }
+
+  sim::Simulator sim_;
+  k8s::Cluster cluster_;
+  JobManager manager_;
+};
+
+TEST_F(JobManagerTest, SubmitCreatesJobWithClusterScopedId) {
+  auto jobId = manager_.submit(request());
+  ASSERT_TRUE(jobId.ok()) << jobId.status();
+  EXPECT_EQ(jobId->rfind("job-c1-", 0), 0u);
+  EXPECT_NE(cluster_.job("ndnk8s", *jobId), nullptr);
+}
+
+TEST_F(JobManagerTest, JobIdsAreUnique) {
+  auto a = manager_.submit(request());
+  auto b = manager_.submit(request());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(JobManagerTest, UnknownAppRejected) {
+  ComputeRequest bad;
+  bad.app = "UNKNOWN";
+  auto jobId = manager_.submit(bad);
+  EXPECT_FALSE(jobId.ok());
+  EXPECT_EQ(jobId.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(manager_.hasApp("UNKNOWN"));
+  EXPECT_TRUE(manager_.hasApp("WORK"));
+}
+
+TEST_F(JobManagerTest, DirectImageNameAlsoWorks) {
+  ComputeRequest direct;
+  direct.app = "worker";  // image name without a mapping
+  direct.cpu = MilliCpu::fromCores(1);
+  direct.memory = ByteSize::fromGiB(1);
+  EXPECT_TRUE(manager_.submit(direct).ok());
+}
+
+TEST_F(JobManagerTest, DefaultsAppliedWhenResourcesOmitted) {
+  ComputeRequest r;
+  r.app = "WORK";
+  auto jobId = manager_.submit(r);
+  ASSERT_TRUE(jobId.ok());
+  const auto* job = cluster_.job("ndnk8s", *jobId);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->spec().requests.cpu.millicores(),
+            JobManager::kDefaultCpuMillicores);
+  EXPECT_EQ(job->spec().requests.memory, JobManager::defaultMemory());
+}
+
+TEST_F(JobManagerTest, OutArgDefaultsToJobId) {
+  auto jobId = manager_.submit(request());
+  ASSERT_TRUE(jobId.ok());
+  const auto* job = cluster_.job("ndnk8s", *jobId);
+  EXPECT_EQ(job->spec().args.at("out"), "results/" + *jobId);
+}
+
+TEST_F(JobManagerTest, DatasetsPassedAsArgs) {
+  ComputeRequest r = request();
+  r.datasets = {"human-ref", "rice"};
+  auto jobId = manager_.submit(r);
+  ASSERT_TRUE(jobId.ok());
+  const auto* job = cluster_.job("ndnk8s", *jobId);
+  EXPECT_EQ(job->spec().args.at("dataset0"), "human-ref");
+  EXPECT_EQ(job->spec().args.at("dataset1"), "rice");
+}
+
+TEST_F(JobManagerTest, StatusTransitionsAndResult) {
+  auto jobId = manager_.submit(request());
+  ASSERT_TRUE(jobId.ok());
+  auto status = manager_.status(*jobId);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, k8s::JobState::kPending);
+
+  sim_.run();
+  status = manager_.status(*jobId);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, k8s::JobState::kCompleted);
+  EXPECT_EQ(status->outputBytes, 42u);
+  EXPECT_NEAR(status->runtime.toSeconds(), 10.0, 0.1);
+  EXPECT_EQ(status->resultPath, "/ndn/k8s/data/results/" + *jobId);
+}
+
+TEST_F(JobManagerTest, RetriesParamSetsBackoffLimit) {
+  ComputeRequest r = request();
+  r.params["retries"] = "2";
+  auto jobId = manager_.submit(r);
+  ASSERT_TRUE(jobId.ok());
+  EXPECT_EQ(cluster_.job("ndnk8s", *jobId)->spec().backoffLimit, 2);
+}
+
+TEST_F(JobManagerTest, RetriesParamCappedAndValidated) {
+  ComputeRequest big = request();
+  big.params["retries"] = "99";
+  auto jobId = manager_.submit(big);
+  ASSERT_TRUE(jobId.ok());
+  EXPECT_EQ(cluster_.job("ndnk8s", *jobId)->spec().backoffLimit, 5);
+
+  ComputeRequest junk = request();
+  junk.params["retries"] = "lots";
+  auto junkId = manager_.submit(junk);
+  ASSERT_TRUE(junkId.ok());
+  EXPECT_EQ(cluster_.job("ndnk8s", *junkId)->spec().backoffLimit, 0);
+}
+
+TEST_F(JobManagerTest, UnknownJobIdStatusFails) {
+  EXPECT_EQ(manager_.status("job-c1-999").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lidc::core

@@ -1,0 +1,229 @@
+// Multi-cluster overlay behaviour: location-independent placement,
+// nearest-cluster selection, capacity failover, cluster churn, and
+// outage recovery — the paper's core claims (SI, SII).
+#include "core/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+
+namespace lidc::core {
+namespace {
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+  }
+
+  /// Adds a cluster with a trivial "sleep" app and links it to the
+  /// client host with the given latency.
+  ComputeCluster& addSleepCluster(const std::string& name, double linkMs,
+                                  std::uint64_t cores = 8) {
+    ComputeClusterConfig config;
+    config.name = name;
+    config.perNode = k8s::Resources{MilliCpu::fromCores(cores),
+                                    ByteSize::fromGiB(16)};
+    auto& cluster = overlay_->addCluster(config);
+    cluster.cluster().registerApp("sleeper", [](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(30);
+      result.resultPath = "/ndn/k8s/data/results/r";
+      return result;
+    });
+    cluster.gateway().jobs().mapAppToImage("sleep", "sleeper");
+    overlay_->connect("client-host", name,
+                      net::LinkParams{sim::Duration::millis(linkMs)});
+    overlay_->announceCluster(name);
+    return cluster;
+  }
+
+  ComputeRequest sleepRequest(std::uint64_t cores = 1) {
+    ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(cores);
+    request.memory = ByteSize::fromGiB(1);
+    return request;
+  }
+
+  LidcClient& client() {
+    if (!client_) {
+      client_ = std::make_unique<LidcClient>(
+          *overlay_->topology().node("client-host"), "alice");
+    }
+    return *client_;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<ClusterOverlay> overlay_;
+  std::unique_ptr<LidcClient> client_;
+};
+
+TEST_F(OverlayTest, NearestClusterWins) {
+  addSleepCluster("near", 5);
+  addSleepCluster("far", 80);
+  std::string placedOn;
+  client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    placedOn = r->cluster;
+  });
+  sim_.run();
+  EXPECT_EQ(placedOn, "near");
+}
+
+TEST_F(OverlayTest, CapacityFailoverToFartherCluster) {
+  addSleepCluster("near", 5, /*cores=*/2);
+  addSleepCluster("far", 80, /*cores=*/8);
+  // First job fills "near" (2 cores); second must fail over to "far".
+  std::vector<std::string> placements;
+  client().submit(sleepRequest(2), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    placements.push_back(r->cluster);
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  client().submit(sleepRequest(2), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    placements.push_back(r->cluster);
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  ASSERT_EQ(placements.size(), 2u);
+  EXPECT_EQ(placements[0], "near");
+  EXPECT_EQ(placements[1], "far");
+}
+
+TEST_F(OverlayTest, AllClustersFullIsReportedUnavailable) {
+  addSleepCluster("only", 5, /*cores=*/1);
+  std::optional<Status> failure;
+  client().submit(sleepRequest(1), [](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  client().submit(sleepRequest(1), [&](Result<SubmitResult> r) {
+    ASSERT_FALSE(r.ok());
+    failure = r.status();
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->code(), StatusCode::kUnavailable);
+}
+
+TEST_F(OverlayTest, NewClusterJoinsWithoutClientChanges) {
+  addSleepCluster("first", 50);
+  std::string placedOn;
+  client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+    placedOn = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  EXPECT_EQ(placedOn, "first");
+
+  // A closer cluster joins at runtime — same client, same names.
+  addSleepCluster("second", 5);
+  client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+    placedOn = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  EXPECT_EQ(placedOn, "second");
+}
+
+TEST_F(OverlayTest, WithdrawnClusterStopsReceivingJobs) {
+  addSleepCluster("a", 5);
+  addSleepCluster("b", 10);
+  overlay_->withdrawCluster("a");
+  std::string placedOn;
+  client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+    placedOn = r->cluster;
+  });
+  sim_.run();
+  EXPECT_EQ(placedOn, "b");
+}
+
+TEST_F(OverlayTest, FailedClusterTrafficFailsOverAndRecovers) {
+  addSleepCluster("primary", 5);
+  addSleepCluster("backup", 40);
+
+  overlay_->failCluster("primary");
+  std::string placedOn;
+  client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    placedOn = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(2));
+  EXPECT_EQ(placedOn, "backup");
+
+  overlay_->recoverCluster("primary");
+  client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+    placedOn = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(2));
+  EXPECT_EQ(placedOn, "primary");
+}
+
+TEST_F(OverlayTest, LoadBalanceStrategySpreadsJobs) {
+  addSleepCluster("a", 10);
+  addSleepCluster("b", 12);
+  overlay_->setPlacementStrategy(PlacementStrategy::kLoadBalance);
+  std::map<std::string, int> placements;
+  for (int i = 0; i < 30; ++i) {
+    client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+      if (r.ok()) ++placements[r->cluster];
+    });
+    sim_.runUntil(sim_.now() + sim::Duration::seconds(40));
+  }
+  EXPECT_GT(placements["a"], 3);
+  EXPECT_GT(placements["b"], 3);
+}
+
+TEST_F(OverlayTest, RoundRobinAlternatesClusters) {
+  addSleepCluster("a", 10);
+  addSleepCluster("b", 10);
+  overlay_->setPlacementStrategy(PlacementStrategy::kRoundRobin);
+  std::map<std::string, int> placements;
+  for (int i = 0; i < 10; ++i) {
+    client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+      if (r.ok()) ++placements[r->cluster];
+    });
+    sim_.runUntil(sim_.now() + sim::Duration::seconds(40));
+  }
+  EXPECT_EQ(placements["a"], 5);
+  EXPECT_EQ(placements["b"], 5);
+}
+
+TEST_F(OverlayTest, ParsePlacementStrategyNames) {
+  EXPECT_EQ(parsePlacementStrategy("best-route"), PlacementStrategy::kBestRoute);
+  EXPECT_EQ(parsePlacementStrategy("load-balance"),
+            PlacementStrategy::kLoadBalance);
+  EXPECT_EQ(parsePlacementStrategy("multicast"), PlacementStrategy::kMulticast);
+  EXPECT_EQ(parsePlacementStrategy("round-robin"), PlacementStrategy::kRoundRobin);
+  EXPECT_EQ(parsePlacementStrategy("asf"), PlacementStrategy::kAsf);
+  EXPECT_FALSE(parsePlacementStrategy("bogus").has_value());
+}
+
+TEST_F(OverlayTest, AsfStrategyPlacesJobs) {
+  addSleepCluster("a", 10);
+  addSleepCluster("b", 30);
+  overlay_->setPlacementStrategy(PlacementStrategy::kAsf);
+  int placed = 0;
+  for (int i = 0; i < 10; ++i) {
+    client().submit(sleepRequest(), [&](Result<SubmitResult> r) {
+      if (r.ok()) ++placed;
+    });
+    sim_.runUntil(sim_.now() + sim::Duration::seconds(40));
+  }
+  EXPECT_EQ(placed, 10);
+}
+
+TEST_F(OverlayTest, ClusterNamesListed) {
+  addSleepCluster("x", 5);
+  addSleepCluster("y", 5);
+  EXPECT_EQ(overlay_->clusterNames(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_NE(overlay_->cluster("x"), nullptr);
+  EXPECT_EQ(overlay_->cluster("zz"), nullptr);
+}
+
+}  // namespace
+}  // namespace lidc::core

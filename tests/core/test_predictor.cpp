@@ -1,0 +1,87 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::core {
+namespace {
+
+ComputeRequest request(const std::string& app, const std::string& srrId = "") {
+  ComputeRequest r;
+  r.app = app;
+  if (!srrId.empty()) r.params["srr_id"] = srrId;
+  return r;
+}
+
+TEST(PredictorTest, NoHistoryNoPrediction) {
+  CompletionTimePredictor predictor;
+  EXPECT_FALSE(predictor.predict(request("BLAST")).has_value());
+  EXPECT_EQ(predictor.sampleCount(), 0u);
+}
+
+TEST(PredictorTest, ExactKeyPredictsObservedRuntime) {
+  CompletionTimePredictor predictor;
+  predictor.record(request("BLAST", "SRR2931415"), sim::Duration::hours(8));
+  auto predicted = predictor.predict(request("BLAST", "SRR2931415"));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(predicted->toSeconds(), 8 * 3600.0, 1.0);
+}
+
+TEST(PredictorTest, FallsBackToPerAppModel) {
+  CompletionTimePredictor predictor;
+  predictor.record(request("BLAST", "SRR2931415"), sim::Duration::hours(8));
+  // Unknown sample, known app: coarse model answers.
+  auto predicted = predictor.predict(request("BLAST", "SRR0000001"));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(predicted->toSeconds(), 8 * 3600.0, 1.0);
+  // Unknown app: nothing.
+  EXPECT_FALSE(predictor.predict(request("other")).has_value());
+}
+
+TEST(PredictorTest, FineModelBeatsCoarseWhenBothExist) {
+  CompletionTimePredictor predictor;
+  predictor.record(request("BLAST", "rice"), sim::Duration::hours(8));
+  predictor.record(request("BLAST", "kidney"), sim::Duration::hours(24));
+  auto rice = predictor.predict(request("BLAST", "rice"));
+  ASSERT_TRUE(rice.has_value());
+  EXPECT_NEAR(rice->toSeconds(), 8 * 3600.0, 1.0);
+  auto kidney = predictor.predict(request("BLAST", "kidney"));
+  ASSERT_TRUE(kidney.has_value());
+  EXPECT_NEAR(kidney->toSeconds(), 24 * 3600.0, 1.0);
+}
+
+TEST(PredictorTest, EwmaConvergesTowardNewRegime) {
+  CompletionTimePredictor predictor(0.5);
+  const auto r = request("BLAST", "x");
+  predictor.record(r, sim::Duration::seconds(100));
+  for (int i = 0; i < 10; ++i) predictor.record(r, sim::Duration::seconds(200));
+  auto predicted = predictor.predict(r);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(predicted->toSeconds(), 200.0, 5.0);
+}
+
+TEST(PredictorTest, ErrorShrinksWithStableWorkload) {
+  CompletionTimePredictor predictor;
+  const auto r = request("BLAST", "stable");
+  for (int i = 0; i < 20; ++i) {
+    predictor.record(r, sim::Duration::seconds(500));
+  }
+  // After the first sample every prediction is perfect.
+  EXPECT_LT(predictor.meanAbsoluteErrorSeconds(), 1.0);
+  EXPECT_EQ(predictor.sampleCount(), 19u);  // first record had no prediction
+}
+
+TEST(PredictorTest, DatasetsContributeToFineKey) {
+  CompletionTimePredictor predictor;
+  ComputeRequest withDataset = request("app");
+  withDataset.datasets.push_back("d1");
+  predictor.record(withDataset, sim::Duration::seconds(10));
+  ComputeRequest otherDataset = request("app");
+  otherDataset.datasets.push_back("d2");
+  predictor.record(otherDataset, sim::Duration::seconds(1000));
+  auto d1 = predictor.predict(withDataset);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_NEAR(d1->toSeconds(), 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace lidc::core

@@ -1,0 +1,137 @@
+// Data replication: a freshly joined cluster stages datasets over NDN
+// from whichever lake holds them, then serves compute on them locally.
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc::core {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+    catalog_ = std::make_unique<genomics::DatasetCatalog>(0.05);
+
+    seeded_ = &addCluster("seeded", 40);
+    seeded_->loadGenomicsDatasets(*catalog_);
+
+    fresh_ = &addCluster("fresh", 5);
+    // note: fresh_ deliberately has NO datasets loaded; it does get the
+    // magic-blast image so it *could* run BLAST if it had the data.
+    genomics::installMagicBlast(fresh_->cluster(), fresh_->store(), *catalog_);
+    // The fresh node joined after "seeded" was announced; refresh so it
+    // learns routes to its peers' lakes.
+    overlay_->refreshAnnouncements();
+
+    client_ = std::make_unique<LidcClient>(
+        *overlay_->topology().node("client-host"), "user");
+  }
+
+  ComputeCluster& addCluster(const std::string& name, int linkMs) {
+    ComputeClusterConfig config;
+    config.name = name;
+    auto& cluster = overlay_->addCluster(config);
+    overlay_->connect("client-host", name,
+                      net::LinkParams{sim::Duration::millis(linkMs)});
+    overlay_->announceCluster(name);
+    return cluster;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<ClusterOverlay> overlay_;
+  std::unique_ptr<genomics::DatasetCatalog> catalog_;
+  ComputeCluster* seeded_ = nullptr;
+  ComputeCluster* fresh_ = nullptr;
+  std::unique_ptr<LidcClient> client_;
+};
+
+TEST_F(ReplicationTest, ReplicatesObjectOverNdn) {
+  DataReplicator replicator(*fresh_);
+  const ndn::Name object("/ndn/k8s/data/human-ref");
+  ASSERT_FALSE(fresh_->store().contains(object));
+
+  std::optional<Status> done;
+  replicator.replicate(object, [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(done->ok()) << *done;
+  EXPECT_TRUE(fresh_->store().contains(object));
+  // Byte-identical copies.
+  EXPECT_EQ(*fresh_->store().get(object), *seeded_->store().get(object));
+  EXPECT_EQ(replicator.objectsReplicated(), 1u);
+  EXPECT_GT(replicator.bytesReplicated(), 0u);
+}
+
+TEST_F(ReplicationTest, AlreadyPresentIsNoop) {
+  DataReplicator replicator(*fresh_);
+  ASSERT_TRUE(fresh_->store().putText(ndn::Name("/ndn/k8s/data/x"), "v").ok());
+  std::optional<Status> done;
+  replicator.replicate(ndn::Name("/ndn/k8s/data/x"), [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(done->ok());
+  EXPECT_EQ(replicator.objectsReplicated(), 0u);
+}
+
+TEST_F(ReplicationTest, MissingObjectReportsError) {
+  DataReplicator replicator(*fresh_);
+  std::optional<Status> done;
+  replicator.replicate(ndn::Name("/ndn/k8s/data/ghost"),
+                       [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_FALSE(done->ok());
+}
+
+TEST_F(ReplicationTest, BatchReplicationReportsOnce) {
+  DataReplicator replicator(*fresh_);
+  std::vector<ndn::Name> objects{
+      ndn::Name("/ndn/k8s/data/human-ref"),
+      ndn::Name("/ndn/k8s/data/SRR2931415"),
+      ndn::Name("/ndn/k8s/data/SRR5139395"),
+  };
+  int callbacks = 0;
+  Status final;
+  replicator.replicateAll(objects, [&](Status s) {
+    ++callbacks;
+    final = s;
+  });
+  sim_.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_TRUE(final.ok()) << final;
+  EXPECT_EQ(replicator.objectsReplicated(), 3u);
+}
+
+TEST_F(ReplicationTest, FreshClusterRunsBlastAfterStaging) {
+  // Stage the reference + rice sample into the fresh (nearest) cluster.
+  DataReplicator replicator(*fresh_);
+  replicator.replicateAll({ndn::Name("/ndn/k8s/data/human-ref"),
+                           ndn::Name("/ndn/k8s/data/SRR2931415")},
+                          [](Status s) { ASSERT_TRUE(s.ok()) << s; });
+  sim_.run();
+
+  ComputeRequest request;
+  request.app = "BLAST";
+  request.cpu = MilliCpu::fromCores(2);
+  request.memory = ByteSize::fromGiB(4);
+  request.params["srr_id"] = "SRR2931415";
+
+  std::optional<JobOutcome> outcome;
+  client_->runToCompletion(request, [&](Result<JobOutcome> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    outcome = *r;
+  });
+  sim_.run();
+  ASSERT_TRUE(outcome.has_value());
+  // Nearest cluster (fresh, 5 ms) now serves the job with its staged data.
+  EXPECT_EQ(outcome->finalStatus.cluster, "fresh");
+  EXPECT_EQ(outcome->finalStatus.state, k8s::JobState::kCompleted);
+}
+
+}  // namespace
+}  // namespace lidc::core

@@ -1,0 +1,73 @@
+#include "core/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::core {
+namespace {
+
+CachedResult makeResult(const std::string& jobId, sim::Time at = sim::Time()) {
+  return CachedResult{jobId, "/ndn/k8s/data/results/" + jobId, 100, at};
+}
+
+TEST(ResultCacheTest, PutGetRoundTrip) {
+  ResultCache cache;
+  cache.put(ndn::Name("/c/x"), makeResult("j1"));
+  auto hit = cache.get(ndn::Name("/c/x"), sim::Time());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->jobId, "j1");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ResultCacheTest, MissCounts) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.get(ndn::Name("/none"), sim::Time()).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, TtlExpiryEvicts) {
+  ResultCache cache(16, sim::Duration::hours(1));
+  cache.put(ndn::Name("/c/x"), makeResult("j1", sim::Time()));
+  EXPECT_TRUE(cache.get(ndn::Name("/c/x"),
+                        sim::Time() + sim::Duration::minutes(59))
+                  .has_value());
+  EXPECT_FALSE(cache.get(ndn::Name("/c/x"),
+                         sim::Time() + sim::Duration::minutes(61))
+                   .has_value());
+  // Expired entry was removed.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, LruEviction) {
+  ResultCache cache(2, sim::Duration::hours(24));
+  cache.put(ndn::Name("/a"), makeResult("ja"));
+  cache.put(ndn::Name("/b"), makeResult("jb"));
+  (void)cache.get(ndn::Name("/a"), sim::Time());  // touch /a
+  cache.put(ndn::Name("/c"), makeResult("jc"));
+  EXPECT_TRUE(cache.get(ndn::Name("/a"), sim::Time()).has_value());
+  EXPECT_FALSE(cache.get(ndn::Name("/b"), sim::Time()).has_value());
+}
+
+TEST(ResultCacheTest, PutRefreshesExisting) {
+  ResultCache cache;
+  cache.put(ndn::Name("/a"), makeResult("old"));
+  cache.put(ndn::Name("/a"), makeResult("new"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(ndn::Name("/a"), sim::Time())->jobId, "new");
+}
+
+TEST(ResultCacheTest, ZeroCapacityNeverStores) {
+  ResultCache cache(0, sim::Duration::hours(1));
+  cache.put(ndn::Name("/a"), makeResult("j"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, ClearEmpties) {
+  ResultCache cache;
+  cache.put(ndn::Name("/a"), makeResult("j"));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(ndn::Name("/a"), sim::Time()).has_value());
+}
+
+}  // namespace
+}  // namespace lidc::core

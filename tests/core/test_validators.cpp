@@ -1,0 +1,96 @@
+#include "core/validators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::core {
+namespace {
+
+ComputeRequest blastRequest(const std::string& srrId) {
+  ComputeRequest request;
+  request.app = "BLAST";
+  request.cpu = MilliCpu::fromCores(2);
+  request.memory = ByteSize::fromGiB(4);
+  if (!srrId.empty()) request.params["srr_id"] = srrId;
+  return request;
+}
+
+TEST(SrrIdTest, AcceptsPaperAccessions) {
+  EXPECT_TRUE(isValidSrrId("SRR2931415"));
+  EXPECT_TRUE(isValidSrrId("SRR5139395"));
+  EXPECT_TRUE(isValidSrrId("SRR123456"));
+}
+
+TEST(SrrIdTest, RejectsMalformed) {
+  EXPECT_FALSE(isValidSrrId(""));
+  EXPECT_FALSE(isValidSrrId("SRR"));
+  EXPECT_FALSE(isValidSrrId("SRX2931415"));   // wrong prefix
+  EXPECT_FALSE(isValidSrrId("srr2931415"));   // case-sensitive
+  EXPECT_FALSE(isValidSrrId("SRR29314AB"));   // non-digits
+  EXPECT_FALSE(isValidSrrId("SRR12345"));     // too short
+  EXPECT_FALSE(isValidSrrId("SRR1234567890")); // too long
+}
+
+TEST(ValidatorTest, BlastValidatorHappyPath) {
+  const auto validator = makeBlastValidator();
+  EXPECT_TRUE(validator(blastRequest("SRR2931415")).ok());
+}
+
+TEST(ValidatorTest, BlastValidatorRequiresSrrId) {
+  const auto validator = makeBlastValidator();
+  EXPECT_EQ(validator(blastRequest("")).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(validator(blastRequest("garbage")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorTest, BlastValidatorEnforcesMinimumResources) {
+  const auto validator = makeBlastValidator();
+  auto lowCpu = blastRequest("SRR2931415");
+  lowCpu.cpu = MilliCpu(500);
+  EXPECT_FALSE(validator(lowCpu).ok());
+  auto lowMem = blastRequest("SRR2931415");
+  lowMem.memory = ByteSize::fromMiB(512);
+  EXPECT_FALSE(validator(lowMem).ok());
+}
+
+TEST(ValidatorTest, CompressionValidatorHasDifferentRules) {
+  // SIV-B: the compression tool does not need SRR ids; it has its own
+  // checks.
+  const auto validator = makeCompressionValidator();
+  ComputeRequest request;
+  request.app = "compress";
+  EXPECT_FALSE(validator(request).ok());  // needs input
+  request.datasets.push_back("some-file");
+  EXPECT_TRUE(validator(request).ok());
+  ComputeRequest viaParam;
+  viaParam.app = "compress";
+  viaParam.params["input"] = "x";
+  EXPECT_TRUE(validator(viaParam).ok());
+}
+
+TEST(ValidatorRegistryTest, DispatchesByApp) {
+  ValidatorRegistry registry;
+  registry.add("BLAST", makeBlastValidator());
+  registry.add("compress", makeCompressionValidator());
+  EXPECT_TRUE(registry.has("BLAST"));
+  EXPECT_FALSE(registry.has("other"));
+
+  EXPECT_FALSE(registry.validate(blastRequest("")).ok());
+  // Unregistered apps pass by default (validation is opt-in per app).
+  ComputeRequest unknown;
+  unknown.app = "unregistered";
+  EXPECT_TRUE(registry.validate(unknown).ok());
+}
+
+TEST(ValidatorRegistryTest, RemoveAndReplace) {
+  ValidatorRegistry registry;
+  registry.add("X", [](const ComputeRequest&) { return Status::Internal("v1"); });
+  registry.add("X", [](const ComputeRequest&) { return Status::Internal("v2"); });
+  ComputeRequest request;
+  request.app = "X";
+  EXPECT_EQ(registry.validate(request).message(), "v2");
+  registry.remove("X");
+  EXPECT_TRUE(registry.validate(request).ok());
+}
+
+}  // namespace
+}  // namespace lidc::core

@@ -1,0 +1,73 @@
+#include "datalake/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::datalake {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest() : pvc_("p", ByteSize::fromMiB(4)), store_(pvc_) {}
+
+  k8s::PersistentVolumeClaim pvc_;
+  ObjectStore store_;
+};
+
+TEST_F(ObjectStoreTest, PutGetRoundTrip) {
+  const ndn::Name name("/ndn/k8s/data/human-ref");
+  ASSERT_TRUE(store_.putText(name, "ACGT").ok());
+  auto bytes = store_.get(name);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), "ACGT");
+  EXPECT_TRUE(store_.contains(name));
+  EXPECT_EQ(store_.sizeOf(name), 4u);
+}
+
+TEST_F(ObjectStoreTest, MissingObject) {
+  EXPECT_FALSE(store_.get(ndn::Name("/none")).has_value());
+  EXPECT_FALSE(store_.contains(ndn::Name("/none")));
+  EXPECT_FALSE(store_.remove(ndn::Name("/none")).ok());
+}
+
+TEST_F(ObjectStoreTest, EmptyNameRejected) {
+  EXPECT_EQ(store_.put(ndn::Name(), {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectStoreTest, OverwriteReplaces) {
+  const ndn::Name name("/obj");
+  ASSERT_TRUE(store_.putText(name, "v1").ok());
+  ASSERT_TRUE(store_.putText(name, "version2").ok());
+  EXPECT_EQ(store_.sizeOf(name), 8u);
+}
+
+TEST_F(ObjectStoreTest, ListUnderPrefix) {
+  ASSERT_TRUE(store_.putText(ndn::Name("/ndn/k8s/data/a"), "1").ok());
+  ASSERT_TRUE(store_.putText(ndn::Name("/ndn/k8s/data/b"), "2").ok());
+  ASSERT_TRUE(store_.putText(ndn::Name("/ndn/k8s/data/results/c"), "3").ok());
+  ASSERT_TRUE(store_.putText(ndn::Name("/other/x"), "4").ok());
+
+  const auto all = store_.list(ndn::Name("/ndn/k8s/data"));
+  EXPECT_EQ(all.size(), 3u);
+  const auto results = store_.list(ndn::Name("/ndn/k8s/data/results"));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], ndn::Name("/ndn/k8s/data/results/c"));
+  EXPECT_EQ(store_.list(ndn::Name()).size(), 4u);
+}
+
+TEST_F(ObjectStoreTest, RemoveFreesPvcSpace) {
+  const ndn::Name name("/big");
+  ASSERT_TRUE(store_.put(name, std::vector<std::uint8_t>(1024, 0)).ok());
+  const auto before = pvc_.used();
+  ASSERT_TRUE(store_.remove(name).ok());
+  EXPECT_LT(pvc_.used().bytes(), before.bytes());
+}
+
+TEST_F(ObjectStoreTest, PropagatesCapacityError) {
+  k8s::PersistentVolumeClaim tiny("t", ByteSize(4));
+  ObjectStore small(tiny);
+  EXPECT_EQ(small.putText(ndn::Name("/x"), "too large").code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lidc::datalake

@@ -1,0 +1,74 @@
+#include "genomics/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::genomics {
+namespace {
+
+TEST(DatasetCatalogTest, SamplesMatchPaperAccessions) {
+  DatasetCatalog catalog;
+  EXPECT_EQ(catalog.riceSample().srrId, "SRR2931415");
+  EXPECT_EQ(catalog.riceSample().genomeType, "RICE");
+  EXPECT_EQ(catalog.kidneySample().srrId, "SRR5139395");
+  EXPECT_EQ(catalog.kidneySample().genomeType, "KIDNEY");
+}
+
+TEST(DatasetCatalogTest, KidneyIsRoughlyThreeTimesRice) {
+  // Table I: kidney runtime ~ 3x rice; our read counts and testbed input
+  // sizes carry that ratio.
+  DatasetCatalog catalog;
+  const auto rice = catalog.riceSample();
+  const auto kidney = catalog.kidneySample();
+  EXPECT_NEAR(static_cast<double>(kidney.readCount) / rice.readCount, 3.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(kidney.testbedBytes) / rice.testbedBytes, 3.0,
+              0.01);
+}
+
+TEST(DatasetCatalogTest, LookupBySrrId) {
+  DatasetCatalog catalog;
+  EXPECT_EQ(catalog.bySrrId("SRR2931415").genomeType, "RICE");
+  EXPECT_EQ(catalog.bySrrId("SRR5139395").genomeType, "KIDNEY");
+  EXPECT_TRUE(catalog.bySrrId("SRR0000000").srrId.empty());
+  EXPECT_EQ(catalog.allSamples().size(), 2u);
+}
+
+TEST(DatasetCatalogTest, ScaleMultipliesSizes) {
+  DatasetCatalog full(1.0);
+  DatasetCatalog half(0.5);
+  EXPECT_NEAR(static_cast<double>(half.riceSample().readCount),
+              full.riceSample().readCount * 0.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(half.referenceLength()),
+              full.referenceLength() * 0.5, 1.0);
+  // Testbed sizes are real-world constants, not scaled.
+  EXPECT_EQ(half.riceSample().testbedBytes, full.riceSample().testbedBytes);
+}
+
+TEST(DatasetCatalogTest, GenerationIsDeterministic) {
+  DatasetCatalog a(0.1, 99);
+  DatasetCatalog b(0.1, 99);
+  EXPECT_EQ(a.generateReference().bases, b.generateReference().bases);
+  const auto readsA = a.generateSample(a.riceSample(), a.generateReference().bases);
+  const auto readsB = b.generateSample(b.riceSample(), b.generateReference().bases);
+  ASSERT_EQ(readsA.size(), readsB.size());
+  EXPECT_EQ(readsA[0].bases, readsB[0].bases);
+}
+
+TEST(DatasetCatalogTest, SamplesDifferFromEachOther) {
+  DatasetCatalog catalog(0.1);
+  const auto reference = catalog.generateReference();
+  const auto rice = catalog.generateSample(catalog.riceSample(), reference.bases);
+  const auto kidney =
+      catalog.generateSample(catalog.kidneySample(), reference.bases);
+  EXPECT_NE(rice[0].bases, kidney[0].bases);
+  EXPECT_EQ(rice[0].id.substr(0, 10), "SRR2931415");
+  EXPECT_EQ(kidney[0].id.substr(0, 10), "SRR5139395");
+}
+
+TEST(DatasetCatalogTest, MinimumSizesAtTinyScale) {
+  DatasetCatalog tiny(1e-9);
+  EXPECT_GE(tiny.riceSample().readCount, 1u);
+  EXPECT_GE(tiny.referenceLength(), 1000u);
+}
+
+}  // namespace
+}  // namespace lidc::genomics

@@ -1,0 +1,67 @@
+#include "genomics/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lidc::genomics {
+namespace {
+
+TEST(FastaTest, RoundTrip) {
+  std::vector<Sequence> sequences{{"seq1", "ACGTACGT"},
+                                  {"seq2", std::string(200, 'A')}};
+  const auto bytes = toFasta(sequences);
+  auto parsed = fromFasta(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].id, "seq1");
+  EXPECT_EQ((*parsed)[0].bases, "ACGTACGT");
+  EXPECT_EQ((*parsed)[1].bases, std::string(200, 'A'));
+}
+
+TEST(FastaTest, LongSequencesWrapAt70Columns) {
+  const auto bytes = toFasta({{"x", std::string(150, 'G')}});
+  const std::string text(bytes.begin(), bytes.end());
+  // Header + 3 sequence lines (70+70+10).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(FastaTest, ParsesArbitraryLineWidthsAndBlankLines) {
+  const std::string text = ">a\nACG\nT\n\n>b\n\nGG\nCC\n";
+  auto parsed = fromFasta(std::vector<std::uint8_t>(text.begin(), text.end()));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].bases, "ACGT");
+  EXPECT_EQ((*parsed)[1].bases, "GGCC");
+}
+
+TEST(FastaTest, DataBeforeHeaderIsError) {
+  const std::string text = "ACGT\n>late\nAC\n";
+  EXPECT_FALSE(
+      fromFasta(std::vector<std::uint8_t>(text.begin(), text.end())).ok());
+}
+
+TEST(FastaTest, EmptyInputYieldsNoSequences) {
+  auto parsed = fromFasta({});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(FastaTest, HeaderOnlySequenceAllowed) {
+  const std::string text = ">empty\n>nonempty\nAC\n";
+  auto parsed = fromFasta(std::vector<std::uint8_t>(text.begin(), text.end()));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE((*parsed)[0].bases.empty());
+}
+
+TEST(FastaTest, WindowsLineEndingsTolerated) {
+  const std::string text = ">a\r\nACGT\r\n";
+  auto parsed = fromFasta(std::vector<std::uint8_t>(text.begin(), text.end()));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].bases, "ACGT");
+}
+
+}  // namespace
+}  // namespace lidc::genomics

@@ -1,0 +1,73 @@
+#include "genomics/kmer_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "genomics/sequence.hpp"
+
+namespace lidc::genomics {
+namespace {
+
+TEST(KmerIndexTest, PackRejectsNonAcgtAndOutOfRange) {
+  std::uint64_t packed = 0;
+  EXPECT_TRUE(KmerIndex::pack("ACGTACGT", 0, 4, packed));
+  EXPECT_FALSE(KmerIndex::pack("ACNT", 0, 4, packed));
+  EXPECT_FALSE(KmerIndex::pack("ACG", 0, 4, packed));  // too short
+  EXPECT_TRUE(KmerIndex::pack("ACGT", 0, 4, packed));
+}
+
+TEST(KmerIndexTest, PackIsPositional) {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  ASSERT_TRUE(KmerIndex::pack("ACGTAAAA", 0, 4, a));  // ACGT
+  ASSERT_TRUE(KmerIndex::pack("AAAAACGT", 4, 4, b));  // ACGT
+  EXPECT_EQ(a, b);
+  std::uint64_t c = 0;
+  ASSERT_TRUE(KmerIndex::pack("TGCA", 0, 4, c));
+  EXPECT_NE(a, c);
+}
+
+TEST(KmerIndexTest, FindsAllOccurrences) {
+  // "ACGT" occurs at 0 and 8.
+  KmerIndex index("ACGTTTTTACGT", 4, 64);
+  std::uint64_t packed = 0;
+  ASSERT_TRUE(KmerIndex::pack("ACGT", 0, 4, packed));
+  const auto* hits = index.find(packed);
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, (std::vector<std::uint32_t>{0, 8}));
+}
+
+TEST(KmerIndexTest, AbsentKmerReturnsNull) {
+  KmerIndex index("AAAAAAAA", 4, 64);
+  std::uint64_t packed = 0;
+  ASSERT_TRUE(KmerIndex::pack("CCCC", 0, 4, packed));
+  EXPECT_EQ(index.find(packed), nullptr);
+}
+
+TEST(KmerIndexTest, RepeatMaskingDropsFrequentKmers) {
+  // Poly-A: the AAAA k-mer occurs length-3 times.
+  const std::string polyA(100, 'A');
+  KmerIndex masked(polyA, 4, /*maxOccurrences=*/10);
+  std::uint64_t packed = 0;
+  ASSERT_TRUE(KmerIndex::pack("AAAA", 0, 4, packed));
+  EXPECT_EQ(masked.find(packed), nullptr);
+  EXPECT_EQ(masked.maskedKmers(), 1u);
+
+  KmerIndex unmasked(polyA, 4, /*maxOccurrences=*/1000);
+  EXPECT_NE(unmasked.find(packed), nullptr);
+}
+
+TEST(KmerIndexTest, ShortReferenceYieldsEmptyIndex) {
+  KmerIndex index("ACG", 11, 64);
+  EXPECT_EQ(index.distinctKmers(), 0u);
+}
+
+TEST(KmerIndexTest, DistinctCountMatchesRandomSequenceScale) {
+  Rng rng(3);
+  const std::string reference = randomBases(rng, 10'000);
+  KmerIndex index(reference, 11, 64);
+  // With 4^11 ~ 4M possible k-mers and 10k positions, nearly all distinct.
+  EXPECT_GT(index.distinctKmers(), 9'500u);
+}
+
+}  // namespace
+}  // namespace lidc::genomics

@@ -1,0 +1,86 @@
+#include "genomics/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::genomics {
+namespace {
+
+TEST(SequenceTest, BaseCodeRoundTrip) {
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(codeBase(baseCode(base)), base);
+  }
+  EXPECT_EQ(baseCode('N'), 4);
+  EXPECT_EQ(codeBase(9), 'N');
+}
+
+TEST(SequenceTest, ReverseComplement) {
+  EXPECT_EQ(reverseComplement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverseComplement("AACC"), "GGTT");
+  EXPECT_EQ(reverseComplement(""), "");
+  EXPECT_EQ(reverseComplement("N"), "N");
+}
+
+TEST(SequenceTest, ReverseComplementIsInvolution) {
+  Rng rng(1);
+  const std::string s = randomBases(rng, 500);
+  EXPECT_EQ(reverseComplement(reverseComplement(s)), s);
+}
+
+TEST(SequenceTest, RandomBasesAreValidAndDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  const std::string s1 = randomBases(a, 1000);
+  const std::string s2 = randomBases(b, 1000);
+  EXPECT_EQ(s1, s2);
+  for (char c : s1) EXPECT_LT(baseCode(c), 4);
+}
+
+TEST(SequenceTest, MutatedFragmentLengthAndDivergence) {
+  Rng rng(3);
+  const std::string reference = randomBases(rng, 10'000);
+  const std::string fragment = mutatedFragment(rng, reference, 100, 0.05);
+  EXPECT_EQ(fragment.size(), 100u);
+  // A 5%-mutated fragment must be mostly but not wholly unlike random.
+  // (We can't locate it directly here, but all bases must be valid.)
+  for (char c : fragment) EXPECT_LT(baseCode(c), 4);
+}
+
+TEST(SequenceTest, MutationRateZeroCopiesExactly) {
+  Rng rng(5);
+  const std::string reference = randomBases(rng, 1'000);
+  const std::string fragment = mutatedFragment(rng, reference, 200, 0.0);
+  EXPECT_NE(reference.find(fragment), std::string::npos);
+}
+
+TEST(SequenceTest, FragmentLongerThanReferenceClamps) {
+  Rng rng(5);
+  const std::string reference = "ACGTACGT";
+  const std::string fragment = mutatedFragment(rng, reference, 100, 0.0);
+  EXPECT_EQ(fragment.size(), reference.size());
+}
+
+TEST(SequenceTest, GenerateReadsCountsAndIds) {
+  Rng rng(11);
+  const std::string reference = randomBases(rng, 5'000);
+  const auto reads = generateReads(rng, reference, 50, 80, 0.5, 0.02, "SRRTEST");
+  ASSERT_EQ(reads.size(), 50u);
+  EXPECT_EQ(reads[0].id, "SRRTEST.1");
+  EXPECT_EQ(reads[49].id, "SRRTEST.50");
+  for (const auto& read : reads) EXPECT_EQ(read.length(), 80u);
+}
+
+TEST(SequenceTest, DerivedFractionZeroAndOne) {
+  Rng rng(13);
+  const std::string reference = randomBases(rng, 5'000);
+  // All derived (mutation 0): every read is a substring of ref or its RC.
+  auto derived = generateReads(rng, reference, 20, 50, 1.0, 0.0, "D");
+  const std::string rc = reverseComplement(reference);
+  for (const auto& read : derived) {
+    const bool forward = reference.find(read.bases) != std::string::npos;
+    const bool reverse = rc.find(read.bases) != std::string::npos;
+    EXPECT_TRUE(forward || reverse) << read.id;
+  }
+}
+
+}  // namespace
+}  // namespace lidc::genomics

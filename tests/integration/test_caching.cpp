@@ -1,0 +1,176 @@
+// Result caching end-to-end (paper SVII): identical canonical requests
+// from multiple clients are answered without re-running the job — by
+// the gateway's result cache, and within the ack freshness window, by
+// NDN Content Stores along the path.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc {
+namespace {
+
+class CachingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<core::ClusterOverlay>(sim_);
+    overlay_->addNode("router");
+    overlay_->addNode("alice-host");
+    overlay_->addNode("bob-host");
+
+    core::ComputeClusterConfig config;
+    config.name = "cluster";
+    auto& cluster = overlay_->addCluster(config);
+    cluster.cluster().registerApp("sleeper", [this](k8s::AppContext&) {
+      ++jobRuns_;
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(60);
+      result.resultPath = "/ndn/k8s/data/results/r";
+      result.outputBytes = 7;
+      return result;
+    });
+    cluster.gateway().jobs().mapAppToImage("sleep", "sleeper");
+
+    overlay_->connect("alice-host", "router",
+                      net::LinkParams{sim::Duration::millis(5)});
+    overlay_->connect("bob-host", "router",
+                      net::LinkParams{sim::Duration::millis(5)});
+    overlay_->connect("router", "cluster",
+                      net::LinkParams{sim::Duration::millis(20)});
+    overlay_->announceCluster("cluster");
+
+    core::ClientOptions cached;
+    cached.bypassCache = false;  // canonical names
+    alice_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("alice-host"), "alice", cached, 1);
+    bob_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("bob-host"), "bob", cached, 2);
+  }
+
+  core::ComputeRequest sleepRequest() {
+    core::ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(1);
+    request.memory = ByteSize::fromGiB(1);
+    return request;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<core::ClusterOverlay> overlay_;
+  std::unique_ptr<core::LidcClient> alice_;
+  std::unique_ptr<core::LidcClient> bob_;
+  int jobRuns_ = 0;
+};
+
+TEST_F(CachingTest, SecondClientJoinsInFlightJob) {
+  std::vector<std::string> jobIds;
+  alice_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    jobIds.push_back(r->jobId);
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(10));
+  bob_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    jobIds.push_back(r->jobId);
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(10));
+  ASSERT_EQ(jobIds.size(), 2u);
+  EXPECT_EQ(jobIds[0], jobIds[1]);
+  EXPECT_EQ(jobRuns_, 1);
+}
+
+TEST_F(CachingTest, RepeatAfterCompletionServedFromResultCache) {
+  std::optional<core::JobOutcome> first;
+  alice_->runToCompletion(sleepRequest(), [&](Result<core::JobOutcome> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    first = *r;
+  });
+  sim_.run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(jobRuns_, 1);
+
+  std::optional<core::SubmitResult> second;
+  bob_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    second = *r;
+  });
+  sim_.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->cached);
+  EXPECT_EQ(second->resultPath, "/ndn/k8s/data/results/r");
+  EXPECT_EQ(second->outputBytes, 7u);
+  EXPECT_EQ(jobRuns_, 1);  // never re-ran
+  // The cached answer is much faster than running a 60 s job.
+  EXPECT_LT(second->placementLatency.toSeconds(), 1.0);
+}
+
+TEST_F(CachingTest, CacheBypassingClientsForceFreshRuns) {
+  core::ClientOptions bypass;
+  bypass.bypassCache = true;
+  core::LidcClient carol(*overlay_->topology().node("alice-host"), "carol", bypass,
+                         3);
+  for (int i = 0; i < 2; ++i) {
+    carol.submit(sleepRequest(), [](Result<core::SubmitResult> r) {
+      ASSERT_TRUE(r.ok());
+    });
+    sim_.run();
+  }
+  EXPECT_EQ(jobRuns_, 2);
+}
+
+TEST_F(CachingTest, SimultaneousIdenticalRequestsAggregateInThePit) {
+  // Alice and Bob express the identical canonical Interest at the same
+  // instant. The router's PIT collapses them: exactly one Interest
+  // crosses the router->cluster link, one job runs, both get the ack.
+  int acks = 0;
+  std::string jobA;
+  std::string jobB;
+  alice_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    ++acks;
+    jobA = r->jobId;
+  });
+  bob_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    ++acks;
+    jobB = r->jobId;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(2));
+  EXPECT_EQ(acks, 2);
+  EXPECT_EQ(jobA, jobB);
+  auto* gw = overlay_->cluster("cluster");
+  EXPECT_EQ(gw->gateway().counters().jobsLaunched, 1u);
+  EXPECT_EQ(gw->gateway().counters().computeReceived, 1u);  // PIT merged them
+  sim_.run();
+  EXPECT_EQ(jobRuns_, 1);  // exactly one execution served both clients
+}
+
+TEST_F(CachingTest, RouterContentStoreAnswersWithinFreshnessWindow) {
+  // Alice asks; within the 5 s ack freshness, Bob's identical request is
+  // answered by the router's CS without touching the cluster at all.
+  std::optional<core::SubmitResult> aliceAck;
+  alice_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+    aliceAck = *r;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  ASSERT_TRUE(aliceAck.has_value());
+
+  const auto clusterInterestsBefore =
+      overlay_->topology().node("cluster")->counters().nInInterests;
+  std::optional<core::SubmitResult> bobAck;
+  bob_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok());
+    bobAck = *r;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  ASSERT_TRUE(bobAck.has_value());
+  EXPECT_EQ(bobAck->jobId, aliceAck->jobId);
+  EXPECT_EQ(overlay_->topology().node("cluster")->counters().nInInterests,
+            clusterInterestsBefore);
+  // Router CS hit is visible in its counters.
+  EXPECT_GE(overlay_->topology().node("router")->counters().nCsHits, 1u);
+}
+
+}  // namespace
+}  // namespace lidc

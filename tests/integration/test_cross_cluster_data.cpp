@@ -1,0 +1,117 @@
+// Cross-cluster data retrieval: /ndn/k8s/data is anycast to every
+// cluster's data lake, but an object produced on one cluster lives only
+// there. The best-route strategy fails over on the nearer lake's
+// NoRoute nack until it reaches the lake that actually holds the
+// object — decentralized data location, no catalog needed.
+// Also: gateway-side dataset-existence validation.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc {
+namespace {
+
+class CrossClusterDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<core::ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+    near_ = &addCluster("near", 5);
+    far_ = &addCluster("far", 50);
+    client_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("client-host"), "user");
+  }
+
+  core::ComputeCluster& addCluster(const std::string& name, int linkMs) {
+    core::ComputeClusterConfig config;
+    config.name = name;
+    auto& cluster = overlay_->addCluster(config);
+    overlay_->connect("client-host", name,
+                      net::LinkParams{sim::Duration::millis(linkMs)});
+    overlay_->announceCluster(name);
+    return cluster;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<core::ClusterOverlay> overlay_;
+  core::ComputeCluster* near_ = nullptr;
+  core::ComputeCluster* far_ = nullptr;
+  std::unique_ptr<core::LidcClient> client_;
+};
+
+TEST_F(CrossClusterDataTest, FetchFailsOverToTheLakeHoldingTheObject) {
+  // Object exists only on the *far* cluster's data lake.
+  ASSERT_TRUE(far_->store()
+                  .putText(ndn::Name("/ndn/k8s/data/results/unique-obj"),
+                           "only on far")
+                  .ok());
+
+  std::optional<std::string> fetched;
+  client_->fetchData(ndn::Name("/ndn/k8s/data/results/unique-obj"),
+                     [&](Result<std::vector<std::uint8_t>> r) {
+                       ASSERT_TRUE(r.ok()) << r.status();
+                       fetched = std::string(r->begin(), r->end());
+                     });
+  sim_.run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, "only on far");
+  // The near lake was asked first and rejected.
+  EXPECT_GE(near_->fileServer().interestsRejected(), 1u);
+  EXPECT_GE(far_->fileServer().interestsServed(), 1u);
+}
+
+TEST_F(CrossClusterDataTest, ObjectNowhereFailsCleanly) {
+  std::optional<Status> failure;
+  client_->fetchData(ndn::Name("/ndn/k8s/data/ghost"),
+                     [&](Result<std::vector<std::uint8_t>> r) {
+                       ASSERT_FALSE(r.ok());
+                       failure = r.status();
+                     });
+  sim_.run();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->code(), StatusCode::kNotFound);
+}
+
+TEST_F(CrossClusterDataTest, GatewayRejectsJobsForMissingDatasets) {
+  // Datasets were never loaded on these clusters, so a well-formed BLAST
+  // request must be rejected by the data-lake existence validator
+  // before any job launches.
+  core::ComputeRequest request;
+  request.app = "BLAST";
+  request.cpu = MilliCpu::fromCores(2);
+  request.memory = ByteSize::fromGiB(4);
+  request.params["srr_id"] = "SRR2931415";
+
+  std::optional<Status> failure;
+  client_->submit(request, [&](Result<core::SubmitResult> r) {
+    ASSERT_FALSE(r.ok());
+    failure = r.status();
+  });
+  sim_.run();
+  ASSERT_TRUE(failure.has_value());
+  // Dataset-missing is a cluster-local condition: each gateway nacks so
+  // the network can try elsewhere; with no lake holding the data the
+  // client sees the placement as unavailable.
+  EXPECT_EQ(failure->code(), StatusCode::kUnavailable);
+  EXPECT_EQ(near_->gateway().counters().jobsLaunched, 0u);
+  EXPECT_EQ(far_->gateway().counters().jobsLaunched, 0u);
+  EXPECT_GE(near_->gateway().counters().computeRejected +
+                far_->gateway().counters().computeRejected,
+            2u);
+
+  // After loading datasets the same request passes validation.
+  genomics::DatasetCatalog catalog(0.05);
+  near_->loadGenomicsDatasets(catalog);
+  far_->loadGenomicsDatasets(catalog);
+  std::optional<core::SubmitResult> ack;
+  client_->submit(request, [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    ack = *r;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(5));
+  EXPECT_TRUE(ack.has_value());
+}
+
+}  // namespace
+}  // namespace lidc

@@ -1,0 +1,106 @@
+// Robustness over lossy WANs: the full compute workflow (submit, poll,
+// retrieve) completing despite packet loss, via client retransmission
+// and per-segment retries.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc {
+namespace {
+
+class LossyNetworkTest : public ::testing::Test {
+ protected:
+  void buildWorld(double lossRate) {
+    overlay_ = std::make_unique<core::ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+    core::ComputeClusterConfig config;
+    config.name = "cluster";
+    cluster_ = &overlay_->addCluster(config);
+    cluster_->cluster().registerApp("sleeper", [](k8s::AppContext&) {
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(30);
+      result.resultPath = "/ndn/k8s/data/results/r";
+      return result;
+    });
+    cluster_->gateway().jobs().mapAppToImage("sleep", "sleeper");
+    (void)cluster_->store().putText(ndn::Name("/ndn/k8s/data/results/r"),
+                                    std::string(20'000, 'z'));
+    overlay_->connect("client-host", "cluster",
+                      net::LinkParams{sim::Duration::millis(10), 0.0, lossRate});
+    overlay_->announceCluster("cluster");
+
+    core::ClientOptions options;
+    options.maxSubmitRetries = 8;
+    options.interestLifetime = sim::Duration::millis(500);
+    client_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("client-host"), "user", options);
+  }
+
+  core::ComputeRequest sleepRequest() {
+    core::ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(1);
+    request.memory = ByteSize::fromGiB(1);
+    return request;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<core::ClusterOverlay> overlay_;
+  core::ComputeCluster* cluster_ = nullptr;
+  std::unique_ptr<core::LidcClient> client_;
+};
+
+TEST_F(LossyNetworkTest, WorkflowSurvivesTwentyPercentLoss) {
+  buildWorld(0.20);
+  std::optional<core::JobOutcome> outcome;
+  client_->runToCompletion(sleepRequest(), [&](Result<core::JobOutcome> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    outcome = *r;
+  });
+  sim_.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->finalStatus.state, k8s::JobState::kCompleted);
+  // Loss actually happened (otherwise the test proves nothing).
+  EXPECT_GT(overlay_->topology().linkBetween("client-host", "cluster")
+                ->packetsDropped(),
+            0u);
+}
+
+TEST_F(LossyNetworkTest, ResultRetrievalSurvivesLoss) {
+  buildWorld(0.15);
+  datalake::RetrieveOptions options;
+  options.maxRetriesPerSegment = 12;
+  options.interestLifetime = sim::Duration::millis(300);
+  // Use a dedicated retriever with aggressive retries for the large
+  // multi-segment result.
+  auto face = std::make_shared<ndn::AppFace>(
+      "app://fetch", sim_, 99);
+  overlay_->topology().node("client-host")->addFace(face);
+  datalake::Retriever retriever(*face, options);
+
+  std::optional<std::size_t> size;
+  retriever.fetch(ndn::Name("/ndn/k8s/data/results/r"),
+                  [&](Result<std::vector<std::uint8_t>> r) {
+                    ASSERT_TRUE(r.ok()) << r.status();
+                    size = r->size();
+                  });
+  sim_.run();
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 20'000u);
+}
+
+TEST_F(LossyNetworkTest, SubmitGivesUpAfterRetryBudget) {
+  buildWorld(1.0);  // total blackout
+  std::optional<Status> failure;
+  client_->submit(sleepRequest(), [&](Result<core::SubmitResult> r) {
+    ASSERT_FALSE(r.ok());
+    failure = r.status();
+  });
+  sim_.run();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace lidc

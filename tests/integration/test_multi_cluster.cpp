@@ -1,0 +1,154 @@
+// Multi-cluster, multi-client integration over a realistic geo topology:
+// three clusters behind regional routers, clients in two regions,
+// genomics jobs end to end. Exercises the full Fig. 1 picture.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc {
+namespace {
+
+class MultiClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<core::ClusterOverlay>(sim_);
+    catalog_ = std::make_unique<genomics::DatasetCatalog>(/*scale=*/0.1);
+
+    // Regional routers + client hosts.
+    overlay_->addNode("router-east");
+    overlay_->addNode("router-west");
+    overlay_->connect("router-east", "router-west",
+                      net::LinkParams{sim::Duration::millis(35)});
+    overlay_->addNode("client-east");
+    overlay_->addNode("client-west");
+    overlay_->connect("client-east", "router-east",
+                      net::LinkParams{sim::Duration::millis(3)});
+    overlay_->connect("client-west", "router-west",
+                      net::LinkParams{sim::Duration::millis(3)});
+
+    addGenomicsCluster("campus-east", "router-east", 4);
+    addGenomicsCluster("cloud-east", "router-east", 12);
+    addGenomicsCluster("campus-west", "router-west", 8);
+
+    east_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("client-east"), "east-user");
+    west_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("client-west"), "west-user");
+  }
+
+  void addGenomicsCluster(const std::string& name, const std::string& attach,
+                          std::uint64_t cores) {
+    core::ComputeClusterConfig config;
+    config.name = name;
+    config.perNode = k8s::Resources{MilliCpu::fromCores(cores),
+                                    ByteSize::fromGiB(32)};
+    auto& cluster = overlay_->addCluster(config);
+    cluster.loadGenomicsDatasets(*catalog_);
+    overlay_->connect(name, attach, net::LinkParams{sim::Duration::millis(8)});
+    overlay_->announceCluster(name);
+  }
+
+  core::ComputeRequest blast(const std::string& srrId) {
+    core::ComputeRequest request;
+    request.app = "BLAST";
+    request.cpu = MilliCpu::fromCores(2);
+    request.memory = ByteSize::fromGiB(4);
+    request.params["srr_id"] = srrId;
+    return request;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<core::ClusterOverlay> overlay_;
+  std::unique_ptr<genomics::DatasetCatalog> catalog_;
+  std::unique_ptr<core::LidcClient> east_;
+  std::unique_ptr<core::LidcClient> west_;
+};
+
+TEST_F(MultiClusterTest, ClientsPlaceOnTheirRegionalCluster) {
+  std::string eastPlacement;
+  std::string westPlacement;
+  east_->submit(blast("SRR2931415"), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    eastPlacement = r->cluster;
+  });
+  west_->submit(blast("SRR2931415"), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    westPlacement = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(5));
+  // Both east clusters are 11 ms away; the west cluster is ~46 ms away
+  // from the east client, so east placements stay east and vice versa.
+  EXPECT_TRUE(eastPlacement == "campus-east" || eastPlacement == "cloud-east")
+      << eastPlacement;
+  EXPECT_EQ(westPlacement, "campus-west");
+}
+
+TEST_F(MultiClusterTest, SameNameWorksFromBothRegions) {
+  // The same semantic name, expressed anywhere, reaches *a* cluster —
+  // the location-independence property.
+  int completed = 0;
+  for (auto* client : {east_.get(), west_.get()}) {
+    client->runToCompletion(blast("SRR2931415"),
+                            [&](Result<core::JobOutcome> r) {
+                              ASSERT_TRUE(r.ok()) << r.status();
+                              EXPECT_EQ(r->finalStatus.state,
+                                        k8s::JobState::kCompleted);
+                              ++completed;
+                            });
+  }
+  sim_.run();
+  EXPECT_EQ(completed, 2);
+}
+
+TEST_F(MultiClusterTest, RegionalOutageFailsOverAcrossRegions) {
+  overlay_->failCluster("campus-west");
+  std::string placement;
+  west_->submit(blast("SRR2931415"), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    placement = r->cluster;
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(5));
+  EXPECT_TRUE(placement == "campus-east" || placement == "cloud-east");
+}
+
+TEST_F(MultiClusterTest, DataRetrievableFromWhicheverClusterRan) {
+  std::optional<core::JobOutcome> outcome;
+  west_->runToCompletion(blast("SRR2931415"), [&](Result<core::JobOutcome> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    outcome = *r;
+  });
+  sim_.run();
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_EQ(outcome->finalStatus.state, k8s::JobState::kCompleted);
+
+  std::optional<std::size_t> size;
+  west_->fetchData(ndn::Name(outcome->finalStatus.resultPath),
+                   [&](Result<std::vector<std::uint8_t>> r) {
+                     ASSERT_TRUE(r.ok()) << r.status();
+                     size = r->size();
+                   });
+  sim_.run();
+  ASSERT_TRUE(size.has_value());
+  EXPECT_GT(*size, 0u);
+}
+
+TEST_F(MultiClusterTest, ParallelJobsSpreadUnderCapacityPressure) {
+  // campus-east holds 4 cores; with 2-core jobs, the third east job must
+  // land elsewhere even though campus-east is nearest.
+  std::map<std::string, int> placements;
+  for (int i = 0; i < 4; ++i) {
+    east_->submit(blast("SRR2931415"), [&](Result<core::SubmitResult> r) {
+      ASSERT_TRUE(r.ok()) << r.status();
+      ++placements[r->cluster];
+    });
+    sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  }
+  int total = 0;
+  for (const auto& [cluster, count] : placements) total += count;
+  EXPECT_EQ(total, 4);
+  EXPECT_GE(placements.size(), 2u);  // overflowed beyond the nearest
+}
+
+}  // namespace
+}  // namespace lidc

@@ -1,0 +1,112 @@
+// Failure injection through the full stack: a worker node dies inside a
+// multi-node cluster while a named LIDC job runs. With retries=N in the
+// semantic name, the K8s Job controller reschedules the pod onto a
+// surviving node and the client still observes Completed — the user
+// never learns a node died.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc {
+namespace {
+
+class NodeFailureWorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<core::ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+    core::ComputeClusterConfig config;
+    config.name = "ha-cluster";
+    config.nodeCount = 3;  // multi-node, unlike the paper's single-node
+    config.perNode = k8s::Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(8)};
+    cluster_ = &overlay_->addCluster(config);
+    cluster_->cluster().registerApp("sleeper", [this](k8s::AppContext&) {
+      ++runs_;
+      k8s::AppResult result;
+      result.runtime = sim::Duration::seconds(120);
+      return result;
+    });
+    cluster_->gateway().jobs().mapAppToImage("sleep", "sleeper");
+    overlay_->connect("client-host", "ha-cluster",
+                      net::LinkParams{sim::Duration::millis(5)});
+    overlay_->announceCluster("ha-cluster");
+    client_ = std::make_unique<core::LidcClient>(
+        *overlay_->topology().node("client-host"), "user");
+  }
+
+  core::ComputeRequest sleepRequest(int retries) {
+    core::ComputeRequest request;
+    request.app = "sleep";
+    request.cpu = MilliCpu::fromCores(1);
+    request.memory = ByteSize::fromGiB(1);
+    if (retries > 0) request.params["retries"] = std::to_string(retries);
+    return request;
+  }
+
+  /// Name of the node hosting the job's pod.
+  std::string nodeOfJob(const std::string& jobId) {
+    auto* job = cluster_->cluster().job("ndnk8s", jobId);
+    if (job == nullptr) return {};
+    auto* pod = cluster_->cluster().pod("ndnk8s", job->podName());
+    return pod == nullptr ? std::string{} : pod->nodeName();
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<core::ClusterOverlay> overlay_;
+  core::ComputeCluster* cluster_ = nullptr;
+  std::unique_ptr<core::LidcClient> client_;
+  int runs_ = 0;
+};
+
+TEST_F(NodeFailureWorkflowTest, JobSurvivesNodeDeathWithRetries) {
+  std::optional<core::JobOutcome> outcome;
+  std::string jobId;
+  client_->submit(sleepRequest(/*retries=*/2), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    jobId = r->jobId;
+    client_->waitForCompletion(ndn::Name(r->statusName),
+                               [&](Result<core::JobStatusSnapshot> status) {
+                                 ASSERT_TRUE(status.ok()) << status.status();
+                                 core::JobOutcome o;
+                                 o.finalStatus = *status;
+                                 outcome = o;
+                               });
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(30));
+  ASSERT_FALSE(jobId.empty());
+
+  // Kill the node the pod landed on, mid-run.
+  const std::string victim = nodeOfJob(jobId);
+  ASSERT_FALSE(victim.empty());
+  cluster_->cluster().failNode(victim);
+
+  sim_.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->finalStatus.state, k8s::JobState::kCompleted);
+  EXPECT_EQ(runs_, 2);  // original attempt + retry
+}
+
+TEST_F(NodeFailureWorkflowTest, WithoutRetriesClientSeesFailed) {
+  std::optional<core::JobStatusSnapshot> finalStatus;
+  std::string jobId;
+  client_->submit(sleepRequest(/*retries=*/0), [&](Result<core::SubmitResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    jobId = r->jobId;
+    client_->waitForCompletion(ndn::Name(r->statusName),
+                               [&](Result<core::JobStatusSnapshot> status) {
+                                 ASSERT_TRUE(status.ok()) << status.status();
+                                 finalStatus = *status;
+                               });
+  });
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(30));
+  ASSERT_FALSE(jobId.empty());
+  cluster_->cluster().failNode(nodeOfJob(jobId));
+  sim_.run();
+  ASSERT_TRUE(finalStatus.has_value());
+  EXPECT_EQ(finalStatus->state, k8s::JobState::kFailed);
+  EXPECT_NE(finalStatus->error.find("failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lidc

@@ -1,0 +1,155 @@
+// End-to-end integration tests of the Fig. 5 workflow: a client on one
+// side of the network submits a semantically named BLAST job; the
+// gateway validates, launches a K8s Job against the data lake; the
+// client polls /ndn/k8s/status until Completed and retrieves the result
+// from the data lake — all through NDN names, never a cluster address.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc {
+namespace {
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    overlay_ = std::make_unique<core::ClusterOverlay>(sim_);
+    overlay_->addNode("client-host");
+
+    core::ComputeClusterConfig config;
+    config.name = "cluster-a";
+    auto& cluster = overlay_->addCluster(config);
+    catalog_ = std::make_unique<genomics::DatasetCatalog>(/*scale=*/0.2);
+    cluster.loadGenomicsDatasets(*catalog_);
+
+    overlay_->connect("client-host", "cluster-a",
+                      net::LinkParams{sim::Duration::millis(10), 0.0, 0.0});
+    overlay_->announceCluster("cluster-a");
+
+    client_ = std::make_unique<core::LidcClient>(*overlay_->topology().node("client-host"),
+                                                 "alice");
+  }
+
+  core::ComputeRequest blastRequest(const std::string& srrId) {
+    core::ComputeRequest request;
+    request.app = "BLAST";
+    request.cpu = MilliCpu::fromCores(2);
+    request.memory = ByteSize::fromGiB(4);
+    request.params["srr_id"] = srrId;
+    return request;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<core::ClusterOverlay> overlay_;
+  std::unique_ptr<genomics::DatasetCatalog> catalog_;
+  std::unique_ptr<core::LidcClient> client_;
+};
+
+TEST_F(WorkflowTest, SubmitReturnsJobIdAndStatusName) {
+  std::optional<core::SubmitResult> ack;
+  client_->submit(blastRequest("SRR2931415"),
+                  [&](Result<core::SubmitResult> r) {
+                    ASSERT_TRUE(r.ok()) << r.status();
+                    ack = *r;
+                  });
+  sim_.run();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->cluster, "cluster-a");
+  EXPECT_FALSE(ack->jobId.empty());
+  EXPECT_NE(ack->statusName.find("/ndn/k8s/status/cluster-a/"), std::string::npos);
+  // Round trip over a 10 ms link: at least 20 ms of placement latency.
+  EXPECT_GE(ack->placementLatency.toMillis(), 20.0);
+}
+
+TEST_F(WorkflowTest, FullLifecycleReachesCompletedWithResult) {
+  std::optional<core::JobOutcome> outcome;
+  client_->runToCompletion(blastRequest("SRR2931415"),
+                           [&](Result<core::JobOutcome> r) {
+                             ASSERT_TRUE(r.ok()) << r.status();
+                             outcome = *r;
+                           });
+  sim_.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->finalStatus.state, k8s::JobState::kCompleted);
+  EXPECT_FALSE(outcome->finalStatus.resultPath.empty());
+  EXPECT_GT(outcome->finalStatus.outputBytes, 0u);
+  // The testbed-scale runtime should be hours (Table I scale).
+  EXPECT_GT(outcome->finalStatus.runtime.toSeconds(), 3600.0);
+}
+
+TEST_F(WorkflowTest, ResultIsRetrievableFromDataLake) {
+  std::optional<core::JobOutcome> outcome;
+  client_->runToCompletion(blastRequest("SRR2931415"),
+                           [&](Result<core::JobOutcome> r) {
+                             ASSERT_TRUE(r.ok()) << r.status();
+                             outcome = *r;
+                           });
+  sim_.run();
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_EQ(outcome->finalStatus.state, k8s::JobState::kCompleted);
+
+  std::optional<std::size_t> fetchedSize;
+  client_->fetchData(ndn::Name(outcome->finalStatus.resultPath),
+                     [&](Result<std::vector<std::uint8_t>> bytes) {
+                       ASSERT_TRUE(bytes.ok()) << bytes.status();
+                       fetchedSize = bytes->size();
+                     });
+  sim_.run();
+  ASSERT_TRUE(fetchedSize.has_value());
+  EXPECT_GT(*fetchedSize, 0u);
+}
+
+TEST_F(WorkflowTest, InvalidSrrIdIsRejectedByValidator) {
+  std::optional<Status> failure;
+  client_->submit(blastRequest("NOT_AN_SRR"),
+                  [&](Result<core::SubmitResult> r) {
+                    ASSERT_FALSE(r.ok());
+                    failure = r.status();
+                  });
+  sim_.run();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->message().find("SRR"), std::string::npos);
+}
+
+TEST_F(WorkflowTest, UnknownApplicationIsRejected) {
+  core::ComputeRequest request;
+  request.app = "NO_SUCH_APP";
+  request.cpu = MilliCpu::fromCores(1);
+  request.memory = ByteSize::fromGiB(1);
+  std::optional<Status> failure;
+  client_->submit(std::move(request), [&](Result<core::SubmitResult> r) {
+    ASSERT_FALSE(r.ok());
+    failure = r.status();
+  });
+  sim_.run();
+  ASSERT_TRUE(failure.has_value());
+}
+
+TEST_F(WorkflowTest, StatusProgressesThroughRunning) {
+  // Submit, then immediately query status: the job should be Pending or
+  // Running long before its hours-long completion.
+  std::optional<core::SubmitResult> ack;
+  client_->submit(blastRequest("SRR2931415"),
+                  [&](Result<core::SubmitResult> r) {
+                    ASSERT_TRUE(r.ok()) << r.status();
+                    ack = *r;
+                  });
+  sim_.runUntil(sim::Time::fromNanos(
+      sim::Duration::seconds(5).toNanos()));
+  ASSERT_TRUE(ack.has_value());
+
+  std::optional<core::JobStatusSnapshot> snapshot;
+  client_->queryStatus(ndn::Name(ack->statusName),
+                       [&](Result<core::JobStatusSnapshot> r) {
+                         ASSERT_TRUE(r.ok()) << r.status();
+                         snapshot = *r;
+                       });
+  sim_.runUntil(sim::Time::fromNanos(sim::Duration::seconds(10).toNanos()));
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_TRUE(snapshot->state == k8s::JobState::kRunning ||
+              snapshot->state == k8s::JobState::kPending);
+}
+
+}  // namespace
+}  // namespace lidc

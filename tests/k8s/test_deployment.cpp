@@ -1,0 +1,96 @@
+#include "k8s/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::k8s {
+namespace {
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() : cluster_("test", sim_) {
+    cluster_.addNode("node0",
+                     Resources{MilliCpu::fromCores(16), ByteSize::fromGiB(32)});
+  }
+
+  PodSpec workerSpec() {
+    PodSpec spec;
+    spec.image = "worker";
+    spec.requests = Resources{MilliCpu::fromCores(1), ByteSize::fromGiB(1)};
+    return spec;
+  }
+
+  sim::Simulator sim_;
+  Cluster cluster_;
+};
+
+TEST_F(DeploymentTest, CreatesRequestedReplicas) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 3);
+  EXPECT_EQ(deployment.replicas(), 3);
+  EXPECT_EQ(cluster_.podsInNamespace("default").size(), 3u);
+  EXPECT_EQ(deployment.readyReplicas(), 0);  // still starting
+  sim_.run();
+  EXPECT_EQ(deployment.readyReplicas(), 3);
+}
+
+TEST_F(DeploymentTest, ScaleUpAndDown) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 2);
+  sim_.run();
+  ASSERT_TRUE(deployment.scaleTo(5).ok());
+  EXPECT_EQ(cluster_.podsInNamespace("default").size(), 5u);
+  sim_.run();
+  EXPECT_EQ(deployment.readyReplicas(), 5);
+
+  ASSERT_TRUE(deployment.scaleTo(1).ok());
+  EXPECT_EQ(cluster_.podsInNamespace("default").size(), 1u);
+  EXPECT_EQ(deployment.readyReplicas(), 1);
+}
+
+TEST_F(DeploymentTest, ScaleToZeroAndNegativeClamped) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 2);
+  ASSERT_TRUE(deployment.scaleTo(0).ok());
+  EXPECT_EQ(cluster_.podsInNamespace("default").size(), 0u);
+  ASSERT_TRUE(deployment.scaleTo(-3).ok());
+  EXPECT_EQ(deployment.replicas(), 0);
+}
+
+TEST_F(DeploymentTest, PodsCarryDeploymentLabel) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 1);
+  auto pods = cluster_.podsInNamespace("default");
+  ASSERT_EQ(pods.size(), 1u);
+  EXPECT_EQ(pods[0]->spec().labels.at("deployment"), "web");
+}
+
+TEST_F(DeploymentTest, AutoscalerScalesUpOnHighUtilization) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 2);
+  HorizontalAutoscaler hpa(deployment, 1, 8, /*target=*/0.5);
+  // Observed 1.0 vs target 0.5 => ratio 2 => 4 replicas.
+  EXPECT_EQ(hpa.reconcile(1.0), 4);
+  EXPECT_EQ(deployment.replicas(), 4);
+}
+
+TEST_F(DeploymentTest, AutoscalerScalesDownOnLowUtilization) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 6);
+  HorizontalAutoscaler hpa(deployment, 2, 8, 0.5);
+  // Observed 0.1 vs target 0.5 => ratio 0.2 => ceil(6*0.2)=2.
+  EXPECT_EQ(hpa.reconcile(0.1), 2);
+}
+
+TEST_F(DeploymentTest, AutoscalerToleranceBandHolds) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 4);
+  HorizontalAutoscaler hpa(deployment, 1, 8, 0.5);
+  // Within +-20% of target: no change.
+  EXPECT_EQ(hpa.reconcile(0.55), 4);
+  EXPECT_EQ(hpa.reconcile(0.45), 4);
+}
+
+TEST_F(DeploymentTest, AutoscalerClampsToBounds) {
+  Deployment deployment(cluster_, "default", "web", workerSpec(), 2);
+  HorizontalAutoscaler hpa(deployment, 1, 3, 0.5);
+  EXPECT_EQ(hpa.reconcile(5.0), 3);  // clamped to max
+  Deployment d2(cluster_, "default", "web2", workerSpec(), 3);
+  HorizontalAutoscaler hpa2(d2, 2, 8, 0.5);
+  EXPECT_EQ(hpa2.reconcile(0.01), 2);  // clamped to min
+}
+
+}  // namespace
+}  // namespace lidc::k8s

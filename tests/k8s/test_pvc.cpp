@@ -1,0 +1,65 @@
+#include "k8s/pvc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::k8s {
+namespace {
+
+TEST(PvcTest, WriteReadRoundTrip) {
+  PersistentVolumeClaim pvc("p", ByteSize::fromMiB(1));
+  ASSERT_TRUE(pvc.writeText("dir/file.txt", "hello").ok());
+  auto bytes = pvc.read("dir/file.txt");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), "hello");
+  EXPECT_TRUE(pvc.exists("dir/file.txt"));
+  EXPECT_EQ(pvc.sizeOf("dir/file.txt"), 5u);
+}
+
+TEST(PvcTest, MissingFile) {
+  PersistentVolumeClaim pvc("p", ByteSize::fromMiB(1));
+  EXPECT_FALSE(pvc.read("nope").has_value());
+  EXPECT_FALSE(pvc.exists("nope"));
+  EXPECT_FALSE(pvc.sizeOf("nope").has_value());
+  EXPECT_EQ(pvc.remove("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(PvcTest, CapacityEnforced) {
+  PersistentVolumeClaim pvc("p", ByteSize(10));
+  EXPECT_TRUE(pvc.writeText("a", "12345").ok());
+  EXPECT_TRUE(pvc.writeText("b", "12345").ok());
+  EXPECT_EQ(pvc.writeText("c", "x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pvc.used().bytes(), 10u);
+}
+
+TEST(PvcTest, OverwriteAccountsDelta) {
+  PersistentVolumeClaim pvc("p", ByteSize(10));
+  ASSERT_TRUE(pvc.writeText("a", "123456789").ok());  // 9 bytes
+  // Replacing with a smaller file must succeed even near capacity.
+  ASSERT_TRUE(pvc.writeText("a", "12").ok());
+  EXPECT_EQ(pvc.used().bytes(), 2u);
+  // And growing it within capacity works.
+  ASSERT_TRUE(pvc.writeText("a", "1234567890").ok());
+  EXPECT_EQ(pvc.used().bytes(), 10u);
+}
+
+TEST(PvcTest, RemoveFreesSpace) {
+  PersistentVolumeClaim pvc("p", ByteSize(5));
+  ASSERT_TRUE(pvc.writeText("a", "12345").ok());
+  ASSERT_TRUE(pvc.remove("a").ok());
+  EXPECT_EQ(pvc.used().bytes(), 0u);
+  EXPECT_TRUE(pvc.writeText("b", "12345").ok());
+}
+
+TEST(PvcTest, ListByPrefix) {
+  PersistentVolumeClaim pvc("p", ByteSize::fromMiB(1));
+  ASSERT_TRUE(pvc.writeText("data/a", "1").ok());
+  ASSERT_TRUE(pvc.writeText("data/b", "2").ok());
+  ASSERT_TRUE(pvc.writeText("results/c", "3").ok());
+  EXPECT_EQ(pvc.list("data/").size(), 2u);
+  EXPECT_EQ(pvc.list("results/").size(), 1u);
+  EXPECT_EQ(pvc.list("").size(), 3u);
+  EXPECT_TRUE(pvc.list("nothing/").empty());
+}
+
+}  // namespace
+}  // namespace lidc::k8s

@@ -1,0 +1,87 @@
+// Vertical scaling (paper SIII-A): in-place pod resize with node
+// accounting, failure when the node can't absorb growth, and queued-pod
+// unblocking when a resize shrinks.
+#include <gtest/gtest.h>
+
+#include "k8s/cluster.hpp"
+
+namespace lidc::k8s {
+namespace {
+
+class ResizeTest : public ::testing::Test {
+ protected:
+  ResizeTest() : cluster_("test", sim_) {
+    cluster_.addNode("n0",
+                     Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  }
+
+  Pod* makePod(const std::string& name, std::uint64_t cores,
+               std::uint64_t gib) {
+    PodSpec spec;
+    spec.image = "x";
+    spec.requests = Resources{MilliCpu::fromCores(cores), ByteSize::fromGiB(gib)};
+    auto pod = cluster_.createPod("default", name, spec);
+    EXPECT_TRUE(pod.ok());
+    return pod.ok() ? *pod : nullptr;
+  }
+
+  sim::Simulator sim_;
+  Cluster cluster_;
+};
+
+TEST_F(ResizeTest, GrowWithinNodeCapacity) {
+  Pod* pod = makePod("p", 2, 4);
+  ASSERT_TRUE(cluster_
+                  .resizePod("default", "p",
+                             Resources{MilliCpu::fromCores(6), ByteSize::fromGiB(12)})
+                  .ok());
+  EXPECT_EQ(pod->spec().requests.cpu, MilliCpu::fromCores(6));
+  EXPECT_EQ(cluster_.totalAllocated().cpu, MilliCpu::fromCores(6));
+}
+
+TEST_F(ResizeTest, GrowBeyondNodeFailsAndRestoresAccounting) {
+  makePod("p", 2, 4);
+  makePod("q", 4, 4);
+  const auto status = cluster_.resizePod(
+      "default", "p", Resources{MilliCpu::fromCores(6), ByteSize::fromGiB(4)});
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // Accounting unchanged.
+  EXPECT_EQ(cluster_.totalAllocated().cpu, MilliCpu::fromCores(6));
+  EXPECT_EQ(cluster_.pod("default", "p")->spec().requests.cpu,
+            MilliCpu::fromCores(2));
+}
+
+TEST_F(ResizeTest, ShrinkUnblocksQueuedPod) {
+  makePod("hog", 8, 4);
+  Pod* waiting = makePod("waiting", 4, 4);
+  ASSERT_EQ(cluster_.pendingUnschedulable(), 1u);
+  ASSERT_TRUE(cluster_
+                  .resizePod("default", "hog",
+                             Resources{MilliCpu::fromCores(2), ByteSize::fromGiB(4)})
+                  .ok());
+  EXPECT_EQ(cluster_.pendingUnschedulable(), 0u);
+  EXPECT_EQ(waiting->nodeName(), "n0");
+}
+
+TEST_F(ResizeTest, PendingPodResizeJustRespecifies) {
+  makePod("hog", 8, 4);
+  Pod* waiting = makePod("waiting", 8, 8);  // cannot fit while hog runs
+  ASSERT_TRUE(waiting->nodeName().empty());
+  // Shrink the pending pod: it still can't fit (hog holds everything)...
+  ASSERT_TRUE(cluster_
+                  .resizePod("default", "waiting",
+                             Resources{MilliCpu::fromCores(1), ByteSize::fromGiB(1)})
+                  .ok());
+  // ...until the hog leaves.
+  ASSERT_TRUE(cluster_.deletePod("default", "hog").ok());
+  EXPECT_EQ(waiting->nodeName(), "n0");
+  EXPECT_EQ(waiting->spec().requests.cpu, MilliCpu::fromCores(1));
+}
+
+TEST_F(ResizeTest, UnknownPodFails) {
+  EXPECT_EQ(cluster_.resizePod("default", "ghost", Resources{}).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lidc::k8s

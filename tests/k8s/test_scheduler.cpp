@@ -1,0 +1,101 @@
+#include "k8s/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::k8s {
+namespace {
+
+Pod makePod(const std::string& name, std::uint64_t cores, std::uint64_t gib) {
+  PodSpec spec;
+  spec.requests = Resources{MilliCpu::fromCores(cores), ByteSize::fromGiB(gib)};
+  return Pod(name, "default", spec);
+}
+
+TEST(SchedulerTest, FiltersNodesWithoutCapacity) {
+  Scheduler scheduler;
+  Node small("small", Resources{MilliCpu::fromCores(1), ByteSize::fromGiB(1)});
+  Node big("big", Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  const Pod pod = makePod("p", 4, 8);
+  auto selected = scheduler.selectNode(pod, {&small, &big});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(*selected, "big");
+}
+
+TEST(SchedulerTest, FailsWhenNothingFits) {
+  Scheduler scheduler;
+  Node tiny("tiny", Resources{MilliCpu::fromCores(1), ByteSize::fromGiB(1)});
+  auto selected = scheduler.selectNode(makePod("p", 4, 8), {&tiny});
+  EXPECT_FALSE(selected.ok());
+  EXPECT_EQ(selected.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SchedulerTest, NotReadyNodesExcluded) {
+  Scheduler scheduler;
+  Node node("n", Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  node.setReady(false);
+  EXPECT_FALSE(scheduler.selectNode(makePod("p", 1, 1), {&node}).ok());
+}
+
+TEST(SchedulerTest, LeastAllocatedSpreads) {
+  Scheduler scheduler(ScoringPolicy::kLeastAllocated);
+  Node idle("idle", Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  Node busy("busy", Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  busy.allocate("existing", Resources{MilliCpu::fromCores(6), ByteSize::fromGiB(12)});
+  auto selected = scheduler.selectNode(makePod("p", 1, 1), {&busy, &idle});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(*selected, "idle");
+}
+
+TEST(SchedulerTest, MostAllocatedBinPacks) {
+  Scheduler scheduler(ScoringPolicy::kMostAllocated);
+  Node idle("idle", Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  Node busy("busy", Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  busy.allocate("existing", Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(8)});
+  auto selected = scheduler.selectNode(makePod("p", 1, 1), {&busy, &idle});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(*selected, "busy");
+}
+
+TEST(SchedulerTest, ExactFitAccepted) {
+  Scheduler scheduler;
+  Node node("n", Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(4)});
+  auto selected = scheduler.selectNode(makePod("p", 4, 4), {&node});
+  EXPECT_TRUE(selected.ok());
+}
+
+TEST(NodeTest, AllocateReleaseAccounting) {
+  Node node("n", Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(8)});
+  const Resources r{MilliCpu::fromCores(2), ByteSize::fromGiB(4)};
+  node.allocate("p1", r);
+  EXPECT_EQ(node.allocated().cpu, MilliCpu::fromCores(2));
+  EXPECT_DOUBLE_EQ(node.cpuUtilization(), 0.5);
+  EXPECT_TRUE(node.canFit(r));
+  node.allocate("p2", r);
+  EXPECT_FALSE(node.canFit(Resources{MilliCpu::fromCores(1), ByteSize()}));
+  node.release("p1", r);
+  EXPECT_EQ(node.allocated().cpu, MilliCpu::fromCores(2));
+  // Releasing an unknown pod is a no-op.
+  node.release("ghost", r);
+  EXPECT_EQ(node.allocated().cpu, MilliCpu::fromCores(2));
+}
+
+TEST(ResourcesTest, FitsWithin) {
+  const Resources small{MilliCpu::fromCores(1), ByteSize::fromGiB(1)};
+  const Resources large{MilliCpu::fromCores(2), ByteSize::fromGiB(2)};
+  EXPECT_TRUE(small.fitsWithin(large));
+  EXPECT_FALSE(large.fitsWithin(small));
+  // One dimension too big is enough to fail.
+  const Resources cpuHeavy{MilliCpu::fromCores(4), ByteSize::fromGiB(1)};
+  EXPECT_FALSE(cpuHeavy.fitsWithin(large));
+}
+
+TEST(ResourcesTest, SelectorMatching) {
+  const Labels labels{{"app", "blast"}, {"tier", "batch"}};
+  EXPECT_TRUE(selectorMatches({{"app", "blast"}}, labels));
+  EXPECT_TRUE(selectorMatches({}, labels));
+  EXPECT_FALSE(selectorMatches({{"app", "other"}}, labels));
+  EXPECT_FALSE(selectorMatches({{"zone", "us"}}, labels));
+}
+
+}  // namespace
+}  // namespace lidc::k8s

@@ -1,0 +1,128 @@
+#include "ndn/cs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::ndn {
+namespace {
+
+Data makeData(const std::string& uri, sim::Duration freshness = sim::Duration()) {
+  Data data((Name(uri)));
+  data.setContent(uri);
+  data.setFreshnessPeriod(freshness);
+  data.sign();
+  return data;
+}
+
+Interest makeInterest(const std::string& uri, bool canBePrefix = false,
+                      bool mustBeFresh = false) {
+  Interest interest((Name(uri)));
+  interest.setCanBePrefix(canBePrefix);
+  interest.setMustBeFresh(mustBeFresh);
+  return interest;
+}
+
+TEST(ContentStoreTest, ExactMatchHit) {
+  ContentStore cs;
+  cs.insert(makeData("/a/b"), sim::Time());
+  auto hit = cs.find(makeInterest("/a/b"), sim::Time());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name(), Name("/a/b"));
+  EXPECT_EQ(cs.hits(), 1u);
+}
+
+TEST(ContentStoreTest, ExactMatchDoesNotMatchDeeperName) {
+  ContentStore cs;
+  cs.insert(makeData("/a/b/c"), sim::Time());
+  EXPECT_FALSE(cs.find(makeInterest("/a/b"), sim::Time()).has_value());
+  EXPECT_EQ(cs.misses(), 1u);
+}
+
+TEST(ContentStoreTest, PrefixMatchWithCanBePrefix) {
+  ContentStore cs;
+  cs.insert(makeData("/a/b/c"), sim::Time());
+  auto hit = cs.find(makeInterest("/a/b", /*canBePrefix=*/true), sim::Time());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name(), Name("/a/b/c"));
+}
+
+TEST(ContentStoreTest, PrefixMatchDoesNotCrossSubtree) {
+  ContentStore cs;
+  cs.insert(makeData("/a/bb"), sim::Time());
+  EXPECT_FALSE(cs.find(makeInterest("/a/b", true), sim::Time()).has_value());
+}
+
+TEST(ContentStoreTest, MustBeFreshRespectsFreshnessPeriod) {
+  ContentStore cs;
+  cs.insert(makeData("/a", sim::Duration::seconds(1)), sim::Time());
+  // Within freshness: hit.
+  EXPECT_TRUE(cs.find(makeInterest("/a", false, true),
+                      sim::Time() + sim::Duration::millis(500))
+                  .has_value());
+  // After freshness: stale, no hit for MustBeFresh...
+  EXPECT_FALSE(cs.find(makeInterest("/a", false, true),
+                       sim::Time() + sim::Duration::seconds(2))
+                   .has_value());
+  // ...but a hit without MustBeFresh.
+  EXPECT_TRUE(cs.find(makeInterest("/a"),
+                      sim::Time() + sim::Duration::seconds(2))
+                  .has_value());
+}
+
+TEST(ContentStoreTest, ZeroFreshnessNeverSatisfiesMustBeFresh) {
+  ContentStore cs;
+  cs.insert(makeData("/a"), sim::Time());
+  EXPECT_FALSE(cs.find(makeInterest("/a", false, true), sim::Time()).has_value());
+}
+
+TEST(ContentStoreTest, LruEvictionDropsColdest) {
+  ContentStore cs(2);
+  cs.insert(makeData("/a"), sim::Time());
+  cs.insert(makeData("/b"), sim::Time());
+  // Touch /a so /b is the LRU victim.
+  (void)cs.find(makeInterest("/a"), sim::Time());
+  cs.insert(makeData("/c"), sim::Time());
+  EXPECT_EQ(cs.size(), 2u);
+  EXPECT_TRUE(cs.find(makeInterest("/a"), sim::Time()).has_value());
+  EXPECT_FALSE(cs.find(makeInterest("/b"), sim::Time()).has_value());
+  EXPECT_TRUE(cs.find(makeInterest("/c"), sim::Time()).has_value());
+}
+
+TEST(ContentStoreTest, ReinsertRefreshesArrivalTime) {
+  ContentStore cs;
+  cs.insert(makeData("/a", sim::Duration::seconds(1)), sim::Time());
+  // Re-inserted at t=5s: fresh again relative to the new arrival.
+  cs.insert(makeData("/a", sim::Duration::seconds(1)),
+            sim::Time() + sim::Duration::seconds(5));
+  EXPECT_TRUE(cs.find(makeInterest("/a", false, true),
+                      sim::Time() + sim::Duration::seconds(5.5))
+                  .has_value());
+}
+
+TEST(ContentStoreTest, ZeroCapacityStoresNothing) {
+  ContentStore cs(0);
+  cs.insert(makeData("/a"), sim::Time());
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+TEST(ContentStoreTest, ShrinkingCapacityEvicts) {
+  ContentStore cs(4);
+  for (const char* uri : {"/a", "/b", "/c", "/d"}) {
+    cs.insert(makeData(uri), sim::Time());
+  }
+  cs.setCapacity(2);
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(ContentStoreTest, EraseAndClear) {
+  ContentStore cs;
+  cs.insert(makeData("/a"), sim::Time());
+  cs.insert(makeData("/b"), sim::Time());
+  cs.erase(Name("/a"));
+  EXPECT_EQ(cs.size(), 1u);
+  cs.erase(Name("/missing"));  // harmless
+  cs.clear();
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lidc::ndn

@@ -1,0 +1,89 @@
+#include "ndn/fib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::ndn {
+namespace {
+
+TEST(FibTest, LongestPrefixMatchPicksDeepestEntry) {
+  Fib fib;
+  fib.insert(Name("/ndn"), 1, 0);
+  fib.insert(Name("/ndn/k8s"), 2, 0);
+  fib.insert(Name("/ndn/k8s/compute"), 3, 0);
+
+  const auto* entry = fib.longestPrefixMatch(Name("/ndn/k8s/compute/job1"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->prefix(), Name("/ndn/k8s/compute"));
+
+  entry = fib.longestPrefixMatch(Name("/ndn/k8s/data/x"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->prefix(), Name("/ndn/k8s"));
+
+  entry = fib.longestPrefixMatch(Name("/ndn"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->prefix(), Name("/ndn"));
+}
+
+TEST(FibTest, NoMatchReturnsNull) {
+  Fib fib;
+  fib.insert(Name("/a"), 1, 0);
+  EXPECT_EQ(fib.longestPrefixMatch(Name("/b/c")), nullptr);
+}
+
+TEST(FibTest, RootEntryMatchesEverything) {
+  Fib fib;
+  fib.insert(Name("/"), 9, 0);
+  EXPECT_NE(fib.longestPrefixMatch(Name("/anything/at/all")), nullptr);
+}
+
+TEST(FibTest, NextHopsSortedByCost) {
+  Fib fib;
+  fib.insert(Name("/p"), 1, 30);
+  fib.insert(Name("/p"), 2, 10);
+  fib.insert(Name("/p"), 3, 20);
+  const auto* entry = fib.findExact(Name("/p"));
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->nextHops().size(), 3u);
+  EXPECT_EQ(entry->nextHops()[0].face, 2u);
+  EXPECT_EQ(entry->nextHops()[1].face, 3u);
+  EXPECT_EQ(entry->nextHops()[2].face, 1u);
+}
+
+TEST(FibTest, UpdatingCostResorts) {
+  Fib fib;
+  fib.insert(Name("/p"), 1, 10);
+  fib.insert(Name("/p"), 2, 20);
+  fib.insert(Name("/p"), 1, 30);  // now face 2 is cheapest
+  const auto* entry = fib.findExact(Name("/p"));
+  ASSERT_EQ(entry->nextHops().size(), 2u);
+  EXPECT_EQ(entry->nextHops()[0].face, 2u);
+}
+
+TEST(FibTest, RemoveNextHopDropsEmptyEntry) {
+  Fib fib;
+  fib.insert(Name("/p"), 1, 0);
+  fib.removeNextHop(Name("/p"), 1);
+  EXPECT_EQ(fib.findExact(Name("/p")), nullptr);
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(FibTest, RemoveFaceFromAllEntries) {
+  Fib fib;
+  fib.insert(Name("/a"), 1, 0);
+  fib.insert(Name("/a"), 2, 0);
+  fib.insert(Name("/b"), 1, 0);
+  fib.removeFaceFromAll(1);
+  EXPECT_NE(fib.findExact(Name("/a")), nullptr);
+  EXPECT_FALSE(fib.findExact(Name("/a"))->hasNextHop(1));
+  EXPECT_EQ(fib.findExact(Name("/b")), nullptr);  // became empty
+}
+
+TEST(FibTest, HasNextHop) {
+  FibEntry entry((Name("/p")));
+  entry.addOrUpdateNextHop(4, 1);
+  EXPECT_TRUE(entry.hasNextHop(4));
+  EXPECT_FALSE(entry.hasNextHop(5));
+}
+
+}  // namespace
+}  // namespace lidc::ndn

@@ -1,0 +1,223 @@
+// Strategy behaviour over a fan-out topology: one consumer node with
+// two upstream producers reachable at different costs.
+#include "ndn/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ndn/app_face.hpp"
+#include "ndn/forwarder.hpp"
+#include "net/link.hpp"
+
+namespace lidc::ndn {
+namespace {
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  StrategyTest()
+      : hub_("hub", sim_), near_("near", sim_), far_("far", sim_) {
+    // hub -- near (5 ms), hub -- far (50 ms)
+    auto [hubToNear, nearToHub] = net::Link::connect(
+        sim_, hub_, near_, net::LinkParams{sim::Duration::millis(5), 0.0, 0.0},
+        &nearLink_);
+    auto [hubToFar, farToHub] = net::Link::connect(
+        sim_, hub_, far_, net::LinkParams{sim::Duration::millis(50), 0.0, 0.0},
+        &farLink_);
+    hubToNear_ = hubToNear;
+    hubToFar_ = hubToFar;
+
+    consumer_ = std::make_shared<AppFace>("app://consumer", sim_, 1);
+    hub_.addFace(consumer_);
+
+    nearApp_ = attachProducer(near_, "near", &nearCount_);
+    farApp_ = attachProducer(far_, "far", &farCount_);
+
+    hub_.registerPrefix(Name("/svc"), hubToNear_, /*cost=*/5);
+    hub_.registerPrefix(Name("/svc"), hubToFar_, /*cost=*/50);
+  }
+
+  std::shared_ptr<AppFace> attachProducer(Forwarder& node, const std::string& label,
+                                          int* count) {
+    auto app = std::make_shared<AppFace>("app://" + label, sim_,
+                                         std::hash<std::string>{}(label));
+    node.addFace(app);
+    node.registerPrefix(Name("/svc"), app->id());
+    app->setInterestHandler([app, label, count](const Interest& interest) {
+      ++*count;
+      Data data(interest.name());
+      data.setContent(label);
+      data.sign();
+      app->putData(std::move(data));
+    });
+    return app;
+  }
+
+  Interest uniqueInterest(int i) {
+    Interest interest(Name("/svc/req" + std::to_string(i)));
+    interest.setLifetime(sim::Duration::seconds(2));
+    return interest;
+  }
+
+  sim::Simulator sim_;
+  Forwarder hub_;
+  Forwarder near_;
+  Forwarder far_;
+  std::shared_ptr<net::Link> nearLink_;
+  std::shared_ptr<net::Link> farLink_;
+  FaceId hubToNear_ = kInvalidFaceId;
+  FaceId hubToFar_ = kInvalidFaceId;
+  std::shared_ptr<AppFace> consumer_;
+  std::shared_ptr<AppFace> nearApp_;
+  std::shared_ptr<AppFace> farApp_;
+  int nearCount_ = 0;
+  int farCount_ = 0;
+};
+
+TEST_F(StrategyTest, BestRoutePrefersLowestCost) {
+  for (int i = 0; i < 10; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [](const Interest&, const Data&) {});
+  }
+  sim_.run();
+  EXPECT_EQ(nearCount_, 10);
+  EXPECT_EQ(farCount_, 0);
+}
+
+TEST_F(StrategyTest, BestRouteFailsOverWhenNearLinkDown) {
+  nearLink_->setUp(false);
+  std::string answeredBy;
+  consumer_->expressInterest(uniqueInterest(0),
+                             [&](const Interest&, const Data& data) {
+                               answeredBy = data.contentAsString();
+                             });
+  sim_.run();
+  EXPECT_EQ(answeredBy, "far");
+}
+
+TEST_F(StrategyTest, BestRouteFailsOverOnNack) {
+  // The near producer nacks (e.g. cluster at capacity).
+  nearApp_->setInterestHandler([this](const Interest& interest) {
+    ++nearCount_;
+    nearApp_->putNack(interest, NackReason::kCongestion);
+  });
+  std::string answeredBy;
+  consumer_->expressInterest(uniqueInterest(0),
+                             [&](const Interest&, const Data& data) {
+                               answeredBy = data.contentAsString();
+                             });
+  sim_.run();
+  EXPECT_EQ(nearCount_, 1);
+  EXPECT_EQ(answeredBy, "far");
+}
+
+TEST_F(StrategyTest, BestRouteNacksDownstreamWhenAllUpstreamsNack) {
+  auto rejectAll = [](std::shared_ptr<AppFace> app) {
+    app->setInterestHandler([app](const Interest& interest) {
+      app->putNack(interest, NackReason::kCongestion);
+    });
+  };
+  rejectAll(nearApp_);
+  rejectAll(farApp_);
+  int nacks = 0;
+  consumer_->expressInterest(
+      uniqueInterest(0), [](const Interest&, const Data&) {},
+      [&](const Interest&, const Nack&) { ++nacks; });
+  sim_.run();
+  EXPECT_EQ(nacks, 1);
+}
+
+TEST_F(StrategyTest, MulticastReachesAllUpstreams) {
+  hub_.setStrategy(Name("/svc"), std::make_unique<MulticastStrategy>(hub_));
+  int received = 0;
+  consumer_->expressInterest(uniqueInterest(0),
+                             [&](const Interest&, const Data&) { ++received; });
+  sim_.run();
+  EXPECT_EQ(nearCount_, 1);
+  EXPECT_EQ(farCount_, 1);
+  // The consumer sees exactly one Data (first wins, PIT consumed).
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(StrategyTest, RoundRobinAlternates) {
+  hub_.setStrategy(Name("/svc"), std::make_unique<RoundRobinStrategy>(hub_));
+  for (int i = 0; i < 10; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [](const Interest&, const Data&) {});
+    sim_.run();
+  }
+  EXPECT_EQ(nearCount_, 5);
+  EXPECT_EQ(farCount_, 5);
+}
+
+TEST_F(StrategyTest, LoadBalanceSpreadsButFavoursFasterUpstream) {
+  hub_.setStrategy(Name("/svc"), std::make_unique<LoadBalanceStrategy>(hub_, 7));
+  for (int i = 0; i < 200; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [](const Interest&, const Data&) {});
+    sim_.run();
+  }
+  EXPECT_GT(nearCount_, 0);
+  EXPECT_GT(farCount_, 0);
+  // 5 ms SRTT vs 50 ms SRTT => roughly 10:1 weighting.
+  EXPECT_GT(nearCount_, farCount_ * 3);
+}
+
+TEST_F(StrategyTest, AsfProbesAndConvergesOnFastestUpstream) {
+  // Costs are misleading here: give "far" the lower configured cost so
+  // only measured RTT can steer ASF to the actually-faster upstream.
+  hub_.fib().removeFaceFromAll(hubToNear_);
+  hub_.fib().removeFaceFromAll(hubToFar_);
+  hub_.registerPrefix(Name("/svc"), hubToNear_, /*cost=*/100);
+  hub_.registerPrefix(Name("/svc"), hubToFar_, /*cost=*/1);
+  hub_.setStrategy(Name("/svc"), std::make_unique<AsfStrategy>(hub_, 5, 4));
+
+  for (int i = 0; i < 40; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [](const Interest&, const Data&) {});
+    sim_.run();
+  }
+  // ASF starts on the low-cost (far) face, probes the other, measures a
+  // 10 ms RTT vs 100 ms, and converges on "near".
+  EXPECT_GT(nearCount_, farCount_);
+  EXPECT_GT(nearCount_, 25);
+}
+
+TEST_F(StrategyTest, AsfRecoversWhenPreferredUpstreamDies) {
+  hub_.setStrategy(Name("/svc"), std::make_unique<AsfStrategy>(hub_, 5, 4));
+  for (int i = 0; i < 20; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [](const Interest&, const Data&) {});
+    sim_.run();
+  }
+  ASSERT_GT(nearCount_, 0);
+  nearLink_->setUp(false);
+  int answered = 0;
+  for (int i = 100; i < 110; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [&](const Interest&, const Data&) { ++answered; });
+    sim_.run();
+  }
+  EXPECT_EQ(answered, 10);  // all served by "far" after the outage
+}
+
+TEST_F(StrategyTest, RttMeasurementsConverge) {
+  for (int i = 0; i < 20; ++i) {
+    consumer_->expressInterest(uniqueInterest(i),
+                               [](const Interest&, const Data&) {});
+    sim_.run();
+  }
+  auto srtt = hub_.measurements().srtt(hubToNear_);
+  ASSERT_TRUE(srtt.has_value());
+  // RTT over the 5 ms link is 10 ms.
+  EXPECT_NEAR(srtt->toSeconds(), 0.010, 0.002);
+}
+
+TEST_F(StrategyTest, MeasurementsForgottenWithFace) {
+  consumer_->expressInterest(uniqueInterest(0), [](const Interest&, const Data&) {});
+  sim_.run();
+  ASSERT_TRUE(hub_.measurements().srtt(hubToNear_).has_value());
+  hub_.removeFace(hubToNear_);
+  EXPECT_FALSE(hub_.measurements().srtt(hubToNear_).has_value());
+}
+
+}  // namespace
+}  // namespace lidc::ndn

@@ -1,0 +1,100 @@
+#include "ndn/tlv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::ndn::tlv {
+namespace {
+
+TEST(TlvTest, VarNumberWidths) {
+  Encoder e;
+  e.writeVarNumber(252);        // 1 byte
+  e.writeVarNumber(253);        // 3 bytes
+  e.writeVarNumber(0xFFFF);     // 3 bytes
+  e.writeVarNumber(0x10000);    // 5 bytes
+  e.writeVarNumber(0x100000000ULL);  // 9 bytes
+  EXPECT_EQ(e.size(), 1u + 3 + 3 + 5 + 9);
+}
+
+TEST(TlvTest, BlockRoundTrip) {
+  Encoder e;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  e.writeBlock(0x08, payload);
+  Decoder d(std::span<const std::uint8_t>(e.buffer()));
+  auto element = d.readElement();
+  ASSERT_TRUE(element.ok());
+  EXPECT_EQ(element->type, 0x08u);
+  EXPECT_EQ(std::vector<std::uint8_t>(element->value.begin(), element->value.end()),
+            payload);
+  EXPECT_TRUE(d.atEnd());
+}
+
+TEST(TlvTest, NonNegativeIntegerMinimalWidths) {
+  for (const std::uint64_t value :
+       {0ULL, 255ULL, 256ULL, 65535ULL, 65536ULL, 4294967295ULL, 4294967296ULL}) {
+    Encoder e;
+    e.writeNonNegativeInteger(0x0A, value);
+    Decoder d(std::span<const std::uint8_t>(e.buffer()));
+    auto element = d.readElement(0x0A);
+    ASSERT_TRUE(element.ok());
+    auto decoded = Decoder::readNonNegativeInteger(element->value);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+TEST(TlvTest, NestedEncoding) {
+  Encoder inner;
+  inner.writeBlock(0x08, std::vector<std::uint8_t>{'h', 'i'});
+  Encoder outer;
+  outer.writeNested(0x07, inner);
+  Decoder d(std::span<const std::uint8_t>(outer.buffer()));
+  auto name = d.readElement(0x07);
+  ASSERT_TRUE(name.ok());
+  Decoder innerDecoder(name->value);
+  auto component = innerDecoder.readElement(0x08);
+  ASSERT_TRUE(component.ok());
+  EXPECT_EQ(component->value.size(), 2u);
+}
+
+TEST(TlvTest, FlagIsZeroLength) {
+  Encoder e;
+  e.writeFlag(0x21);
+  Decoder d(std::span<const std::uint8_t>(e.buffer()));
+  auto flag = d.readElement(0x21);
+  ASSERT_TRUE(flag.ok());
+  EXPECT_TRUE(flag->value.empty());
+}
+
+TEST(TlvTest, TruncatedLengthFails) {
+  const std::vector<std::uint8_t> bad{0x08, 0x05, 1, 2};  // claims 5, has 2
+  Decoder d{std::span<const std::uint8_t>(bad)};
+  EXPECT_FALSE(d.readElement().ok());
+}
+
+TEST(TlvTest, TruncatedVarNumberFails) {
+  const std::vector<std::uint8_t> bad{253, 0x01};  // 2-byte number cut short
+  Decoder d{std::span<const std::uint8_t>(bad)};
+  EXPECT_FALSE(d.readElement().ok());
+}
+
+TEST(TlvTest, EmptyInputFails) {
+  Decoder d(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(d.atEnd());
+  EXPECT_FALSE(d.readElement().ok());
+}
+
+TEST(TlvTest, WrongExpectedTypeFails) {
+  Encoder e;
+  e.writeBlock(0x08, std::vector<std::uint8_t>{});
+  Decoder d(std::span<const std::uint8_t>(e.buffer()));
+  EXPECT_FALSE(d.readElement(0x07).ok());
+}
+
+TEST(TlvTest, BadIntegerWidthRejected) {
+  const std::vector<std::uint8_t> threeBytes{1, 2, 3};
+  EXPECT_FALSE(
+      Decoder::readNonNegativeInteger(std::span<const std::uint8_t>(threeBytes)).ok());
+}
+
+}  // namespace
+}  // namespace lidc::ndn::tlv

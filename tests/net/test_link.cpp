@@ -1,0 +1,142 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ndn/app_face.hpp"
+
+namespace lidc::net {
+namespace {
+
+class LinkTest : public ::testing::Test {
+ protected:
+  LinkTest() : a_("a", sim_), b_("b", sim_) {}
+
+  /// Wires a consumer app on a_ and a producer app on b_ serving /p.
+  void wire(LinkParams params) {
+    auto [aToB, bToA] = Link::connect(sim_, a_, b_, params, &link_);
+    consumer_ = std::make_shared<ndn::AppFace>("app://c", sim_, 1);
+    a_.addFace(consumer_);
+    a_.registerPrefix(ndn::Name("/p"), aToB);
+
+    producer_ = std::make_shared<ndn::AppFace>("app://p", sim_, 2);
+    b_.addFace(producer_);
+    b_.registerPrefix(ndn::Name("/p"), producer_->id());
+    producer_->setInterestHandler([this](const ndn::Interest& interest) {
+      ndn::Data data(interest.name());
+      data.setContent(std::string(payloadSize_, 'x'));
+      data.sign();
+      producer_->putData(std::move(data));
+    });
+  }
+
+  sim::Simulator sim_;
+  ndn::Forwarder a_;
+  ndn::Forwarder b_;
+  std::shared_ptr<Link> link_;
+  std::shared_ptr<ndn::AppFace> consumer_;
+  std::shared_ptr<ndn::AppFace> producer_;
+  std::size_t payloadSize_ = 10;
+};
+
+TEST_F(LinkTest, LatencyOnlyRoundTrip) {
+  wire(LinkParams{sim::Duration::millis(25), 0.0, 0.0});
+  bool got = false;
+  consumer_->expressInterest(ndn::Interest(ndn::Name("/p/x")),
+                             [&](const ndn::Interest&, const ndn::Data&) {
+                               got = true;
+                             });
+  sim_.run();
+  EXPECT_TRUE(got);
+  EXPECT_DOUBLE_EQ(sim_.now().toSeconds(), 0.050);
+}
+
+TEST_F(LinkTest, BandwidthAddsSerializationDelay) {
+  // 1 Mbit/s; a ~64 KiB data packet takes ~0.5 s to serialize.
+  payloadSize_ = 64 * 1024;
+  wire(LinkParams{sim::Duration::millis(1), 1e6, 0.0});
+  bool got = false;
+  consumer_->expressInterest(ndn::Interest(ndn::Name("/p/x")),
+                             [&](const ndn::Interest&, const ndn::Data&) {
+                               got = true;
+                             });
+  sim_.run();
+  EXPECT_TRUE(got);
+  EXPECT_GT(sim_.now().toSeconds(), 0.5);
+  EXPECT_LT(sim_.now().toSeconds(), 0.7);
+}
+
+TEST_F(LinkTest, SerializationIsFifoPerDirection) {
+  payloadSize_ = 8 * 1024;  // ~65 ms serialization each at 1 Mbit/s
+  wire(LinkParams{sim::Duration::millis(1), 1e6, 0.0});
+  int got = 0;
+  sim::Time lastArrival;
+  for (int i = 0; i < 4; ++i) {
+    consumer_->expressInterest(
+        ndn::Interest(ndn::Name("/p/obj" + std::to_string(i))),
+        [&](const ndn::Interest&, const ndn::Data&) {
+          ++got;
+          lastArrival = sim_.now();
+        });
+  }
+  sim_.run();
+  EXPECT_EQ(got, 4);
+  // Four back-to-back ~65 ms transmissions must take > 0.25 s in total.
+  EXPECT_GT(lastArrival.toSeconds(), 0.25);
+}
+
+TEST_F(LinkTest, LossDropsDeterministically) {
+  wire(LinkParams{sim::Duration::millis(1), 0.0, 1.0});  // 100% loss
+  int timeouts = 0;
+  ndn::Interest interest{ndn::Name("/p/x")};
+  interest.setLifetime(sim::Duration::millis(200));
+  consumer_->expressInterest(
+      interest, [](const ndn::Interest&, const ndn::Data&) { FAIL(); }, nullptr,
+      [&](const ndn::Interest&) { ++timeouts; });
+  sim_.run();
+  EXPECT_EQ(timeouts, 1);
+  EXPECT_GE(link_->packetsDropped(), 1u);
+}
+
+TEST_F(LinkTest, PartialLossEventuallyDelivers) {
+  wire(LinkParams{sim::Duration::millis(1), 0.0, 0.5});
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    consumer_->expressInterest(
+        ndn::Interest(ndn::Name("/p/o" + std::to_string(i))),
+        [&](const ndn::Interest&, const ndn::Data&) { ++delivered; });
+  }
+  sim_.run();
+  EXPECT_GT(delivered, 5);
+  EXPECT_LT(delivered, 50);
+  EXPECT_GT(link_->packetsDropped(), 0u);
+}
+
+TEST_F(LinkTest, DownLinkNacksImmediatelyUpRestores) {
+  wire(LinkParams{sim::Duration::millis(1), 0.0, 0.0});
+  link_->setUp(false);
+  // The strategy sees the dead face and nacks NoRoute right away —
+  // faster failure signalling than a timeout.
+  int nacks = 0;
+  ndn::Interest interest{ndn::Name("/p/x")};
+  interest.setLifetime(sim::Duration::millis(100));
+  consumer_->expressInterest(
+      interest, [](const ndn::Interest&, const ndn::Data&) { FAIL(); },
+      [&](const ndn::Interest&, const ndn::Nack& nack) {
+        ++nacks;
+        EXPECT_EQ(nack.reason(), ndn::NackReason::kNoRoute);
+      });
+  sim_.run();
+  EXPECT_EQ(nacks, 1);
+
+  link_->setUp(true);
+  bool got = false;
+  consumer_->expressInterest(ndn::Interest(ndn::Name("/p/y")),
+                             [&](const ndn::Interest&, const ndn::Data&) {
+                               got = true;
+                             });
+  sim_.run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace lidc::net

@@ -1,0 +1,180 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ndn/app_face.hpp"
+
+namespace lidc::net {
+namespace {
+
+/// Attaches a producer app for `prefix` at a node.
+std::shared_ptr<ndn::AppFace> attachProducer(Topology& topo, const std::string& node,
+                                             const ndn::Name& prefix,
+                                             const std::string& label) {
+  auto* fw = topo.node(node);
+  auto app = std::make_shared<ndn::AppFace>("app://" + label, topo.simulator(),
+                                            std::hash<std::string>{}(label));
+  fw->addFace(app);
+  fw->registerPrefix(prefix, app->id());
+  app->setInterestHandler([app, label](const ndn::Interest& interest) {
+    ndn::Data data(interest.name());
+    data.setContent(label);
+    data.sign();
+    app->putData(std::move(data));
+  });
+  return app;
+}
+
+TEST(TopologyTest, AddNodeAndLookup) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  topo.addNode("x");
+  EXPECT_NE(topo.node("x"), nullptr);
+  EXPECT_EQ(topo.node("y"), nullptr);
+  EXPECT_EQ(topo.nodeCount(), 1u);
+}
+
+TEST(TopologyTest, ConnectRecordsEdges) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  topo.addNode("a");
+  topo.addNode("b");
+  topo.connect("a", "b", LinkParams{});
+  EXPECT_EQ(topo.edges().size(), 1u);
+  EXPECT_NE(topo.linkBetween("a", "b"), nullptr);
+  EXPECT_NE(topo.linkBetween("b", "a"), nullptr);
+  EXPECT_EQ(topo.linkBetween("a", "c"), nullptr);
+}
+
+TEST(TopologyTest, RoutesFollowShortestLatencyPath) {
+  // Diamond: src - m1 - dst (10ms+10ms) vs src - m2 - dst (5ms+5ms).
+  sim::Simulator sim;
+  Topology topo(sim);
+  for (const char* n : {"src", "m1", "m2", "dst"}) topo.addNode(n);
+  topo.connect("src", "m1", LinkParams{sim::Duration::millis(10)});
+  topo.connect("m1", "dst", LinkParams{sim::Duration::millis(10)});
+  topo.connect("src", "m2", LinkParams{sim::Duration::millis(5)});
+  topo.connect("m2", "dst", LinkParams{sim::Duration::millis(5)});
+
+  auto producer = attachProducer(topo, "dst", ndn::Name("/svc"), "dst");
+  topo.installRoutesTo(ndn::Name("/svc"), "dst");
+
+  auto consumer = std::make_shared<ndn::AppFace>("app://c", sim, 1);
+  topo.node("src")->addFace(consumer);
+
+  bool got = false;
+  consumer->expressInterest(ndn::Interest(ndn::Name("/svc/x")),
+                            [&](const ndn::Interest&, const ndn::Data&) {
+                              got = true;
+                            });
+  sim.run();
+  EXPECT_TRUE(got);
+  // Shortest path (5+5) round trip = 20 ms, not 40 ms.
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 0.020);
+  // m1 never saw traffic.
+  EXPECT_EQ(topo.node("m1")->counters().nInInterests, 0u);
+}
+
+TEST(TopologyTest, MultiProducerAnycastGoesNearest) {
+  // client - 5ms - pNear ; client - 50ms - pFar, same prefix from both.
+  sim::Simulator sim;
+  Topology topo(sim);
+  for (const char* n : {"client", "pNear", "pFar"}) topo.addNode(n);
+  topo.connect("client", "pNear", LinkParams{sim::Duration::millis(5)});
+  topo.connect("client", "pFar", LinkParams{sim::Duration::millis(50)});
+  attachProducer(topo, "pNear", ndn::Name("/svc"), "near");
+  attachProducer(topo, "pFar", ndn::Name("/svc"), "far");
+  topo.installRoutesTo(ndn::Name("/svc"), "pNear");
+  topo.installRoutesTo(ndn::Name("/svc"), "pFar");
+
+  auto consumer = std::make_shared<ndn::AppFace>("app://c", sim, 1);
+  topo.node("client")->addFace(consumer);
+  std::string winner;
+  consumer->expressInterest(ndn::Interest(ndn::Name("/svc/x")),
+                            [&](const ndn::Interest&, const ndn::Data& data) {
+                              winner = data.contentAsString();
+                            });
+  sim.run();
+  EXPECT_EQ(winner, "near");
+}
+
+TEST(TopologyTest, UninstallRemovesRoutes) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  topo.addNode("a");
+  topo.addNode("b");
+  topo.connect("a", "b", LinkParams{sim::Duration::millis(1)});
+  attachProducer(topo, "b", ndn::Name("/svc"), "b");
+  topo.installRoutesTo(ndn::Name("/svc"), "b");
+  EXPECT_NE(topo.node("a")->fib().longestPrefixMatch(ndn::Name("/svc/x")), nullptr);
+  topo.uninstallRoutesTo(ndn::Name("/svc"), "b");
+  EXPECT_EQ(topo.node("a")->fib().longestPrefixMatch(ndn::Name("/svc/x")), nullptr);
+}
+
+TEST(TopologyTest, DownLinksExcludedFromRouting) {
+  // Two paths; kill the short one before installing routes.
+  sim::Simulator sim;
+  Topology topo(sim);
+  for (const char* n : {"src", "m1", "m2", "dst"}) topo.addNode(n);
+  topo.connect("src", "m1", LinkParams{sim::Duration::millis(10)});
+  topo.connect("m1", "dst", LinkParams{sim::Duration::millis(10)});
+  topo.connect("src", "m2", LinkParams{sim::Duration::millis(5)});
+  topo.connect("m2", "dst", LinkParams{sim::Duration::millis(5)});
+  topo.linkBetween("src", "m2")->setUp(false);
+
+  attachProducer(topo, "dst", ndn::Name("/svc"), "dst");
+  topo.installRoutesTo(ndn::Name("/svc"), "dst");
+
+  auto consumer = std::make_shared<ndn::AppFace>("app://c", sim, 1);
+  topo.node("src")->addFace(consumer);
+  bool got = false;
+  consumer->expressInterest(ndn::Interest(ndn::Name("/svc/x")),
+                            [&](const ndn::Interest&, const ndn::Data&) {
+                              got = true;
+                            });
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_DOUBLE_EQ(sim.now().toSeconds(), 0.040);  // via m1
+}
+
+TEST(TopologyTest, UninstallKeepsSharedNextHops) {
+  // Two producers behind the same uplink: withdrawing one must keep the
+  // shared next hop alive for the other.
+  sim::Simulator sim;
+  Topology topo(sim);
+  for (const char* n : {"client", "hub", "p1", "p2"}) topo.addNode(n);
+  topo.connect("client", "hub", LinkParams{sim::Duration::millis(5)});
+  topo.connect("hub", "p1", LinkParams{sim::Duration::millis(5)});
+  topo.connect("hub", "p2", LinkParams{sim::Duration::millis(5)});
+  attachProducer(topo, "p1", ndn::Name("/svc"), "one");
+  attachProducer(topo, "p2", ndn::Name("/svc"), "two");
+  topo.installRoutesTo(ndn::Name("/svc"), "p1");
+  topo.installRoutesTo(ndn::Name("/svc"), "p2");
+
+  topo.uninstallRoutesTo(ndn::Name("/svc"), "p1");
+
+  // The client still reaches p2 through the shared client->hub face.
+  auto consumer = std::make_shared<ndn::AppFace>("app://c", sim, 1);
+  topo.node("client")->addFace(consumer);
+  std::string winner;
+  consumer->expressInterest(ndn::Interest(ndn::Name("/svc/x")),
+                            [&](const ndn::Interest&, const ndn::Data& data) {
+                              winner = data.contentAsString();
+                            });
+  sim.run();
+  EXPECT_EQ(winner, "two");
+}
+
+TEST(TopologyTest, DisconnectedNodeGetsNoRoute) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  topo.addNode("island");
+  topo.addNode("mainland");
+  attachProducer(topo, "mainland", ndn::Name("/svc"), "m");
+  topo.installRoutesTo(ndn::Name("/svc"), "mainland");
+  EXPECT_EQ(topo.node("island")->fib().longestPrefixMatch(ndn::Name("/svc/x")),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace lidc::net

@@ -1,0 +1,96 @@
+// Property tests over the caches: under random operation sequences the
+// Content Store and ResultCache never exceed capacity, never lose the
+// most recently used entry, and expired entries never come back.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/result_cache.hpp"
+#include "ndn/cs.hpp"
+
+namespace lidc {
+namespace {
+
+struct CacheParams {
+  std::uint64_t seed;
+  std::size_t capacity;
+};
+
+class CsProperty : public ::testing::TestWithParam<CacheParams> {};
+
+TEST_P(CsProperty, InvariantsUnderRandomWorkload) {
+  const auto [seed, capacity] = GetParam();
+  Rng rng(seed);
+  ndn::ContentStore cs(capacity);
+  sim::Time now;
+
+  ndn::Name lastInserted;
+  for (int op = 0; op < 3'000; ++op) {
+    now = now + sim::Duration::millis(static_cast<std::int64_t>(rng.uniform(50)));
+    const auto key = rng.uniform(capacity * 3 + 1);
+    if (rng.bernoulli(0.6)) {
+      ndn::Data data(ndn::Name("/obj").appendNumber(key));
+      data.setContent("x");
+      data.setFreshnessPeriod(sim::Duration::seconds(1));
+      cs.insert(data, now);
+      lastInserted = data.name();
+    } else {
+      ndn::Interest probe(ndn::Name("/obj").appendNumber(key));
+      (void)cs.find(probe, now);
+    }
+    // Invariant: never over capacity.
+    ASSERT_LE(cs.size(), capacity);
+    // Invariant: the most recently inserted entry is always resident.
+    if (!lastInserted.empty() && capacity > 0) {
+      ndn::Interest probe(lastInserted);
+      ndn::ContentStore& mutableCs = cs;
+      EXPECT_TRUE(mutableCs.find(probe, now).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, CsProperty,
+    ::testing::Values(CacheParams{1, 1}, CacheParams{2, 4}, CacheParams{3, 16},
+                      CacheParams{4, 64}, CacheParams{5, 256}));
+
+class ResultCacheProperty : public ::testing::TestWithParam<CacheParams> {};
+
+TEST_P(ResultCacheProperty, InvariantsUnderRandomWorkload) {
+  const auto [seed, capacity] = GetParam();
+  Rng rng(seed);
+  const sim::Duration ttl = sim::Duration::seconds(30);
+  core::ResultCache cache(capacity, ttl);
+  sim::Time now;
+
+  std::map<std::size_t, sim::Time> insertedAt;
+  for (int op = 0; op < 3'000; ++op) {
+    now = now + sim::Duration::seconds(1);
+    const auto key = rng.uniform(capacity * 2 + 1);
+    const ndn::Name name = ndn::Name("/req").appendNumber(key);
+    if (rng.bernoulli(0.5)) {
+      cache.put(name, core::CachedResult{"job", "/result", 1, now});
+      insertedAt[key] = now;
+    } else {
+      auto hit = cache.get(name, now);
+      if (hit.has_value()) {
+        // Invariant: whatever get() returns is within TTL.
+        ASSERT_LE((now - hit->storedAt).toSeconds(), ttl.toSeconds());
+      }
+    }
+    ASSERT_LE(cache.size(), capacity);
+  }
+
+  // Invariant: entries older than the TTL never come back.
+  now = now + ttl + sim::Duration::seconds(1);
+  for (const auto& [key, at] : insertedAt) {
+    EXPECT_FALSE(cache.get(ndn::Name("/req").appendNumber(key), now).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ResultCacheProperty,
+    ::testing::Values(CacheParams{7, 1}, CacheParams{8, 8}, CacheParams{9, 32},
+                      CacheParams{10, 128}));
+
+}  // namespace
+}  // namespace lidc

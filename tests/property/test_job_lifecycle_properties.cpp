@@ -1,0 +1,77 @@
+// Property sweep over the job state machine: under random mixes of
+// succeeding/failing/retrying jobs with random durations, every job
+// terminates in a terminal state, resource accounting returns to zero,
+// and attempt counts respect backoff limits.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "k8s/cluster.hpp"
+
+namespace lidc::k8s {
+namespace {
+
+class JobLifecycleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JobLifecycleProperty, AllJobsTerminateAndResourcesReturn) {
+  Rng rng(GetParam());
+  sim::Simulator sim;
+  Cluster cluster("prop", sim);
+  const int nodes = 1 + static_cast<int>(rng.uniform(3));
+  for (int i = 0; i < nodes; ++i) {
+    cluster.addNode("n" + std::to_string(i),
+                    Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  }
+
+  // An app that fails each attempt with the probability encoded in its
+  // args, deterministically via the shared Rng.
+  cluster.registerApp("chancy", [&rng](AppContext& context) {
+    AppResult result;
+    result.runtime = sim::Duration::seconds(1 + rng.uniform(30));
+    const double failP =
+        std::stod(context.spec.args.at("fail_p"));
+    if (rng.bernoulli(failP)) {
+      result.status = Status::Internal("induced failure");
+    }
+    return result;
+  });
+
+  constexpr int kJobs = 60;
+  std::vector<Job*> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.app = "chancy";
+    spec.requests = Resources{MilliCpu(500 + rng.uniform(3'000)),
+                              ByteSize::fromMiB(256 + rng.uniform(4'000))};
+    spec.backoffLimit = static_cast<int>(rng.uniform(3));
+    spec.args["fail_p"] = std::to_string(0.3 * rng.uniformDouble());
+    auto job = cluster.createJob("default", "job-" + std::to_string(i), spec);
+    ASSERT_TRUE(job.ok()) << job.status();
+    jobs.push_back(*job);
+    // Random arrival spacing.
+    sim.runUntil(sim.now() + sim::Duration::seconds(rng.uniform(10)));
+  }
+  sim.run();
+
+  for (Job* job : jobs) {
+    const auto& status = job->status();
+    EXPECT_TRUE(status.state == JobState::kCompleted ||
+                status.state == JobState::kFailed)
+        << job->name();
+    EXPECT_GE(status.attempts, 1);
+    EXPECT_LE(status.attempts, job->spec().backoffLimit + 1);
+    if (status.state == JobState::kCompleted ||
+        status.state == JobState::kFailed) {
+      EXPECT_GE(status.completionTime.toNanos(), status.submitTime.toNanos());
+    }
+  }
+  // Every core and byte came back.
+  EXPECT_EQ(cluster.totalAllocated(), Resources{});
+  EXPECT_EQ(cluster.runningJobCount(), 0u);
+  EXPECT_EQ(cluster.pendingUnschedulable(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JobLifecycleProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace lidc::k8s

@@ -1,0 +1,92 @@
+// Property tests over NDN names: URI round-trips for arbitrary byte
+// components, ordering laws, and prefix-relation invariants, swept over
+// random seeds via parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ndn/name.hpp"
+
+namespace lidc::ndn {
+namespace {
+
+Name randomName(Rng& rng, std::size_t maxComponents = 6,
+                std::size_t maxComponentLength = 12) {
+  const std::size_t count = rng.uniform(maxComponents + 1);
+  std::vector<Component> components;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t length = 1 + rng.uniform(maxComponentLength);
+    std::vector<std::uint8_t> bytes(length);
+    for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng());
+    components.emplace_back(std::move(bytes));
+  }
+  return Name(std::move(components));
+}
+
+class NameProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NameProperty, UriRoundTripsArbitraryBytes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const Name name = randomName(rng);
+    const Name reparsed(name.toUri());
+    EXPECT_EQ(reparsed, name) << name.toUri();
+    EXPECT_EQ(reparsed.hash(), name.hash());
+  }
+}
+
+TEST_P(NameProperty, CompareIsAStrictWeakOrder) {
+  Rng rng(GetParam() ^ 0x5555);
+  std::vector<Name> names;
+  for (int i = 0; i < 50; ++i) names.push_back(randomName(rng));
+  for (const auto& a : names) {
+    EXPECT_EQ(a.compare(a), std::strong_ordering::equal);
+    for (const auto& b : names) {
+      const auto ab = a.compare(b);
+      const auto ba = b.compare(a);
+      // Antisymmetry.
+      if (ab == std::strong_ordering::less) {
+        EXPECT_EQ(ba, std::strong_ordering::greater);
+      } else if (ab == std::strong_ordering::greater) {
+        EXPECT_EQ(ba, std::strong_ordering::less);
+      } else {
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST_P(NameProperty, PrefixRelationLaws) {
+  Rng rng(GetParam() ^ 0xAAAA);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Name name = randomName(rng);
+    // Every prefix of a name is a prefix of it, and sorts <= it.
+    for (std::size_t len = 0; len <= name.size(); ++len) {
+      const Name prefix = name.prefix(len);
+      EXPECT_TRUE(prefix.isPrefixOf(name));
+      EXPECT_NE(prefix.compare(name), std::strong_ordering::greater);
+    }
+    // Appending breaks the reverse relation (unless nothing appended).
+    Name extended = name;
+    extended.append("suffix");
+    EXPECT_TRUE(name.isPrefixOf(extended));
+    EXPECT_FALSE(extended.isPrefixOf(name));
+  }
+}
+
+TEST_P(NameProperty, SubNamePartitionReassembles) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Name name = randomName(rng);
+    if (name.empty()) continue;
+    const std::size_t cut = rng.uniform(name.size() + 1);
+    Name front = name.prefix(cut);
+    front.append(name.subName(cut));
+    EXPECT_EQ(front, name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameProperty,
+                         ::testing::Values(1, 42, 2024, 0xDEADBEEF, 77777));
+
+}  // namespace
+}  // namespace lidc::ndn

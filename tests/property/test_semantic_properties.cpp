@@ -1,0 +1,114 @@
+// Property tests over the semantic-name grammar: randomized requests
+// round-trip through name encoding; canonicalisation is stable and
+// order-insensitive; the K8s scheduler conserves resources under random
+// pod churn.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/semantic_name.hpp"
+#include "k8s/cluster.hpp"
+
+namespace lidc {
+namespace {
+
+std::string randomToken(Rng& rng, std::size_t maxLength = 8) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+  const std::size_t length = 1 + rng.uniform(maxLength);
+  std::string out;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+class SemanticProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SemanticProperty, RandomRequestsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    core::ComputeRequest request;
+    request.app = randomToken(rng);
+    request.cpu = MilliCpu::fromCores(1 + rng.uniform(64));
+    request.memory = ByteSize::fromGiB(1 + rng.uniform(64));
+    const std::size_t paramCount = rng.uniform(4);
+    for (std::size_t i = 0; i < paramCount; ++i) {
+      request.params["p" + randomToken(rng, 4)] = randomToken(rng);
+    }
+    const std::size_t datasetCount = rng.uniform(3);
+    for (std::size_t i = 0; i < datasetCount; ++i) {
+      request.datasets.push_back(randomToken(rng));
+    }
+    std::sort(request.datasets.begin(), request.datasets.end());
+    if (rng.bernoulli(0.5)) request.requestId = randomToken(rng);
+
+    auto parsed = core::ComputeRequest::fromName(request.toName());
+    ASSERT_TRUE(parsed.ok()) << request.toName().toUri() << " -> "
+                             << parsed.status();
+    EXPECT_EQ(parsed->app, request.app);
+    EXPECT_EQ(parsed->cpu, request.cpu);
+    EXPECT_EQ(parsed->memory, request.memory);
+    EXPECT_EQ(parsed->params, request.params);
+    std::sort(parsed->datasets.begin(), parsed->datasets.end());
+    EXPECT_EQ(parsed->datasets, request.datasets);
+    EXPECT_EQ(parsed->requestId, request.requestId);
+    // Canonicalisation is a fixed point.
+    EXPECT_EQ(parsed->canonicalName(), request.canonicalName());
+    auto reparsed = core::ComputeRequest::fromName(parsed->toName());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->toName(), parsed->toName());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticProperty,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+class SchedulerConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerConservation, ResourcesConservedUnderRandomChurn) {
+  Rng rng(GetParam());
+  sim::Simulator sim;
+  k8s::Cluster cluster("prop", sim);
+  const int nodeCount = 1 + static_cast<int>(rng.uniform(4));
+  for (int i = 0; i < nodeCount; ++i) {
+    cluster.addNode("n" + std::to_string(i),
+                    k8s::Resources{MilliCpu::fromCores(8), ByteSize::fromGiB(16)});
+  }
+
+  std::vector<std::string> livePods;
+  int created = 0;
+  for (int op = 0; op < 400; ++op) {
+    if (livePods.empty() || rng.bernoulli(0.6)) {
+      k8s::PodSpec spec;
+      spec.image = "x";
+      spec.requests = k8s::Resources{MilliCpu(500 + rng.uniform(4'000)),
+                                     ByteSize::fromMiB(256 + rng.uniform(8'000))};
+      const std::string name = "pod-" + std::to_string(created++);
+      ASSERT_TRUE(cluster.createPod("default", name, spec).ok());
+      livePods.push_back(name);
+    } else {
+      const std::size_t victim = rng.uniform(livePods.size());
+      ASSERT_TRUE(cluster.deletePod("default", livePods[victim]).ok());
+      livePods.erase(livePods.begin() + static_cast<long>(victim));
+    }
+    sim.runUntil(sim.now() + sim::Duration::millis(100));
+
+    // Invariants: per-node allocation within allocatable; the cluster
+    // total equals the sum over bound pods.
+    k8s::Resources boundTotal;
+    for (auto* pod : cluster.podsInNamespace("default")) {
+      if (!pod->nodeName().empty()) boundTotal += pod->spec().requests;
+    }
+    EXPECT_EQ(cluster.totalAllocated(), boundTotal);
+    for (int i = 0; i < nodeCount; ++i) {
+      auto* node = cluster.node("n" + std::to_string(i));
+      EXPECT_TRUE(node->allocated().fitsWithin(node->allocatable()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerConservation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace lidc

@@ -1,0 +1,151 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lidc::sim {
+namespace {
+
+TEST(DurationTest, UnitConversions) {
+  EXPECT_EQ(Duration::millis(1).toNanos(), 1'000'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.5).toSeconds(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::minutes(2).toSeconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(1).toSeconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(Duration::micros(1500).toMillis(), 1.5);
+}
+
+TEST(DurationTest, ArithmeticAndOrdering) {
+  EXPECT_EQ(Duration::millis(3) + Duration::millis(4), Duration::millis(7));
+  EXPECT_EQ(Duration::seconds(1) - Duration::millis(250), Duration::millis(750));
+  EXPECT_LT(Duration::millis(1), Duration::seconds(1));
+  EXPECT_EQ(Duration::millis(10) * 2.0, Duration::millis(20));
+}
+
+TEST(TimeTest, TimePlusDuration) {
+  const Time t = Time::fromNanos(1000) + Duration::nanos(500);
+  EXPECT_EQ(t.toNanos(), 1500);
+  EXPECT_EQ(t - Time::fromNanos(1000), Duration::nanos(500));
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAfter(Duration::millis(30), [&] { order.push_back(3); });
+  sim.scheduleAfter(Duration::millis(10), [&] { order.push_back(1); });
+  sim.scheduleAfter(Duration::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.scheduleAfter(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator sim;
+  Time observed;
+  sim.scheduleAfter(Duration::seconds(2), [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed.toSeconds(), 2.0);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAfter(Duration::millis(1), [&] {
+    ++fired;
+    sim.scheduleAfter(Duration::millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.scheduleAfter(Duration::millis(5), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFiringIsHarmless) {
+  Simulator sim;
+  auto handle = sim.scheduleAfter(Duration::millis(1), [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAfter(Duration::millis(10), [&] { ++fired; });
+  sim.scheduleAfter(Duration::millis(30), [&] { ++fired; });
+  const auto count =
+      sim.runUntil(Time::fromNanos(Duration::millis(20).toNanos()));
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(fired, 1);
+  // Clock advanced exactly to the deadline.
+  EXPECT_EQ(sim.now().toNanos(), Duration::millis(20).toNanos());
+  // The rest still runs later.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunStepsLimitsEventCount) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.scheduleAfter(Duration::millis(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.runSteps(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pendingEvents(), 6u);
+}
+
+TEST(SimulatorTest, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  sim.scheduleAfter(Duration::millis(10), [] {});
+  sim.run();
+  bool fired = false;
+  sim.scheduleAt(Time::fromNanos(0), [&] {
+    fired = true;
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_GE(sim.now().toNanos(), Duration::millis(10).toNanos());
+}
+
+TEST(SimulatorTest, RunUntilWithCancelledHeadRespectsDeadline) {
+  // Regression: a cancelled event before the deadline must not let a
+  // live event *after* the deadline execute.
+  Simulator sim;
+  auto cancelled = sim.scheduleAfter(Duration::millis(10), [] {});
+  bool lateFired = false;
+  sim.scheduleAfter(Duration::seconds(100), [&] { lateFired = true; });
+  cancelled.cancel();
+  sim.runUntil(Time::fromNanos(Duration::seconds(1).toNanos()));
+  EXPECT_FALSE(lateFired);
+  EXPECT_EQ(sim.now().toNanos(), Duration::seconds(1).toNanos());
+}
+
+TEST(SimulatorTest, EmptyAfterRun) {
+  Simulator sim;
+  sim.scheduleAfter(Duration::millis(1), [] {});
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+}  // namespace
+}  // namespace lidc::sim
