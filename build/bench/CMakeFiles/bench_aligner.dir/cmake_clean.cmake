@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aligner.dir/bench_aligner.cpp.o"
+  "CMakeFiles/bench_aligner.dir/bench_aligner.cpp.o.d"
+  "bench_aligner"
+  "bench_aligner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

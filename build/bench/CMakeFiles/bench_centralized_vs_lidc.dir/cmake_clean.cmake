@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_centralized_vs_lidc.dir/bench_centralized_vs_lidc.cpp.o"
+  "CMakeFiles/bench_centralized_vs_lidc.dir/bench_centralized_vs_lidc.cpp.o.d"
+  "bench_centralized_vs_lidc"
+  "bench_centralized_vs_lidc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centralized_vs_lidc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_clusters.dir/bench_dynamic_clusters.cpp.o"
+  "CMakeFiles/bench_dynamic_clusters.dir/bench_dynamic_clusters.cpp.o.d"
+  "bench_dynamic_clusters"
+  "bench_dynamic_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

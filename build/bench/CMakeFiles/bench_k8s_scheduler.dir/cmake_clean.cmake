@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_k8s_scheduler.dir/bench_k8s_scheduler.cpp.o"
+  "CMakeFiles/bench_k8s_scheduler.dir/bench_k8s_scheduler.cpp.o.d"
+  "bench_k8s_scheduler"
+  "bench_k8s_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k8s_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

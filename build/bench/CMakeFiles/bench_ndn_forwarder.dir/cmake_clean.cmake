@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndn_forwarder.dir/bench_ndn_forwarder.cpp.o"
+  "CMakeFiles/bench_ndn_forwarder.dir/bench_ndn_forwarder.cpp.o.d"
+  "bench_ndn_forwarder"
+  "bench_ndn_forwarder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndn_forwarder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

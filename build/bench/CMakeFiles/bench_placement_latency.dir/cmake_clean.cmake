@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_latency.dir/bench_placement_latency.cpp.o"
+  "CMakeFiles/bench_placement_latency.dir/bench_placement_latency.cpp.o.d"
+  "bench_placement_latency"
+  "bench_placement_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

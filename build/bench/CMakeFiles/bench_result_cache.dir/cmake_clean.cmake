@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_result_cache.dir/bench_result_cache.cpp.o"
+  "CMakeFiles/bench_result_cache.dir/bench_result_cache.cpp.o.d"
+  "bench_result_cache"
+  "bench_result_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_result_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

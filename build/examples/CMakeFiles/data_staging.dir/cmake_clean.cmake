@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_staging.dir/data_staging.cpp.o"
+  "CMakeFiles/data_staging.dir/data_staging.cpp.o.d"
+  "data_staging"
+  "data_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_clusters.dir/dynamic_clusters.cpp.o"
+  "CMakeFiles/dynamic_clusters.dir/dynamic_clusters.cpp.o.d"
+  "dynamic_clusters"
+  "dynamic_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

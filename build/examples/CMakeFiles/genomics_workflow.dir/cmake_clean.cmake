@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_workflow.dir/genomics_workflow.cpp.o"
+  "CMakeFiles/genomics_workflow.dir/genomics_workflow.cpp.o.d"
+  "genomics_workflow"
+  "genomics_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

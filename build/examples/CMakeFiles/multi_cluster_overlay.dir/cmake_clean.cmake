@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cluster_overlay.dir/multi_cluster_overlay.cpp.o"
+  "CMakeFiles/multi_cluster_overlay.dir/multi_cluster_overlay.cpp.o.d"
+  "multi_cluster_overlay"
+  "multi_cluster_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cluster_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

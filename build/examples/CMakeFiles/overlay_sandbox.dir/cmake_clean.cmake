@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_sandbox.dir/overlay_sandbox.cpp.o"
+  "CMakeFiles/overlay_sandbox.dir/overlay_sandbox.cpp.o.d"
+  "overlay_sandbox"
+  "overlay_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

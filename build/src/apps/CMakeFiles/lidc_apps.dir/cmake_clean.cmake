@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_apps.dir/compress_app.cpp.o"
+  "CMakeFiles/lidc_apps.dir/compress_app.cpp.o.d"
+  "liblidc_apps.a"
+  "liblidc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

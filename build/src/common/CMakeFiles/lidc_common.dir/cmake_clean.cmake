@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_common.dir/logging.cpp.o"
+  "CMakeFiles/lidc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lidc_common.dir/rng.cpp.o"
+  "CMakeFiles/lidc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lidc_common.dir/status.cpp.o"
+  "CMakeFiles/lidc_common.dir/status.cpp.o.d"
+  "CMakeFiles/lidc_common.dir/strings.cpp.o"
+  "CMakeFiles/lidc_common.dir/strings.cpp.o.d"
+  "CMakeFiles/lidc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lidc_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lidc_common.dir/units.cpp.o"
+  "CMakeFiles/lidc_common.dir/units.cpp.o.d"
+  "liblidc_common.a"
+  "liblidc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/lidc_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/centralized.cpp" "src/core/CMakeFiles/lidc_core.dir/centralized.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/centralized.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/lidc_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/compute_cluster.cpp" "src/core/CMakeFiles/lidc_core.dir/compute_cluster.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/compute_cluster.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/core/CMakeFiles/lidc_core.dir/gateway.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/gateway.cpp.o.d"
+  "/root/repo/src/core/job_manager.cpp" "src/core/CMakeFiles/lidc_core.dir/job_manager.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/job_manager.cpp.o.d"
+  "/root/repo/src/core/overlay.cpp" "src/core/CMakeFiles/lidc_core.dir/overlay.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/overlay.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/lidc_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/lidc_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/result_cache.cpp" "src/core/CMakeFiles/lidc_core.dir/result_cache.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/result_cache.cpp.o.d"
+  "/root/repo/src/core/semantic_name.cpp" "src/core/CMakeFiles/lidc_core.dir/semantic_name.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/semantic_name.cpp.o.d"
+  "/root/repo/src/core/validators.cpp" "src/core/CMakeFiles/lidc_core.dir/validators.cpp.o" "gcc" "src/core/CMakeFiles/lidc_core.dir/validators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lidc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/lidc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lidc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

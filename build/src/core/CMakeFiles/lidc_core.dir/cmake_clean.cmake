@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_core.dir/adaptive.cpp.o"
+  "CMakeFiles/lidc_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/centralized.cpp.o"
+  "CMakeFiles/lidc_core.dir/centralized.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/client.cpp.o"
+  "CMakeFiles/lidc_core.dir/client.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/compute_cluster.cpp.o"
+  "CMakeFiles/lidc_core.dir/compute_cluster.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/gateway.cpp.o"
+  "CMakeFiles/lidc_core.dir/gateway.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/job_manager.cpp.o"
+  "CMakeFiles/lidc_core.dir/job_manager.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/overlay.cpp.o"
+  "CMakeFiles/lidc_core.dir/overlay.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/predictor.cpp.o"
+  "CMakeFiles/lidc_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/replication.cpp.o"
+  "CMakeFiles/lidc_core.dir/replication.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/result_cache.cpp.o"
+  "CMakeFiles/lidc_core.dir/result_cache.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/semantic_name.cpp.o"
+  "CMakeFiles/lidc_core.dir/semantic_name.cpp.o.d"
+  "CMakeFiles/lidc_core.dir/validators.cpp.o"
+  "CMakeFiles/lidc_core.dir/validators.cpp.o.d"
+  "liblidc_core.a"
+  "liblidc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalake/file_server.cpp" "src/datalake/CMakeFiles/lidc_datalake.dir/file_server.cpp.o" "gcc" "src/datalake/CMakeFiles/lidc_datalake.dir/file_server.cpp.o.d"
+  "/root/repo/src/datalake/object_store.cpp" "src/datalake/CMakeFiles/lidc_datalake.dir/object_store.cpp.o" "gcc" "src/datalake/CMakeFiles/lidc_datalake.dir/object_store.cpp.o.d"
+  "/root/repo/src/datalake/retriever.cpp" "src/datalake/CMakeFiles/lidc_datalake.dir/retriever.cpp.o" "gcc" "src/datalake/CMakeFiles/lidc_datalake.dir/retriever.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

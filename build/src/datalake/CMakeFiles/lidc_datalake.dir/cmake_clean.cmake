@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_datalake.dir/file_server.cpp.o"
+  "CMakeFiles/lidc_datalake.dir/file_server.cpp.o.d"
+  "CMakeFiles/lidc_datalake.dir/object_store.cpp.o"
+  "CMakeFiles/lidc_datalake.dir/object_store.cpp.o.d"
+  "CMakeFiles/lidc_datalake.dir/retriever.cpp.o"
+  "CMakeFiles/lidc_datalake.dir/retriever.cpp.o.d"
+  "liblidc_datalake.a"
+  "liblidc_datalake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_datalake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

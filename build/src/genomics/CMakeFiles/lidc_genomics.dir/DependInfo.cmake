@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/aligner.cpp" "src/genomics/CMakeFiles/lidc_genomics.dir/aligner.cpp.o" "gcc" "src/genomics/CMakeFiles/lidc_genomics.dir/aligner.cpp.o.d"
+  "/root/repo/src/genomics/datasets.cpp" "src/genomics/CMakeFiles/lidc_genomics.dir/datasets.cpp.o" "gcc" "src/genomics/CMakeFiles/lidc_genomics.dir/datasets.cpp.o.d"
+  "/root/repo/src/genomics/fasta.cpp" "src/genomics/CMakeFiles/lidc_genomics.dir/fasta.cpp.o" "gcc" "src/genomics/CMakeFiles/lidc_genomics.dir/fasta.cpp.o.d"
+  "/root/repo/src/genomics/kmer_index.cpp" "src/genomics/CMakeFiles/lidc_genomics.dir/kmer_index.cpp.o" "gcc" "src/genomics/CMakeFiles/lidc_genomics.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/genomics/magic_blast_app.cpp" "src/genomics/CMakeFiles/lidc_genomics.dir/magic_blast_app.cpp.o" "gcc" "src/genomics/CMakeFiles/lidc_genomics.dir/magic_blast_app.cpp.o.d"
+  "/root/repo/src/genomics/sequence.cpp" "src/genomics/CMakeFiles/lidc_genomics.dir/sequence.cpp.o" "gcc" "src/genomics/CMakeFiles/lidc_genomics.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

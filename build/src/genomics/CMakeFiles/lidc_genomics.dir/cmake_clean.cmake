@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_genomics.dir/aligner.cpp.o"
+  "CMakeFiles/lidc_genomics.dir/aligner.cpp.o.d"
+  "CMakeFiles/lidc_genomics.dir/datasets.cpp.o"
+  "CMakeFiles/lidc_genomics.dir/datasets.cpp.o.d"
+  "CMakeFiles/lidc_genomics.dir/fasta.cpp.o"
+  "CMakeFiles/lidc_genomics.dir/fasta.cpp.o.d"
+  "CMakeFiles/lidc_genomics.dir/kmer_index.cpp.o"
+  "CMakeFiles/lidc_genomics.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/lidc_genomics.dir/magic_blast_app.cpp.o"
+  "CMakeFiles/lidc_genomics.dir/magic_blast_app.cpp.o.d"
+  "CMakeFiles/lidc_genomics.dir/sequence.cpp.o"
+  "CMakeFiles/lidc_genomics.dir/sequence.cpp.o.d"
+  "liblidc_genomics.a"
+  "liblidc_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k8s/cluster.cpp" "src/k8s/CMakeFiles/lidc_k8s.dir/cluster.cpp.o" "gcc" "src/k8s/CMakeFiles/lidc_k8s.dir/cluster.cpp.o.d"
+  "/root/repo/src/k8s/deployment.cpp" "src/k8s/CMakeFiles/lidc_k8s.dir/deployment.cpp.o" "gcc" "src/k8s/CMakeFiles/lidc_k8s.dir/deployment.cpp.o.d"
+  "/root/repo/src/k8s/job.cpp" "src/k8s/CMakeFiles/lidc_k8s.dir/job.cpp.o" "gcc" "src/k8s/CMakeFiles/lidc_k8s.dir/job.cpp.o.d"
+  "/root/repo/src/k8s/pod.cpp" "src/k8s/CMakeFiles/lidc_k8s.dir/pod.cpp.o" "gcc" "src/k8s/CMakeFiles/lidc_k8s.dir/pod.cpp.o.d"
+  "/root/repo/src/k8s/pvc.cpp" "src/k8s/CMakeFiles/lidc_k8s.dir/pvc.cpp.o" "gcc" "src/k8s/CMakeFiles/lidc_k8s.dir/pvc.cpp.o.d"
+  "/root/repo/src/k8s/scheduler.cpp" "src/k8s/CMakeFiles/lidc_k8s.dir/scheduler.cpp.o" "gcc" "src/k8s/CMakeFiles/lidc_k8s.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

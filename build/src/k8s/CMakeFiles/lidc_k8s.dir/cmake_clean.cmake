@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_k8s.dir/cluster.cpp.o"
+  "CMakeFiles/lidc_k8s.dir/cluster.cpp.o.d"
+  "CMakeFiles/lidc_k8s.dir/deployment.cpp.o"
+  "CMakeFiles/lidc_k8s.dir/deployment.cpp.o.d"
+  "CMakeFiles/lidc_k8s.dir/job.cpp.o"
+  "CMakeFiles/lidc_k8s.dir/job.cpp.o.d"
+  "CMakeFiles/lidc_k8s.dir/pod.cpp.o"
+  "CMakeFiles/lidc_k8s.dir/pod.cpp.o.d"
+  "CMakeFiles/lidc_k8s.dir/pvc.cpp.o"
+  "CMakeFiles/lidc_k8s.dir/pvc.cpp.o.d"
+  "CMakeFiles/lidc_k8s.dir/scheduler.cpp.o"
+  "CMakeFiles/lidc_k8s.dir/scheduler.cpp.o.d"
+  "liblidc_k8s.a"
+  "liblidc_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

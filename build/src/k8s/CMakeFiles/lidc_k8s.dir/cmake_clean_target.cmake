@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblidc_k8s.a"
+)

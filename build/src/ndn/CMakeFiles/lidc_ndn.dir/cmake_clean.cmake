@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_ndn.dir/app_face.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/app_face.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/cs.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/cs.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/fib.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/fib.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/forwarder.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/forwarder.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/name.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/name.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/packet.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/packet.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/pit.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/pit.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/strategy.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/strategy.cpp.o.d"
+  "CMakeFiles/lidc_ndn.dir/tlv.cpp.o"
+  "CMakeFiles/lidc_ndn.dir/tlv.cpp.o.d"
+  "liblidc_ndn.a"
+  "liblidc_ndn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_ndn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_net.dir/link.cpp.o"
+  "CMakeFiles/lidc_net.dir/link.cpp.o.d"
+  "CMakeFiles/lidc_net.dir/topology.cpp.o"
+  "CMakeFiles/lidc_net.dir/topology.cpp.o.d"
+  "liblidc_net.a"
+  "liblidc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

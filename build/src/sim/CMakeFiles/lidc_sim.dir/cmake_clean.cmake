@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lidc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/lidc_sim.dir/time.cpp.o"
+  "CMakeFiles/lidc_sim.dir/time.cpp.o.d"
+  "liblidc_sim.a"
+  "liblidc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

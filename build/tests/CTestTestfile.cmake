@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("ndn")
+subdirs("net")
+subdirs("k8s")
+subdirs("datalake")
+subdirs("genomics")
+subdirs("core")
+subdirs("property")
+subdirs("integration")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_rng.cpp" "tests/common/CMakeFiles/lidc_common_tests.dir/test_rng.cpp.o" "gcc" "tests/common/CMakeFiles/lidc_common_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_status.cpp" "tests/common/CMakeFiles/lidc_common_tests.dir/test_status.cpp.o" "gcc" "tests/common/CMakeFiles/lidc_common_tests.dir/test_status.cpp.o.d"
+  "/root/repo/tests/common/test_strings.cpp" "tests/common/CMakeFiles/lidc_common_tests.dir/test_strings.cpp.o" "gcc" "tests/common/CMakeFiles/lidc_common_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/common/CMakeFiles/lidc_common_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/common/CMakeFiles/lidc_common_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/common/CMakeFiles/lidc_common_tests.dir/test_units.cpp.o" "gcc" "tests/common/CMakeFiles/lidc_common_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/common/test_workload.cpp" "tests/common/CMakeFiles/lidc_common_tests.dir/test_workload.cpp.o" "gcc" "tests/common/CMakeFiles/lidc_common_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lidc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lidc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/lidc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lidc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

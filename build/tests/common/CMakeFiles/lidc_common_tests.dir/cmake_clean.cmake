@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_common_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/lidc_common_tests.dir/test_rng.cpp.o.d"
+  "CMakeFiles/lidc_common_tests.dir/test_status.cpp.o"
+  "CMakeFiles/lidc_common_tests.dir/test_status.cpp.o.d"
+  "CMakeFiles/lidc_common_tests.dir/test_strings.cpp.o"
+  "CMakeFiles/lidc_common_tests.dir/test_strings.cpp.o.d"
+  "CMakeFiles/lidc_common_tests.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/lidc_common_tests.dir/test_thread_pool.cpp.o.d"
+  "CMakeFiles/lidc_common_tests.dir/test_units.cpp.o"
+  "CMakeFiles/lidc_common_tests.dir/test_units.cpp.o.d"
+  "CMakeFiles/lidc_common_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/lidc_common_tests.dir/test_workload.cpp.o.d"
+  "lidc_common_tests"
+  "lidc_common_tests.pdb"
+  "lidc_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_adaptive.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/core/test_centralized.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_centralized.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_centralized.cpp.o.d"
+  "/root/repo/tests/core/test_cluster_info.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_cluster_info.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_cluster_info.cpp.o.d"
+  "/root/repo/tests/core/test_compress_app.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_compress_app.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_compress_app.cpp.o.d"
+  "/root/repo/tests/core/test_gateway.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_gateway.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_gateway.cpp.o.d"
+  "/root/repo/tests/core/test_job_manager.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_job_manager.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_job_manager.cpp.o.d"
+  "/root/repo/tests/core/test_overlay.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_overlay.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_overlay.cpp.o.d"
+  "/root/repo/tests/core/test_predictor.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_predictor.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/core/test_publish.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_publish.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_publish.cpp.o.d"
+  "/root/repo/tests/core/test_replication.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_replication.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/core/test_result_cache.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_result_cache.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_result_cache.cpp.o.d"
+  "/root/repo/tests/core/test_semantic_name.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_semantic_name.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_semantic_name.cpp.o.d"
+  "/root/repo/tests/core/test_tenancy.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_tenancy.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_tenancy.cpp.o.d"
+  "/root/repo/tests/core/test_validators.cpp" "tests/core/CMakeFiles/lidc_core_tests.dir/test_validators.cpp.o" "gcc" "tests/core/CMakeFiles/lidc_core_tests.dir/test_validators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lidc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lidc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/lidc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lidc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_core_tests.dir/test_adaptive.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_adaptive.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_centralized.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_centralized.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_cluster_info.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_cluster_info.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_compress_app.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_compress_app.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_gateway.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_gateway.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_job_manager.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_job_manager.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_overlay.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_overlay.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_predictor.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_predictor.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_publish.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_publish.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_replication.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_replication.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_result_cache.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_result_cache.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_semantic_name.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_semantic_name.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_tenancy.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_tenancy.cpp.o.d"
+  "CMakeFiles/lidc_core_tests.dir/test_validators.cpp.o"
+  "CMakeFiles/lidc_core_tests.dir/test_validators.cpp.o.d"
+  "lidc_core_tests"
+  "lidc_core_tests.pdb"
+  "lidc_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

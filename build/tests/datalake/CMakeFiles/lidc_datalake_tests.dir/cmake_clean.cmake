@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_datalake_tests.dir/test_file_transfer.cpp.o"
+  "CMakeFiles/lidc_datalake_tests.dir/test_file_transfer.cpp.o.d"
+  "CMakeFiles/lidc_datalake_tests.dir/test_object_store.cpp.o"
+  "CMakeFiles/lidc_datalake_tests.dir/test_object_store.cpp.o.d"
+  "CMakeFiles/lidc_datalake_tests.dir/test_security.cpp.o"
+  "CMakeFiles/lidc_datalake_tests.dir/test_security.cpp.o.d"
+  "lidc_datalake_tests"
+  "lidc_datalake_tests.pdb"
+  "lidc_datalake_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_datalake_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

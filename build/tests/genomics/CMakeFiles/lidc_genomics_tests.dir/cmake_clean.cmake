@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_genomics_tests.dir/test_aligner.cpp.o"
+  "CMakeFiles/lidc_genomics_tests.dir/test_aligner.cpp.o.d"
+  "CMakeFiles/lidc_genomics_tests.dir/test_datasets.cpp.o"
+  "CMakeFiles/lidc_genomics_tests.dir/test_datasets.cpp.o.d"
+  "CMakeFiles/lidc_genomics_tests.dir/test_fasta.cpp.o"
+  "CMakeFiles/lidc_genomics_tests.dir/test_fasta.cpp.o.d"
+  "CMakeFiles/lidc_genomics_tests.dir/test_kmer_index.cpp.o"
+  "CMakeFiles/lidc_genomics_tests.dir/test_kmer_index.cpp.o.d"
+  "CMakeFiles/lidc_genomics_tests.dir/test_magic_blast_app.cpp.o"
+  "CMakeFiles/lidc_genomics_tests.dir/test_magic_blast_app.cpp.o.d"
+  "CMakeFiles/lidc_genomics_tests.dir/test_sequence.cpp.o"
+  "CMakeFiles/lidc_genomics_tests.dir/test_sequence.cpp.o.d"
+  "lidc_genomics_tests"
+  "lidc_genomics_tests.pdb"
+  "lidc_genomics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_genomics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_caching.cpp" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_caching.cpp.o" "gcc" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_caching.cpp.o.d"
+  "/root/repo/tests/integration/test_cross_cluster_data.cpp" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_cross_cluster_data.cpp.o" "gcc" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_cross_cluster_data.cpp.o.d"
+  "/root/repo/tests/integration/test_lossy_network.cpp" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_lossy_network.cpp.o" "gcc" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_lossy_network.cpp.o.d"
+  "/root/repo/tests/integration/test_multi_cluster.cpp" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_multi_cluster.cpp.o" "gcc" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_multi_cluster.cpp.o.d"
+  "/root/repo/tests/integration/test_node_failure_workflow.cpp" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_node_failure_workflow.cpp.o" "gcc" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_node_failure_workflow.cpp.o.d"
+  "/root/repo/tests/integration/test_workflow.cpp" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_workflow.cpp.o" "gcc" "tests/integration/CMakeFiles/lidc_integration_tests.dir/test_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lidc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lidc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/lidc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lidc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

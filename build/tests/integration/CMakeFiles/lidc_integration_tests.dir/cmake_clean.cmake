@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_integration_tests.dir/test_caching.cpp.o"
+  "CMakeFiles/lidc_integration_tests.dir/test_caching.cpp.o.d"
+  "CMakeFiles/lidc_integration_tests.dir/test_cross_cluster_data.cpp.o"
+  "CMakeFiles/lidc_integration_tests.dir/test_cross_cluster_data.cpp.o.d"
+  "CMakeFiles/lidc_integration_tests.dir/test_lossy_network.cpp.o"
+  "CMakeFiles/lidc_integration_tests.dir/test_lossy_network.cpp.o.d"
+  "CMakeFiles/lidc_integration_tests.dir/test_multi_cluster.cpp.o"
+  "CMakeFiles/lidc_integration_tests.dir/test_multi_cluster.cpp.o.d"
+  "CMakeFiles/lidc_integration_tests.dir/test_node_failure_workflow.cpp.o"
+  "CMakeFiles/lidc_integration_tests.dir/test_node_failure_workflow.cpp.o.d"
+  "CMakeFiles/lidc_integration_tests.dir/test_workflow.cpp.o"
+  "CMakeFiles/lidc_integration_tests.dir/test_workflow.cpp.o.d"
+  "lidc_integration_tests"
+  "lidc_integration_tests.pdb"
+  "lidc_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_k8s_tests.dir/test_cluster.cpp.o"
+  "CMakeFiles/lidc_k8s_tests.dir/test_cluster.cpp.o.d"
+  "CMakeFiles/lidc_k8s_tests.dir/test_deployment.cpp.o"
+  "CMakeFiles/lidc_k8s_tests.dir/test_deployment.cpp.o.d"
+  "CMakeFiles/lidc_k8s_tests.dir/test_node_failure.cpp.o"
+  "CMakeFiles/lidc_k8s_tests.dir/test_node_failure.cpp.o.d"
+  "CMakeFiles/lidc_k8s_tests.dir/test_pvc.cpp.o"
+  "CMakeFiles/lidc_k8s_tests.dir/test_pvc.cpp.o.d"
+  "CMakeFiles/lidc_k8s_tests.dir/test_resize.cpp.o"
+  "CMakeFiles/lidc_k8s_tests.dir/test_resize.cpp.o.d"
+  "CMakeFiles/lidc_k8s_tests.dir/test_scheduler.cpp.o"
+  "CMakeFiles/lidc_k8s_tests.dir/test_scheduler.cpp.o.d"
+  "lidc_k8s_tests"
+  "lidc_k8s_tests.pdb"
+  "lidc_k8s_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_k8s_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lidc_k8s_tests.
+# This may be replaced when dependencies are built.

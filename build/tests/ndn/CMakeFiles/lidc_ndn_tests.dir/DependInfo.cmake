@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ndn/test_app_face.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_app_face.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_app_face.cpp.o.d"
+  "/root/repo/tests/ndn/test_cs.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_cs.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_cs.cpp.o.d"
+  "/root/repo/tests/ndn/test_dead_nonce_list.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_dead_nonce_list.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_dead_nonce_list.cpp.o.d"
+  "/root/repo/tests/ndn/test_fib.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_fib.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_fib.cpp.o.d"
+  "/root/repo/tests/ndn/test_forwarder.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_forwarder.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_forwarder.cpp.o.d"
+  "/root/repo/tests/ndn/test_name.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_name.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_name.cpp.o.d"
+  "/root/repo/tests/ndn/test_packet.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_packet.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/ndn/test_pit.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_pit.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_pit.cpp.o.d"
+  "/root/repo/tests/ndn/test_strategy.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_strategy.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_strategy.cpp.o.d"
+  "/root/repo/tests/ndn/test_tlv.cpp" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_tlv.cpp.o" "gcc" "tests/ndn/CMakeFiles/lidc_ndn_tests.dir/test_tlv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lidc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lidc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/lidc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lidc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

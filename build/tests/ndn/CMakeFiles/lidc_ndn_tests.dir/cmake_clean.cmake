@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_ndn_tests.dir/test_app_face.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_app_face.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_cs.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_cs.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_dead_nonce_list.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_dead_nonce_list.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_fib.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_fib.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_forwarder.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_forwarder.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_name.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_name.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_packet.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_packet.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_pit.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_pit.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_strategy.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_strategy.cpp.o.d"
+  "CMakeFiles/lidc_ndn_tests.dir/test_tlv.cpp.o"
+  "CMakeFiles/lidc_ndn_tests.dir/test_tlv.cpp.o.d"
+  "lidc_ndn_tests"
+  "lidc_ndn_tests.pdb"
+  "lidc_ndn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_ndn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_net_tests.dir/test_link.cpp.o"
+  "CMakeFiles/lidc_net_tests.dir/test_link.cpp.o.d"
+  "CMakeFiles/lidc_net_tests.dir/test_topology.cpp.o"
+  "CMakeFiles/lidc_net_tests.dir/test_topology.cpp.o.d"
+  "lidc_net_tests"
+  "lidc_net_tests.pdb"
+  "lidc_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

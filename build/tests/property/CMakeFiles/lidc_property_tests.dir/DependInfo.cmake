@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/test_aligner_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_aligner_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_aligner_properties.cpp.o.d"
+  "/root/repo/tests/property/test_cache_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_cache_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_cache_properties.cpp.o.d"
+  "/root/repo/tests/property/test_job_lifecycle_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_job_lifecycle_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_job_lifecycle_properties.cpp.o.d"
+  "/root/repo/tests/property/test_name_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_name_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_name_properties.cpp.o.d"
+  "/root/repo/tests/property/test_semantic_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_semantic_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_semantic_properties.cpp.o.d"
+  "/root/repo/tests/property/test_system_fuzz.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_system_fuzz.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_system_fuzz.cpp.o.d"
+  "/root/repo/tests/property/test_tlv_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_tlv_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_tlv_properties.cpp.o.d"
+  "/root/repo/tests/property/test_transfer_properties.cpp" "tests/property/CMakeFiles/lidc_property_tests.dir/test_transfer_properties.cpp.o" "gcc" "tests/property/CMakeFiles/lidc_property_tests.dir/test_transfer_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lidc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lidc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/lidc_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lidc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalake/CMakeFiles/lidc_datalake.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/lidc_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lidc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lidc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lidc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_property_tests.dir/test_aligner_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_aligner_properties.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_cache_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_cache_properties.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_job_lifecycle_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_job_lifecycle_properties.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_name_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_name_properties.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_semantic_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_semantic_properties.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_system_fuzz.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_system_fuzz.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_tlv_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_tlv_properties.cpp.o.d"
+  "CMakeFiles/lidc_property_tests.dir/test_transfer_properties.cpp.o"
+  "CMakeFiles/lidc_property_tests.dir/test_transfer_properties.cpp.o.d"
+  "lidc_property_tests"
+  "lidc_property_tests.pdb"
+  "lidc_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidc_sim_tests.dir/test_simulator.cpp.o"
+  "CMakeFiles/lidc_sim_tests.dir/test_simulator.cpp.o.d"
+  "lidc_sim_tests"
+  "lidc_sim_tests.pdb"
+  "lidc_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidc_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
