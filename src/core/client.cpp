@@ -1,5 +1,8 @@
 #include "core/client.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/logging.hpp"
 #include "core/wire_format.hpp"
 
@@ -14,18 +17,71 @@ LidcClient::LidcClient(ndn::Forwarder& forwarder, std::string name,
   retriever_ = std::make_unique<datalake::Retriever>(*face_);
 }
 
+namespace {
+constexpr sim::Time kNoDeadline =
+    sim::Time::fromNanos(std::numeric_limits<std::int64_t>::max());
+
+bool isRetryableNack(ndn::NackReason reason) {
+  // Congestion (cluster full / unhealthy) and missing routes (route
+  // flaps during failover, clusters mid-rejoin) are transient cluster or
+  // network conditions; duplicates and the rest are not helped by
+  // re-expressing the same name.
+  return reason == ndn::NackReason::kCongestion ||
+         reason == ndn::NackReason::kNoRoute;
+}
+}  // namespace
+
+sim::Time LidcClient::deadlineFor(sim::Time startedAt) const {
+  if (options_.deadline.toNanos() <= 0) return kNoDeadline;
+  return startedAt + options_.deadline;
+}
+
+sim::Duration LidcClient::backoffDelay(int attempt) {
+  double delay = options_.backoffInitial.toSeconds();
+  for (int i = 0; i < attempt; ++i) delay *= options_.backoffMultiplier;
+  delay = std::min(delay, options_.backoffMax.toSeconds());
+  const double jitter =
+      1.0 + options_.backoffJitter * (2.0 * rng_.uniformDouble() - 1.0);
+  return sim::Duration::seconds(delay * jitter);
+}
+
 void LidcClient::submit(ComputeRequest request, SubmitCallback done) {
   if (options_.bypassCache && request.requestId.empty()) {
     // Unique request id defeats caches and Interest aggregation.
     request.requestId = name_ + "-" + std::to_string(next_request_id_++);
   }
   auto shared = std::make_shared<ComputeRequest>(std::move(request));
-  submitAttempt(std::move(shared), 0, forwarder_.simulator().now(), std::move(done));
+  const sim::Time now = forwarder_.simulator().now();
+  submitAttempt(std::move(shared), 0, now, deadlineFor(now), std::move(done));
+}
+
+void LidcClient::retryOrGiveUp(std::shared_ptr<ComputeRequest> request,
+                               int attempt, sim::Time startedAt,
+                               sim::Time deadlineAt, SubmitCallback done,
+                               Status why) {
+  if (attempt + 1 > options_.maxSubmitRetries) {
+    done(std::move(why));
+    return;
+  }
+  const sim::Duration delay = backoffDelay(attempt);
+  if (forwarder_.simulator().now() + delay > deadlineAt) {
+    done(Status::Timeout("deadline exceeded after " +
+                         std::to_string(attempt + 1) + " submit attempts (" +
+                         why.toString() + ")"));
+    return;
+  }
+  forwarder_.simulator().scheduleAfter(
+      delay, [this, request = std::move(request), attempt, startedAt, deadlineAt,
+              done = std::move(done)] {
+        submitAttempt(request, attempt + 1, startedAt, deadlineAt, done);
+      });
 }
 
 void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
-                               sim::Time startedAt, SubmitCallback done) {
+                               sim::Time startedAt, sim::Time deadlineAt,
+                               SubmitCallback done) {
   ++submits_;
+  submit_attempt_log_.push_back(forwarder_.simulator().now());
   ndn::Interest interest(request->toName());
   interest.setLifetime(options_.interestLifetime);
   // MustBeFresh keeps network caches from answering with acks older
@@ -64,18 +120,23 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
         result.placementLatency = forwarder_.simulator().now() - startedAt;
         done(std::move(result));
       },
-      [done](const ndn::Interest&, const ndn::Nack& nack) {
-        done(Status::Unavailable(
-            "compute request nacked: " +
-            std::string(ndn::nackReasonName(nack.reason()))));
-      },
-      [this, request, attempt, startedAt, done](const ndn::Interest&) {
-        if (attempt + 1 <= options_.maxSubmitRetries) {
-          submitAttempt(request, attempt + 1, startedAt, done);
+      [this, request, attempt, startedAt, deadlineAt,
+       done](const ndn::Interest&, const ndn::Nack& nack) {
+        Status why = Status::Unavailable(
+            "compute request nacked after " + std::to_string(attempt + 1) +
+            " attempts: " + std::string(ndn::nackReasonName(nack.reason())));
+        if (isRetryableNack(nack.reason())) {
+          retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
+                        std::move(why));
         } else {
-          done(Status::Timeout("compute request timed out after " +
-                               std::to_string(attempt + 1) + " attempts"));
+          done(std::move(why));
         }
+      },
+      [this, request, attempt, startedAt, deadlineAt, done](const ndn::Interest&) {
+        retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
+                      Status::Timeout("compute request timed out after " +
+                                      std::to_string(attempt + 1) +
+                                      " attempts"));
       });
 }
 
@@ -134,22 +195,29 @@ void LidcClient::queryStatus(const ndn::Name& statusName, StatusCallback done) {
 }
 
 void LidcClient::waitForCompletion(const ndn::Name& statusName, StatusCallback done) {
-  pollLoop(statusName, 0, std::move(done));
+  pollLoop(statusName, 0, deadlineFor(forwarder_.simulator().now()),
+           std::move(done));
 }
 
 void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
-                          StatusCallback done) {
-  queryStatus(statusName, [this, statusName, consecutiveFailures,
+                          sim::Time deadlineAt, StatusCallback done) {
+  queryStatus(statusName, [this, statusName, consecutiveFailures, deadlineAt,
                            done](Result<JobStatusSnapshot> result) {
+    const sim::Time now = forwarder_.simulator().now();
     if (!result.ok()) {
-      // Timeouts on a lossy path are transient: keep polling within the
-      // failure budget. Nacks and other errors are terminal.
-      if (result.status().code() == StatusCode::kTimeout &&
-          consecutiveFailures + 1 < options_.maxStatusPollFailures) {
+      // Timeouts on a lossy path and Nacks (transient kNoRoute/
+      // kCongestion during a route flap mid-failover) are transient:
+      // keep polling within the consecutive-failure budget. NotFound
+      // (the job vanished) and other errors are terminal.
+      const StatusCode code = result.status().code();
+      const bool transient =
+          code == StatusCode::kTimeout || code == StatusCode::kUnavailable;
+      if (transient && consecutiveFailures + 1 < options_.maxStatusPollFailures &&
+          now + options_.statusPollInterval <= deadlineAt) {
         forwarder_.simulator().scheduleAfter(
             options_.statusPollInterval, [this, statusName, consecutiveFailures,
-                                          done] {
-              pollLoop(statusName, consecutiveFailures + 1, done);
+                                          deadlineAt, done] {
+              pollLoop(statusName, consecutiveFailures + 1, deadlineAt, done);
             });
         return;
       }
@@ -161,46 +229,113 @@ void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
       done(std::move(result));
       return;
     }
+    if (now + options_.statusPollInterval > deadlineAt) {
+      done(Status::Timeout("deadline exceeded while job still " +
+                           std::string(k8s::jobStateName(result->state))));
+      return;
+    }
     forwarder_.simulator().scheduleAfter(
-        options_.statusPollInterval,
-        [this, statusName, done] { pollLoop(statusName, 0, done); });
+        options_.statusPollInterval, [this, statusName, deadlineAt, done] {
+          pollLoop(statusName, 0, deadlineAt, done);
+        });
   });
 }
 
 void LidcClient::runToCompletion(ComputeRequest request, OutcomeCallback done) {
   const sim::Time startedAt = forwarder_.simulator().now();
-  submit(std::move(request), [this, startedAt, done](Result<SubmitResult> submitted) {
-    if (!submitted.ok()) {
-      done(submitted.status());
-      return;
+  auto shared = std::make_shared<ComputeRequest>(std::move(request));
+  runAttempt(std::move(shared), 0, startedAt, deadlineFor(startedAt),
+             std::move(done));
+}
+
+void LidcClient::failoverOrGiveUp(std::shared_ptr<ComputeRequest> request,
+                                  int failover, sim::Time startedAt,
+                                  sim::Time deadlineAt, OutcomeCallback done,
+                                  Status why,
+                                  std::optional<JobOutcome> failedOutcome) {
+  if (failover + 1 > options_.maxFailovers ||
+      forwarder_.simulator().now() >= deadlineAt) {
+    // Out of budget: a job that terminated Failed is still a valid
+    // outcome (the pre-failover behaviour); everything else is an error.
+    if (failedOutcome.has_value()) {
+      done(std::move(*failedOutcome));
+    } else {
+      done(std::move(why));
     }
-    if (submitted->cached) {
-      // Cache hit: no job to wait for.
-      JobOutcome outcome;
-      outcome.submit = *submitted;
-      outcome.finalStatus.state = k8s::JobState::kCompleted;
-      outcome.finalStatus.cluster = submitted->cluster;
-      outcome.finalStatus.resultPath = submitted->resultPath;
-      outcome.finalStatus.outputBytes = submitted->outputBytes;
-      outcome.totalLatency = forwarder_.simulator().now() - startedAt;
-      done(std::move(outcome));
-      return;
-    }
-    const SubmitResult submitCopy = *submitted;
-    waitForCompletion(
-        ndn::Name(submitCopy.statusName),
-        [this, startedAt, submitCopy, done](Result<JobStatusSnapshot> status) {
-          if (!status.ok()) {
-            done(status.status());
-            return;
-          }
+    return;
+  }
+  LIDC_LOG(kInfo, "client") << name_ << " failing over (attempt "
+                            << (failover + 1) << "): " << why.toString();
+  runAttempt(std::move(request), failover + 1, startedAt, deadlineAt,
+             std::move(done));
+}
+
+void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failover,
+                            sim::Time startedAt, sim::Time deadlineAt,
+                            OutcomeCallback done) {
+  ComputeRequest attemptRequest = *request;
+  if (failover > 0) {
+    // A fresh request id guarantees the resubmission is a new name: no
+    // content store, PIT aggregation, or gateway dedup entry can answer
+    // with the dead job, so the forwarding strategy is free to place it
+    // on a healthy cluster.
+    attemptRequest.requestId = name_ + "-fo" + std::to_string(failover) + "-" +
+                               std::to_string(next_request_id_++);
+  }
+  if (options_.bypassCache && attemptRequest.requestId.empty()) {
+    attemptRequest.requestId = name_ + "-" + std::to_string(next_request_id_++);
+  }
+  auto shared = std::make_shared<ComputeRequest>(std::move(attemptRequest));
+  submitAttempt(
+      std::move(shared), 0, startedAt, deadlineAt,
+      [this, request, failover, startedAt, deadlineAt,
+       done](Result<SubmitResult> submitted) {
+        if (!submitted.ok()) {
+          failoverOrGiveUp(request, failover, startedAt, deadlineAt, done,
+                           submitted.status(), std::nullopt);
+          return;
+        }
+        if (submitted->cached) {
+          // Cache hit: no job to wait for.
           JobOutcome outcome;
-          outcome.submit = submitCopy;
-          outcome.finalStatus = *status;
+          outcome.submit = *submitted;
+          outcome.finalStatus.state = k8s::JobState::kCompleted;
+          outcome.finalStatus.cluster = submitted->cluster;
+          outcome.finalStatus.resultPath = submitted->resultPath;
+          outcome.finalStatus.outputBytes = submitted->outputBytes;
           outcome.totalLatency = forwarder_.simulator().now() - startedAt;
+          outcome.failovers = failover;
           done(std::move(outcome));
-        });
-  });
+          return;
+        }
+        const SubmitResult submitCopy = *submitted;
+        pollLoop(
+            ndn::Name(submitCopy.statusName), 0, deadlineAt,
+            [this, request, failover, startedAt, deadlineAt, submitCopy,
+             done](Result<JobStatusSnapshot> status) {
+              if (!status.ok()) {
+                // Status endpoint dark past the poll budget, or the job
+                // vanished (reaped after its cluster died): resubmit.
+                failoverOrGiveUp(request, failover, startedAt, deadlineAt,
+                                 done, status.status(), std::nullopt);
+                return;
+              }
+              JobOutcome outcome;
+              outcome.submit = submitCopy;
+              outcome.finalStatus = *status;
+              outcome.totalLatency = forwarder_.simulator().now() - startedAt;
+              outcome.failovers = failover;
+              if (status->state == k8s::JobState::kFailed) {
+                failoverOrGiveUp(request, failover, startedAt, deadlineAt,
+                                 done,
+                                 Status::Unavailable("job failed: " +
+                                                     status->error),
+                                 std::move(outcome));
+                return;
+              }
+              done(std::move(outcome));
+            });
+      });
 }
 
 void LidcClient::fetchData(const ndn::Name& objectName, FetchCallback done) {

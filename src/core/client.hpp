@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/semantic_name.hpp"
@@ -54,9 +56,10 @@ struct ClusterInfo {
 
 /// Terminal outcome of runToCompletion().
 struct JobOutcome {
-  SubmitResult submit;
+  SubmitResult submit;         // the ack of the attempt that finished
   JobStatusSnapshot finalStatus;
-  sim::Duration totalLatency;  // submit -> terminal status observed
+  sim::Duration totalLatency;  // first submit -> terminal status observed
+  int failovers = 0;           // resubmissions after Failed / dark status
 };
 
 struct ClientOptions {
@@ -66,10 +69,26 @@ struct ClientOptions {
   bool bypassCache = true;
   sim::Duration interestLifetime = sim::Duration::seconds(10);
   sim::Duration statusPollInterval = sim::Duration::seconds(2);
-  int maxSubmitRetries = 2;  // on timeout
+  /// Extra submit attempts on timeout or a retryable Nack (kCongestion /
+  /// kNoRoute), paced by exponential backoff below.
+  int maxSubmitRetries = 2;
   /// waitForCompletion() tolerates this many *consecutive* failed polls
-  /// (lossy networks) before giving up.
+  /// (lossy networks, route flaps) before giving up.
   int maxStatusPollFailures = 5;
+  /// Exponential backoff between submit attempts: attempt n waits
+  /// backoffInitial * backoffMultiplier^n (capped at backoffMax), scaled
+  /// by a seeded jitter factor in [1-backoffJitter, 1+backoffJitter].
+  sim::Duration backoffInitial = sim::Duration::millis(200);
+  double backoffMultiplier = 2.0;
+  sim::Duration backoffMax = sim::Duration::seconds(5);
+  double backoffJitter = 0.2;
+  /// Wall-clock budget for one runToCompletion() request, covering every
+  /// retry, poll, and failover. Zero = unbounded.
+  sim::Duration deadline{};
+  /// runToCompletion() resubmits (with a fresh request id, so the
+  /// forwarding strategy can fail over to a healthy cluster) when a job
+  /// lands Failed or its status endpoint goes dark past the poll budget.
+  int maxFailovers = 2;
 };
 
 class LidcClient {
@@ -114,11 +133,37 @@ class LidcClient {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t submitsSent() const noexcept { return submits_; }
 
+  /// Times at which submit Interests actually left this client (one
+  /// entry per attempt, across all submissions). Exposed so tests can
+  /// assert that backoff schedules are deterministic per seed.
+  [[nodiscard]] const std::vector<sim::Time>& submitAttemptLog() const noexcept {
+    return submit_attempt_log_;
+  }
+
  private:
   void submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
-                     sim::Time startedAt, SubmitCallback done);
+                     sim::Time startedAt, sim::Time deadlineAt,
+                     SubmitCallback done);
+  /// Retries after a jittered backoff delay, or fails with `why` when
+  /// the attempt budget or the deadline is exhausted.
+  void retryOrGiveUp(std::shared_ptr<ComputeRequest> request, int attempt,
+                     sim::Time startedAt, sim::Time deadlineAt,
+                     SubmitCallback done, Status why);
+  [[nodiscard]] sim::Duration backoffDelay(int attempt);
   void pollLoop(const ndn::Name& statusName, int consecutiveFailures,
-                StatusCallback done);
+                sim::Time deadlineAt, StatusCallback done);
+  /// One submit+poll attempt of the runToCompletion() failover loop.
+  void runAttempt(std::shared_ptr<ComputeRequest> request, int failover,
+                  sim::Time startedAt, sim::Time deadlineAt,
+                  OutcomeCallback done);
+  /// Resubmits with a fresh request id within the failover/deadline
+  /// budget; otherwise reports `why` (or `failedOutcome` when the job
+  /// terminated Failed and no budget remains).
+  void failoverOrGiveUp(std::shared_ptr<ComputeRequest> request, int failover,
+                        sim::Time startedAt, sim::Time deadlineAt,
+                        OutcomeCallback done, Status why,
+                        std::optional<JobOutcome> failedOutcome);
+  [[nodiscard]] sim::Time deadlineFor(sim::Time startedAt) const;
 
   ndn::Forwarder& forwarder_;
   std::string name_;
@@ -128,6 +173,7 @@ class LidcClient {
   std::unique_ptr<datalake::Retriever> retriever_;
   std::uint64_t submits_ = 0;
   std::uint64_t next_request_id_ = 1;
+  std::vector<sim::Time> submit_attempt_log_;
 };
 
 }  // namespace lidc::core

@@ -42,6 +42,11 @@ void Gateway::enablePublish(datalake::ObjectStore& store) {
 }
 
 void Gateway::handleInterest(const ndn::Interest& interest) {
+  if (blackout_) {
+    // Gateway process "down": total silence, the PIT entry times out.
+    ++counters_.blackoutDropped;
+    return;
+  }
   if (kComputePrefix.isPrefixOf(interest.name())) {
     onCompute(interest);
   } else if (kStatusPrefix.isPrefixOf(interest.name())) {
@@ -126,6 +131,15 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   // the forwarding strategy fails over to another cluster (the paper's
   // "any cluster with sufficient resources" property).
   if (admission_control_) {
+    // Health gate: a cluster that lost too many nodes stops admitting
+    // jobs entirely, even if the survivors nominally have capacity —
+    // partial failures usually cascade, and the overlay has healthier
+    // clusters to offer.
+    if (healthyNodeFraction() < options_.minHealthyNodeFraction) {
+      ++counters_.healthRejected;
+      face_->putNack(interest, ndn::NackReason::kCongestion);
+      return;
+    }
     k8s::Resources needed;
     needed.cpu = request.cpu.millicores() > 0 ? request.cpu
                                               : MilliCpu(JobManager::kDefaultCpuMillicores);
@@ -160,8 +174,10 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   }
 
   ++counters_.jobsLaunched;
-  launched_.emplace(*jobId, request);
+  launched_.emplace(*jobId,
+                    LaunchRecord{request, forwarder_.simulator().now()});
   if (request.requestId.empty()) inflight_.emplace(canonical, *jobId);
+  scheduleReaper();
 
   LIDC_LOG(kInfo, "gateway") << cluster_name_ << " launched " << *jobId << " for "
                              << interest.name().toUri();
@@ -181,6 +197,15 @@ void Gateway::onStatus(const ndn::Interest& interest) {
   }
   auto status = jobs_.status(parsed->second);
   if (!status.ok()) {
+    // The job object vanished (reaped, or lost with its cluster state):
+    // evict any dangling dedup bookkeeping so a later identical request
+    // launches fresh instead of joining a dead job, then answer a clean
+    // NotFound.
+    if (status.status().code() == StatusCode::kNotFound &&
+        launched_.count(parsed->second) > 0) {
+      ++counters_.vanishedEvicted;
+      evictJob(parsed->second, /*forgetStatus=*/false);
+    }
     replyKv(interest.name(), {{"error", status.status().toString()}},
             options_.statusFreshness);
     return;
@@ -291,8 +316,8 @@ void Gateway::onPublish(const ndn::Interest& interest) {
 
 void Gateway::onJobFinished(const k8s::Job& job) {
   auto it = launched_.find(job.name());
-  if (it == launched_.end()) return;  // not one of ours
-  const ComputeRequest& request = it->second;
+  if (it == launched_.end()) return;  // not one of ours (or already reaped)
+  const ComputeRequest& request = it->second.request;
   const ndn::Name canonical = request.canonicalName();
   inflight_.erase(canonical);
 
@@ -308,6 +333,68 @@ void Gateway::onJobFinished(const k8s::Job& job) {
     }
   }
   launched_.erase(it);
+}
+
+double Gateway::healthyNodeFraction() const {
+  const std::size_t nodes = cluster_.nodeCount();
+  if (nodes == 0) return 0.0;
+  return static_cast<double>(cluster_.readyNodeCount()) /
+         static_cast<double>(nodes);
+}
+
+void Gateway::evictJob(const std::string& jobId, bool forgetStatus) {
+  auto it = launched_.find(jobId);
+  if (it == launched_.end()) return;
+  // Only drop the dedup entry if it still points at this job — a fresh
+  // identical request may have re-populated it with a newer job id.
+  const ndn::Name canonical = it->second.request.canonicalName();
+  if (auto inflightIt = inflight_.find(canonical);
+      inflightIt != inflight_.end() && inflightIt->second == jobId) {
+    inflight_.erase(inflightIt);
+  }
+  launched_.erase(it);
+  if (forgetStatus) jobs_.forget(jobId);
+}
+
+void Gateway::scheduleReaper() {
+  // Lazy arming: no recurring event while nothing is launched, so
+  // simulations with a drained job table still run to completion.
+  if (!options_.enableOrphanReaper || reaper_pending_ || launched_.empty()) {
+    return;
+  }
+  reaper_pending_ = true;
+  forwarder_.simulator().scheduleAfter(options_.reaperInterval, [this] {
+    reaper_pending_ = false;
+    reapOrphans();
+    scheduleReaper();
+  });
+}
+
+void Gateway::reapOrphans() {
+  const sim::Time now = forwarder_.simulator().now();
+  std::vector<std::string> victims;
+  for (const auto& [jobId, record] : launched_) {
+    auto status = jobs_.status(jobId);
+    if (!status.ok()) {
+      // Job object gone (e.g. cluster state lost): dangling entry.
+      victims.push_back(jobId);
+      continue;
+    }
+    // Only Pending counts as "stuck": a Running job has a completion
+    // event scheduled and will reach a terminal state on its own, but a
+    // pod that cannot be scheduled (cluster lost its nodes, capacity
+    // gone for good) waits forever.
+    if (status->state == k8s::JobState::kPending &&
+        now - record.launchedAt > options_.orphanTtl) {
+      victims.push_back(jobId);
+    }
+  }
+  for (const auto& jobId : victims) {
+    ++counters_.orphansReaped;
+    LIDC_LOG(kInfo, "gateway")
+        << cluster_name_ << " reaped orphaned job " << jobId;
+    evictJob(jobId, /*forgetStatus=*/true);
+  }
 }
 
 }  // namespace lidc::core

@@ -35,6 +35,16 @@ struct GatewayOptions {
   sim::Duration infoFreshness = sim::Duration::seconds(2);
   /// Largest object accepted through a single publish command Interest.
   std::size_t maxPublishBytes = 1 << 20;
+  /// Health gate: while the fraction of Ready nodes is below this, new
+  /// compute Interests are nacked with kCongestion so the forwarding
+  /// strategy fails over to a healthy cluster. 0 disables the gate.
+  double minHealthyNodeFraction = 0.5;
+  /// Orphan reaper: launched/in-flight bookkeeping for a job that is
+  /// still non-terminal this long after launch is expired, so dedup can
+  /// never join a dead job and status queries return a clean NotFound.
+  sim::Duration orphanTtl = sim::Duration::minutes(10);
+  sim::Duration reaperInterval = sim::Duration::seconds(30);
+  bool enableOrphanReaper = true;
 };
 
 struct GatewayCounters {
@@ -48,6 +58,10 @@ struct GatewayCounters {
   std::uint64_t infoReceived = 0;      // capability queries served
   std::uint64_t publishesAccepted = 0;
   std::uint64_t publishesRejected = 0;
+  std::uint64_t healthRejected = 0;    // nacked by the health gate
+  std::uint64_t orphansReaped = 0;     // launched/inflight entries expired
+  std::uint64_t vanishedEvicted = 0;   // evicted when the job object vanished
+  std::uint64_t blackoutDropped = 0;   // Interests dropped during a blackout
 };
 
 class Gateway {
@@ -76,6 +90,15 @@ class Gateway {
   /// cluster). Enabled by default.
   void setAdmissionControl(bool enabled) noexcept { admission_control_ = enabled; }
 
+  /// Simulated gateway-process outage: while blacked out every Interest
+  /// is dropped silently (no Data, no Nack), so clients see PIT timeouts
+  /// exactly as if the gateway pod died. Driven by the chaos engine.
+  void setBlackout(bool on) noexcept { blackout_ = on; }
+  [[nodiscard]] bool blackedOut() const noexcept { return blackout_; }
+
+  /// Fraction of this cluster's nodes currently Ready, in [0, 1].
+  [[nodiscard]] double healthyNodeFraction() const;
+
  private:
   void handleInterest(const ndn::Interest& interest);
   void onCompute(const ndn::Interest& interest);
@@ -84,6 +107,14 @@ class Gateway {
   void onPublish(const ndn::Interest& interest);
   void replyKv(const ndn::Name& name, const KvMap& fields, sim::Duration freshness);
   void onJobFinished(const k8s::Job& job);
+  /// Drops launched_/inflight_ bookkeeping for a job and (for orphans)
+  /// the JobManager mapping, so dedup/status never reference it again.
+  void evictJob(const std::string& jobId, bool forgetStatus);
+  /// Arms the reaper timer if it is enabled, not already pending, and
+  /// there are launched jobs to watch (lazy, so idle simulations drain).
+  void scheduleReaper();
+  /// One reaper sweep: expires vanished jobs and non-terminal orphans.
+  void reapOrphans();
 
   ndn::Forwarder& forwarder_;
   k8s::Cluster& cluster_;
@@ -98,11 +129,19 @@ class Gateway {
   ndn::FaceId face_id_ = ndn::kInvalidFaceId;
   GatewayCounters counters_;
   bool admission_control_ = true;
+  bool blackout_ = false;
+  bool reaper_pending_ = false;
+
+  struct LaunchRecord {
+    ComputeRequest request;
+    sim::Time launchedAt;
+  };
 
   /// canonical name -> jobId for jobs still in flight (dedup).
   std::unordered_map<ndn::Name, std::string, ndn::NameHash> inflight_;
-  /// jobId -> originating request (for cache/predictor bookkeeping).
-  std::unordered_map<std::string, ComputeRequest> launched_;
+  /// jobId -> originating request + launch time (cache/predictor
+  /// bookkeeping and orphan expiry).
+  std::unordered_map<std::string, LaunchRecord> launched_;
 };
 
 }  // namespace lidc::core

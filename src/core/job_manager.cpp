@@ -1,6 +1,7 @@
 #include "core/job_manager.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strings.hpp"
 
@@ -82,7 +83,7 @@ Result<JobStatusInfo> JobManager::status(const std::string& jobId) const {
   if (it == job_namespaces_.end()) {
     return Status::NotFound("unknown job id " + jobId);
   }
-  const auto* job = const_cast<k8s::Cluster&>(cluster_).job(it->second, jobId);
+  const auto* job = std::as_const(cluster_).job(it->second, jobId);
   if (job == nullptr) return Status::NotFound("job object vanished: " + jobId);
 
   const auto& status = job->status();

@@ -45,6 +45,11 @@ class JobManager {
 
   [[nodiscard]] Result<JobStatusInfo> status(const std::string& jobId) const;
 
+  /// Drops all bookkeeping for a job id: subsequent status() queries
+  /// return NotFound. Used by the gateway's orphan reaper to retire jobs
+  /// stuck non-terminal past their TTL.
+  void forget(const std::string& jobId) { job_namespaces_.erase(jobId); }
+
   [[nodiscard]] const std::string& namespaceName() const noexcept {
     return namespace_;
   }

@@ -83,6 +83,21 @@ void Cluster::failNode(const std::string& nodeName) {
   retryUnschedulable();
 }
 
+std::size_t Cluster::readyNodeCount() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [name, n] : nodes_) {
+    if (n->ready()) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> Cluster::nodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, n] : nodes_) names.push_back(name);
+  return names;
+}
+
 Resources Cluster::totalAllocatable() const {
   Resources total;
   for (const auto& [name, n] : nodes_) total += n->allocatable();
@@ -386,6 +401,11 @@ Result<Job*> Cluster::createJob(const std::string& ns, const std::string& jobNam
 }
 
 Job* Cluster::job(const std::string& ns, const std::string& jobName) {
+  auto it = jobs_.find(key(ns, jobName));
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+const Job* Cluster::job(const std::string& ns, const std::string& jobName) const {
   auto it = jobs_.find(key(ns, jobName));
   return it == jobs_.end() ? nullptr : it->second.get();
 }

@@ -54,6 +54,9 @@ class Cluster {
   /// evicted non-job pods return to the scheduling queue.
   void failNode(const std::string& nodeName);
   [[nodiscard]] std::size_t nodeCount() const noexcept { return nodes_.size(); }
+  /// Nodes currently Ready (the gateway's health gate watches this).
+  [[nodiscard]] std::size_t readyNodeCount() const noexcept;
+  [[nodiscard]] std::vector<std::string> nodeNames() const;
   [[nodiscard]] Resources totalAllocatable() const;
   [[nodiscard]] Resources totalAllocated() const;
   /// Free resources across all Ready nodes.
@@ -111,6 +114,8 @@ class Cluster {
   Result<Job*> createJob(const std::string& ns, const std::string& jobName,
                          JobSpec spec);
   [[nodiscard]] Job* job(const std::string& ns, const std::string& jobName);
+  [[nodiscard]] const Job* job(const std::string& ns,
+                               const std::string& jobName) const;
   [[nodiscard]] std::vector<Job*> jobsInNamespace(const std::string& ns);
   /// Fires when any job reaches Completed or Failed.
   void onJobFinished(std::function<void(const Job&)> callback) {

@@ -26,6 +26,7 @@ struct OutRecord {
   std::uint32_t nonce = 0;
   sim::Time lastSent;
   bool nacked = false;
+  NackReason nackReason = NackReason::kNone;
 };
 
 class PitEntry {

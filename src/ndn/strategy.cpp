@@ -28,11 +28,14 @@ void Strategy::beforeSatisfyInterest(const std::shared_ptr<PitEntry>& entry,
   }
 }
 
-void Strategy::afterReceiveNack(const Nack& /*nack*/, Face& inFace,
+void Strategy::afterReceiveNack(const Nack& nack, Face& inFace,
                                 const std::shared_ptr<PitEntry>& entry) {
-  if (auto* out = entry->findOutRecord(inFace.id())) out->nacked = true;
+  if (auto* out = entry->findOutRecord(inFace.id())) {
+    out->nacked = true;
+    out->nackReason = nack.reason();
+  }
   if (entry->allUpstreamsNacked()) {
-    sendNackDownstream(entry, NackReason::kNoRoute);
+    sendNackDownstream(entry, leastSevereNackReason(entry, NackReason::kNoRoute));
   }
 }
 
@@ -46,6 +49,19 @@ void Strategy::sendInterestTo(const std::shared_ptr<PitEntry>& entry,
 void Strategy::sendNackDownstream(const std::shared_ptr<PitEntry>& entry,
                                   NackReason reason) {
   forwarder_.sendNackDownstream(entry, reason);
+}
+
+NackReason Strategy::leastSevereNackReason(const std::shared_ptr<PitEntry>& entry,
+                                           NackReason fallback) {
+  NackReason least = NackReason::kNone;
+  for (const auto& out : entry->outRecords()) {
+    if (!out.nacked || out.nackReason == NackReason::kNone) continue;
+    if (least == NackReason::kNone ||
+        static_cast<std::uint32_t>(out.nackReason) < static_cast<std::uint32_t>(least)) {
+      least = out.nackReason;
+    }
+  }
+  return least == NackReason::kNone ? fallback : least;
 }
 
 const FibEntry* Strategy::lookupFib(const Interest& interest) const {
@@ -97,7 +113,10 @@ void BestRouteStrategy::afterReceiveInterest(const Interest& interest, Face& inF
 
 void BestRouteStrategy::afterReceiveNack(const Nack& nack, Face& inFace,
                                          const std::shared_ptr<PitEntry>& entry) {
-  if (auto* out = entry->findOutRecord(inFace.id())) out->nacked = true;
+  if (auto* out = entry->findOutRecord(inFace.id())) {
+    out->nacked = true;
+    out->nackReason = nack.reason();
+  }
 
   // Failover: try the cheapest upstream that has not been tried or nacked.
   const auto* fibEntry = lookupFib(entry->interest());
@@ -114,7 +133,7 @@ void BestRouteStrategy::afterReceiveNack(const Nack& nack, Face& inFace,
     }
   }
   if (entry->allUpstreamsNacked()) {
-    sendNackDownstream(entry, nack.reason());
+    sendNackDownstream(entry, leastSevereNackReason(entry, nack.reason()));
   }
 }
 
@@ -178,7 +197,10 @@ void LoadBalanceStrategy::afterReceiveInterest(const Interest& interest, Face& i
 
 void LoadBalanceStrategy::afterReceiveNack(const Nack& nack, Face& inFace,
                                            const std::shared_ptr<PitEntry>& entry) {
-  if (auto* out = entry->findOutRecord(inFace.id())) out->nacked = true;
+  if (auto* out = entry->findOutRecord(inFace.id())) {
+    out->nacked = true;
+    out->nackReason = nack.reason();
+  }
   const auto* fibEntry = lookupFib(entry->interest());
   auto hops = viableNextHops(fibEntry, kInvalidFaceId, *this,
                              [this](FaceId f) { return faceIsUp(f); });
@@ -188,7 +210,9 @@ void LoadBalanceStrategy::afterReceiveNack(const Nack& nack, Face& inFace,
       return;
     }
   }
-  if (entry->allUpstreamsNacked()) sendNackDownstream(entry, nack.reason());
+  if (entry->allUpstreamsNacked()) {
+    sendNackDownstream(entry, leastSevereNackReason(entry, nack.reason()));
+  }
 }
 
 void AsfStrategy::afterReceiveInterest(const Interest& interest, Face& inFace,
@@ -243,7 +267,10 @@ void AsfStrategy::afterReceiveInterest(const Interest& interest, Face& inFace,
 
 void AsfStrategy::afterReceiveNack(const Nack& nack, Face& inFace,
                                    const std::shared_ptr<PitEntry>& entry) {
-  if (auto* out = entry->findOutRecord(inFace.id())) out->nacked = true;
+  if (auto* out = entry->findOutRecord(inFace.id())) {
+    out->nacked = true;
+    out->nackReason = nack.reason();
+  }
   const auto* fibEntry = lookupFib(entry->interest());
   auto hops = viableNextHops(fibEntry, kInvalidFaceId, *this,
                              [this](FaceId f) { return faceIsUp(f); });
@@ -253,7 +280,9 @@ void AsfStrategy::afterReceiveNack(const Nack& nack, Face& inFace,
       return;
     }
   }
-  if (entry->allUpstreamsNacked()) sendNackDownstream(entry, nack.reason());
+  if (entry->allUpstreamsNacked()) {
+    sendNackDownstream(entry, leastSevereNackReason(entry, nack.reason()));
+  }
 }
 
 void RoundRobinStrategy::afterReceiveInterest(const Interest& interest, Face& inFace,

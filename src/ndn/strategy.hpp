@@ -63,6 +63,12 @@ class Strategy {
   // Actions available to strategies (implemented via the forwarder).
   void sendInterestTo(const std::shared_ptr<PitEntry>& entry, FaceId upstream);
   void sendNackDownstream(const std::shared_ptr<PitEntry>& entry, NackReason reason);
+  /// The least severe reason among the entry's nacked upstreams (NFD
+  /// semantics: reason codes order by severity, so a Congestion from one
+  /// path outranks a Duplicate from a looped one). `fallback` when no
+  /// upstream recorded a reason.
+  [[nodiscard]] static NackReason leastSevereNackReason(
+      const std::shared_ptr<PitEntry>& entry, NackReason fallback);
   [[nodiscard]] const FibEntry* lookupFib(const Interest& interest) const;
   [[nodiscard]] RttMeasurements& measurements();
   [[nodiscard]] bool faceIsUp(FaceId face) const;

@@ -1,0 +1,122 @@
+// ChaosEngine: deterministic fault injection for LIDC simulations.
+// A seeded engine schedules declarative fault plans on the shared
+// Simulator — link flaps, loss/latency bursts, node crashes, gateway
+// blackouts — and records a reproducible event trace so two runs with
+// the same seed inject byte-identical fault schedules. This is the
+// harness behind the end-to-end failure-recovery tests and the
+// bench_chaos_recovery sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "k8s/cluster.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace lidc::sim {
+
+enum class FaultKind {
+  kLinkDown,      // administrative link outage for a window
+  kLinkFlaps,     // seeded random up/down schedule over a window
+  kLossBurst,     // elevated packet loss for a window
+  kLatencyBurst,  // added propagation latency for a window
+  kNodeCrash,     // k8s node failure (pods evicted, jobs fail/retry)
+  kClusterCrash,  // every node of a cluster fails
+  kBlackout,      // a component silently drops all traffic for a window
+  kCustom,        // caller-supplied action
+};
+
+std::string_view faultKindName(FaultKind kind) noexcept;
+
+/// Aggregate counters for one declared fault.
+struct FaultRecord {
+  std::string label;
+  FaultKind kind = FaultKind::kCustom;
+  std::uint64_t injections = 0;
+  std::uint64_t recoveries = 0;
+};
+
+/// One entry of the chaos event trace ("inject" or "recover").
+struct ChaosEvent {
+  Time at;
+  std::string label;
+  std::string phase;
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(Simulator& sim, std::uint64_t seed = 4242)
+      : sim_(sim), rng_(seed) {}
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  // --- declarative fault plan -------------------------------------------
+
+  /// Takes the link down at `at` and back up after `outage`.
+  void linkDown(std::string label, net::Link& link, Time at, Duration outage);
+
+  /// Seeded random flap schedule: alternating up/down periods drawn from
+  /// exponential distributions (meanUp / meanDown), between `from` and
+  /// `until`. The whole schedule is derived from the engine seed at plan
+  /// time, so identical seeds give identical flap timelines.
+  void linkFlaps(std::string label, net::Link& link, Time from, Time until,
+                 Duration meanUp, Duration meanDown);
+
+  /// Raises the link's loss rate to `lossRate` during the burst window,
+  /// restoring the previous rate afterwards.
+  void lossBurst(std::string label, net::Link& link, Time at, Duration burst,
+                 double lossRate);
+
+  /// Adds `extraLatency` to the link during the burst window.
+  void latencyBurst(std::string label, net::Link& link, Time at, Duration burst,
+                    Duration extraLatency);
+
+  /// Hard-fails one node (pods evicted; running job attempts fail).
+  void nodeCrash(std::string label, k8s::Cluster& cluster, std::string node,
+                 Time at);
+
+  /// Hard-fails every node of the cluster at `at`.
+  void clusterCrash(std::string label, k8s::Cluster& cluster, Time at);
+
+  /// Generic blackout window: `toggle(true)` at `at`, `toggle(false)`
+  /// after `window`. Used for gateway blackouts via Gateway::setBlackout.
+  void blackout(std::string label, Time at, Duration window,
+                std::function<void(bool)> toggle);
+
+  /// One-shot custom fault.
+  void custom(std::string label, Time at, std::function<void()> apply);
+
+  // --- observability ----------------------------------------------------
+
+  [[nodiscard]] const std::vector<FaultRecord>& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] const std::vector<ChaosEvent>& trace() const noexcept {
+    return trace_;
+  }
+  /// The full event trace as one string ("t=10.000000s inject east-crash\n"
+  /// per line) — convenient for byte-identical determinism assertions.
+  [[nodiscard]] std::string traceString() const;
+
+  [[nodiscard]] std::uint64_t totalInjections() const noexcept;
+  [[nodiscard]] std::uint64_t totalRecoveries() const noexcept;
+
+ private:
+  /// Registers a fault record; returns its index.
+  std::size_t declare(std::string label, FaultKind kind);
+  /// Schedules `action` at `at`, recording it in the trace and counters.
+  void schedulePhase(std::size_t fault, Time at, bool inject,
+                     std::function<void()> action);
+
+  Simulator& sim_;
+  Rng rng_;
+  std::vector<FaultRecord> faults_;
+  std::vector<ChaosEvent> trace_;
+};
+
+}  // namespace lidc::sim
