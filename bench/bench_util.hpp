@@ -4,9 +4,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lidc::bench {
@@ -55,5 +57,55 @@ inline std::string fmt(double value, const char* format = "%.2f") {
   std::snprintf(buf, sizeof(buf), format, value);
   return buf;
 }
+
+/// Machine-readable bench output: collects metric name -> value pairs
+/// and writes them as BENCH_<name>.json next to the working directory,
+/// so the perf trajectory of every bench can be tracked across commits.
+/// Metrics keep insertion order; integral values are emitted without a
+/// fractional part so the files diff cleanly.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  /// Serialises to a stable, human-diffable JSON object.
+  [[nodiscard]] std::string toJson() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\"";
+    for (const auto& [metric, value] : metrics_) {
+      out += ",\n  \"" + metric + "\": ";
+      if (std::nearbyint(value) == value && std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        out += buf;
+      } else {
+        out += fmt(value, "%.6f");
+      }
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into the current working directory and
+  /// reports the path on stdout.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::printf("could not write %s\n", path.c_str());
+      return;
+    }
+    const std::string json = toJson();
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace lidc::bench

@@ -1,20 +1,23 @@
-// The paper's SIV deployment end to end: a genomics workflow BLASTing
-// both SRA samples (rice SRR2931415 and kidney SRR5139395) against the
-// human reference through named requests, with live status polling and
-// result retrieval — the Fig. 5 protocol timeline, narrated.
+// The paper's SIV deployment end to end, now as a *declared workflow*:
+// BLAST both SRA samples (rice SRR2931415 and kidney SRR5139395)
+// against the human reference and compress the rice alignment — a
+// three-stage DAG the WorkflowEngine drives through named requests,
+// with the Fig. 5 protocol timeline narrated from the engine's own
+// event log. Each stage's output lands in the data lake under
+// /ndn/k8s/data/wf/genomics/<stage>, where the next stage (and we, at
+// the end) pull it by name.
 #include <cstdio>
 
 #include "common/strings.hpp"
 #include "core/client.hpp"
 #include "core/overlay.hpp"
+#include "workflow/engine.hpp"
 
 namespace {
 
 using namespace lidc;
 
-void narrate(const sim::Simulator& sim, const std::string& line) {
-  std::printf("[t=%8.1fs] %s\n", sim.now().toSeconds(), line.c_str());
-}
+constexpr const char* kRiceSrr = "SRR2931415";
 
 }  // namespace
 
@@ -40,94 +43,82 @@ int main() {
   core::LidcClient client(*overlay.topology().node("lab-workstation"),
                           "genomics-researcher");
 
-  // Run both Table I samples sequentially, polling status as in Fig. 5.
+  // The workflow: both Table I alignments fan out in parallel; the
+  // compression tool (paper SIV-B's second application) consumes the
+  // rice alignment as soon as it lands in the lake.
+  workflow::WorkflowSpec spec;
+  spec.id = "genomics";
   for (const auto& sample : catalog.allSamples()) {
-    core::ComputeRequest request;
-    request.app = "BLAST";
-    request.cpu = MilliCpu::fromCores(2);
-    request.memory = ByteSize::fromGiB(4);
-    request.params["srr_id"] = sample.srrId;
+    workflow::StageSpec blast;
+    blast.name = "blast-" + sample.srrId;
+    blast.app = "BLAST";
+    blast.cpu = MilliCpu::fromCores(2);
+    blast.memory = ByteSize::fromGiB(4);
+    blast.params["srr_id"] = sample.srrId;
+    spec.addStage(blast);
+  }
+  workflow::StageSpec compress;
+  compress.name = "compress-rice";
+  compress.app = "compress";
+  compress.cpu = MilliCpu::fromCores(4);
+  compress.memory = ByteSize::fromGiB(2);
+  compress.stageInputs = {{std::string("blast-") + kRiceSrr, "input"}};
+  spec.addStage(compress);
 
-    narrate(sim, "Interest  " + request.toName().toUri());
+  for (const auto& stage : spec.stages) {
+    std::printf("stage %-18s app=%-8s -> %s\n", stage.name.c_str(),
+                stage.app.c_str(),
+                workflow::intermediateName(spec.id, stage.name).toUri().c_str());
+  }
+  std::printf("\n");
 
-    std::string statusName;
-    client.submit(request, [&](Result<core::SubmitResult> ack) {
-      if (!ack.ok()) {
-        narrate(sim, "REJECTED  " + ack.status().toString());
-        return;
-      }
-      narrate(sim, "ack       job_id=" + ack->jobId + " on " + ack->cluster);
-      statusName = ack->statusName;
-    });
-    sim.runUntil(sim.now() + sim::Duration::seconds(2));
-    if (statusName.empty()) return 1;
+  // Narrate the engine's event log live — the Fig. 5 timeline, but for
+  // a whole DAG instead of one job.
+  workflow::WorkflowOptions options;
+  options.observer = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  };
+  workflow::WorkflowEngine engine(client, options);
 
-    // Poll a few times to show the Pending -> Running transition, then
-    // wait for the terminal state.
-    for (int poll = 0; poll < 2; ++poll) {
-      client.queryStatus(ndn::Name(statusName),
-                         [&](Result<core::JobStatusSnapshot> status) {
-                           if (status.ok()) {
-                             narrate(sim, "status    " +
-                                              std::string(k8s::jobStateName(
-                                                  status->state)));
-                           }
-                         });
-      sim.runUntil(sim.now() + sim::Duration::seconds(3));
+  bool failed = false;
+  engine.run(spec, [&](Result<workflow::WorkflowOutcome> result) {
+    if (!result.ok()) {
+      std::printf("workflow rejected: %s\n", result.status().toString().c_str());
+      failed = true;
+      return;
     }
+    const auto& outcome = result.value();
+    std::printf("\nworkflow %s %s  makespan=%s\n", outcome.id.c_str(),
+                outcome.succeeded ? "succeeded" : "FAILED",
+                strings::formatDurationHms(outcome.makespan.toSeconds()).c_str());
+    for (const auto& [name, st] : outcome.stages) {
+      std::printf("  %-18s %-9s cluster=%-12s runtime=%-9s output=%s\n",
+                  name.c_str(),
+                  std::string(workflow::stageStateName(st.state)).c_str(),
+                  st.cluster.c_str(),
+                  strings::formatDurationHms(st.runtime.toSeconds()).c_str(),
+                  strings::formatBytes(st.outputBytes).c_str());
+    }
+    failed = !outcome.succeeded;
+  });
+  sim.run();
+  if (failed) return 1;
 
-    bool done = false;
-    client.waitForCompletion(
-        ndn::Name(statusName), [&](Result<core::JobStatusSnapshot> status) {
-          done = true;
-          if (!status.ok()) {
-            narrate(sim, "ERROR     " + status.status().toString());
-            return;
-          }
-          narrate(sim, "status    " +
-                           std::string(k8s::jobStateName(status->state)) +
-                           "  runtime=" +
-                           strings::formatDurationHms(status->runtime.toSeconds()) +
-                           "  output=" +
-                           strings::formatBytes(status->outputBytes) + "  -> " +
-                           status->resultPath);
-          client.fetchData(ndn::Name(status->resultPath),
-                           [&](Result<std::vector<std::uint8_t>> bytes) {
-                             if (bytes.ok()) {
-                               narrate(sim, "retrieved " +
-                                                std::to_string(bytes->size()) +
-                                                " bytes from the data lake");
-                             }
-                           });
-        });
-    sim.run();
-    if (!done) return 1;
-    std::printf("\n");
-  }
-
-  // Post-processing stage (paper SIV-B's second application): compress
-  // the rice result that is now sitting in the data lake.
-  {
-    core::ComputeRequest compressRequest;
-    compressRequest.app = "compress";
-    compressRequest.cpu = MilliCpu::fromCores(4);
-    compressRequest.memory = ByteSize::fromGiB(2);
-    compressRequest.params["input"] = "results/job-gcp-microk8s-1";
-    narrate(sim, "Interest  " + compressRequest.toName().toUri());
-    client.runToCompletion(compressRequest, [&](Result<core::JobOutcome> outcome) {
-      if (outcome.ok()) {
-        narrate(sim, "compress  " +
-                         std::string(k8s::jobStateName(outcome->finalStatus.state)) +
-                         " -> " + outcome->finalStatus.resultPath + " (" +
-                         std::to_string(outcome->finalStatus.outputBytes) +
-                         " bytes)");
-      } else {
-        narrate(sim, "compress  FAILED " + outcome.status().toString());
-      }
-    });
-    sim.run();
-    std::printf("\n");
-  }
+  // The compressed rice alignment is addressable by its workflow name.
+  const ndn::Name finalName = workflow::intermediateName("genomics", "compress-rice");
+  bool fetched = false;
+  client.fetchData(finalName, [&](Result<std::vector<std::uint8_t>> bytes) {
+    if (bytes.ok()) {
+      std::printf("\nretrieved %s from %s\n",
+                  strings::formatBytes(bytes->size()).c_str(),
+                  finalName.toUri().c_str());
+      fetched = true;
+    } else {
+      std::printf("\nretrieval failed: %s\n", bytes.status().toString().c_str());
+    }
+  });
+  sim.run();
+  if (!fetched) return 1;
 
   const auto& counters = cluster.gateway().counters();
   std::printf("gateway: %llu compute Interests, %llu jobs launched, %llu status polls\n",

@@ -133,6 +133,12 @@ class LidcClient {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t submitsSent() const noexcept { return submits_; }
 
+  /// The simulator this client's forwarder runs on; layered components
+  /// (e.g. the workflow engine) need it for timestamps and scheduling.
+  [[nodiscard]] sim::Simulator& simulator() noexcept {
+    return forwarder_.simulator();
+  }
+
   /// Times at which submit Interests actually left this client (one
   /// entry per attempt, across all submissions). Exposed so tests can
   /// assert that backoff schedules are deterministic per seed.

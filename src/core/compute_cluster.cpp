@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "apps/compress_app.hpp"
+#include "apps/transform_app.hpp"
 #include "genomics/fasta.hpp"
 
 namespace lidc::core {
@@ -45,6 +46,8 @@ ComputeCluster::ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig c
                                             makeDataLakeValidator(*store_)));
   validators.add("compress", combineValidators(makeCompressionValidator(),
                                                makeDataLakeValidator(*store_)));
+  validators.add("transform", combineValidators(makeTransformValidator(),
+                                                makeDataLakeValidator(*store_)));
 
   gateway_ = std::make_unique<Gateway>(forwarder_, *cluster_, std::move(validators),
                                        config_.gateway, &predictor_);
@@ -54,6 +57,8 @@ ComputeCluster::ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig c
   // The second stock application (paper SIV-B): a file compression tool
   // with its own validation rules.
   apps::installCompressApp(*cluster_, *store_);
+  // The generic DAG-stage app used by workflow benches and tests.
+  apps::installTransformApp(*cluster_, *store_);
 }
 
 void ComputeCluster::loadGenomicsDatasets(const genomics::DatasetCatalog& catalog) {

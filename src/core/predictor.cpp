@@ -9,6 +9,9 @@ std::string CompletionTimePredictor::fineKey(const ComputeRequest& request) {
   if (auto it = request.params.find("srr_id"); it != request.params.end()) {
     key += "|" + it->second;
   }
+  if (auto it = request.params.find("input"); it != request.params.end()) {
+    key += "|" + it->second;
+  }
   for (const auto& dataset : request.datasets) key += "|" + dataset;
   return key;
 }

@@ -45,6 +45,16 @@ Validator makeCompressionValidator() {
   };
 }
 
+Validator makeTransformValidator() {
+  return [](const ComputeRequest& request) -> Status {
+    if (request.datasets.empty() && request.params.count("input") == 0) {
+      return Status::InvalidArgument(
+          "transform requires a dataset= or input= parameter");
+    }
+    return Status::Ok();
+  };
+}
+
 Validator makeDataLakeValidator(const datalake::ObjectStore& store) {
   return [&store](const ComputeRequest& request) -> Status {
     auto checkExists = [&store](const std::string& object) -> Status {

@@ -50,6 +50,10 @@ Validator makeBlastValidator();
 /// that needs an "input" dataset but no SRR id.
 Validator makeCompressionValidator();
 
+/// The generic transform stage app: needs at least one input object
+/// (dataset= or input=), like compression, but no SRR id.
+Validator makeTransformValidator();
+
 /// Runs both validators; fails on the first error.
 Validator combineValidators(Validator first, Validator second);
 

@@ -11,6 +11,7 @@ struct Retriever::Transfer {
   CompletionCallback done;
   std::uint64_t totalSegments = 0;
   std::uint64_t totalSize = 0;
+  std::uint64_t segmentSize = 0;  // 0 = meta did not advertise one
   std::uint64_t nextToRequest = 0;
   std::size_t inFlight = 0;
   std::map<std::uint64_t, std::vector<std::uint8_t>> segments;
@@ -44,6 +45,7 @@ void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt) {
         // Parse "segments=N;size=M;segment_size=S".
         std::uint64_t segments = 0;
         std::uint64_t size = 0;
+        std::uint64_t segmentSize = 0;
         const std::string meta = data.contentAsString();
         for (auto field : strings::split(meta, ';')) {
           const auto kv = strings::split(field, '=');
@@ -52,15 +54,34 @@ void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt) {
             segments = strings::parseUint(kv[1]).value_or(0);
           } else if (kv[0] == "size") {
             size = strings::parseUint(kv[1]).value_or(0);
+          } else if (kv[0] == "segment_size") {
+            segmentSize = strings::parseUint(kv[1]).value_or(0);
           }
         }
-        if (segments == 0 && size > 0) {
-          finish(transfer, Status::Internal("malformed meta for " +
-                                            transfer->objectName.toUri()));
+        if ((segments == 0) != (size == 0)) {
+          finish(transfer,
+                 Status::Internal("malformed meta for " +
+                                  transfer->objectName.toUri() + ": segments=" +
+                                  std::to_string(segments) + " but size=" +
+                                  std::to_string(size)));
           return;
+        }
+        if (segmentSize > 0 && size > 0) {
+          const std::uint64_t implied = (size + segmentSize - 1) / segmentSize;
+          if (implied != segments) {
+            finish(transfer,
+                   Status::Internal(
+                       "inconsistent meta for " + transfer->objectName.toUri() +
+                       ": segments=" + std::to_string(segments) + " but size=" +
+                       std::to_string(size) + " with segment_size=" +
+                       std::to_string(segmentSize) + " implies " +
+                       std::to_string(implied)));
+            return;
+          }
         }
         transfer->totalSegments = segments;
         transfer->totalSize = size;
+        transfer->segmentSize = segmentSize;
         if (segments == 0) {
           finish(transfer, std::vector<std::uint8_t>{});
           return;
@@ -110,6 +131,25 @@ void Retriever::fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t i
           return;
         }
         --transfer->inFlight;
+        // Honor the advertised segment size: every segment but the last
+        // must be exactly segment_size bytes, the last exactly the
+        // remainder — catching compensating per-segment errors that a
+        // total-size check alone would accept.
+        if (transfer->segmentSize > 0 && transfer->totalSize > 0) {
+          const bool isLast = index + 1 == transfer->totalSegments;
+          const std::uint64_t expected =
+              isLast ? transfer->totalSize - (transfer->totalSegments - 1) *
+                                                 transfer->segmentSize
+                     : transfer->segmentSize;
+          if (data.content().size() != expected) {
+            finish(transfer,
+                   Status::Internal(
+                       "segment " + data.name().toUri() + " carries " +
+                       std::to_string(data.content().size()) +
+                       " bytes, meta advertised " + std::to_string(expected)));
+            return;
+          }
+        }
         transfer->segments[index] = data.content();
         if (transfer->segments.size() == transfer->totalSegments) {
           std::vector<std::uint8_t> assembled;
@@ -119,8 +159,11 @@ void Retriever::fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t i
           }
           if (assembled.size() != transfer->totalSize) {
             finish(transfer,
-                   Status::Internal("reassembled size mismatch for " +
-                                    transfer->objectName.toUri()));
+                   Status::Internal(
+                       "reassembled " + std::to_string(assembled.size()) +
+                       " bytes for " + transfer->objectName.toUri() +
+                       " but meta advertised " +
+                       std::to_string(transfer->totalSize)));
             return;
           }
           finish(transfer, std::move(assembled));

@@ -1,0 +1,155 @@
+// WorkflowEngine: runs a WorkflowSpec on top of LidcClient. Every ready
+// stage is dispatched concurrently through the client's retry/failover/
+// deadline machinery; each stage's result is published to the data lake
+// under the deterministic /ndn/k8s/data/wf/<wf_id>/<stage> name so
+// downstream stages (possibly on different clusters) pull it by name.
+//
+// Locality-aware placement: when enabled, a stage's request carries
+// out=wf/<id>/<stage>, so the producing job writes the intermediate
+// straight into the lake of the cluster that ran it — zero bytes cross
+// the overlay. Consumer stages declare intermediates as dataset=
+// entries, so gateways whose lake lacks the object nack (NoRoute) and
+// the named network itself biases the consumer toward the cluster
+// already holding the producer's output. With locality off the engine
+// does the naive thing instead — fetch the result to the client and
+// republish it anycast — and counts every byte moved, making the bias
+// measurable (bench_workflow).
+//
+// Failure handling reuses the client's failover loop per stage and adds
+// lineage recovery on top: when a stage fails and one of its upstream
+// intermediates turns out to be unreachable (its cluster died with its
+// lake), the producer is reset and recomputed on a surviving cluster —
+// so killing a cluster mid-workflow still completes every stage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/predictor.hpp"
+#include "workflow/spec.hpp"
+
+namespace lidc::workflow {
+
+enum class StageState {
+  kPending,    // waiting on upstream outputs (or dispatch capacity)
+  kRunning,    // submitted; the client is driving it to completion
+  kStaging,    // job done; intermediate being fetched + republished
+  kCompleted,  // output available under the wf intermediate name
+  kFailed,     // terminal failure after all retries
+  kSkipped,    // not run: an upstream failed, or fail-fast aborted
+};
+
+std::string_view stageStateName(StageState state) noexcept;
+
+/// What happens to the rest of the DAG when a stage fails terminally.
+enum class FailurePolicy {
+  kFailFast,             // skip every stage not already running
+  kContinueIndependent,  // skip only transitive dependents; independent
+                         // branches run to completion
+};
+
+struct WorkflowOptions {
+  FailurePolicy failurePolicy = FailurePolicy::kFailFast;
+  /// Bias consumer stages toward the cluster holding their inputs (see
+  /// file comment). Off = fetch + republish every intermediate anycast.
+  bool localityAware = true;
+  /// Concurrency cap on dispatched stages. 0 = unbounded (DAG order
+  /// alone limits parallelism); 1 = strictly sequential in topo order.
+  std::size_t maxConcurrentStages = 0;
+  /// Engine-level re-runs per stage on top of the client's own submit
+  /// retries and failovers (lineage recovery consumes this budget).
+  int maxStageRetries = 2;
+  /// Observer for the engine's event log ("t=..s dispatch <stage>"
+  /// lines), invoked as events are appended. Narration hook.
+  std::function<void(const std::string&)> observer;
+};
+
+/// Terminal per-stage report.
+struct StageStatus {
+  StageState state = StageState::kPending;
+  std::string cluster;      // where the (last) attempt ran
+  std::string outputName;   // /ndn/k8s/data/wf/<id>/<stage> when completed
+  std::uint64_t outputBytes = 0;
+  sim::Duration runtime;    // job runtime reported by the cluster
+  int failovers = 0;        // client-level failovers of the last attempt
+  int retries = 0;          // engine-level re-runs (incl. lineage resets)
+  std::string error;        // last failure, empty when completed
+  sim::Time dispatchedAt;
+  sim::Time finishedAt;
+};
+
+/// Aggregated outcome of one workflow run.
+struct WorkflowOutcome {
+  std::string id;
+  bool succeeded = false;  // every stage completed
+  std::map<std::string, StageStatus> stages;
+  sim::Duration makespan;  // run() -> last stage terminal
+  /// Intermediate bytes the engine moved over the overlay (fetches +
+  /// republishes while staging). Zero under locality-aware placement.
+  std::uint64_t intermediateBytesMoved = 0;
+  /// Producer stages recomputed because their output became unreachable.
+  int lineageRecoveries = 0;
+  /// Deterministic event log; byte-identical across same-seed runs.
+  std::string trace;
+};
+
+class WorkflowEngine {
+ public:
+  explicit WorkflowEngine(core::LidcClient& client, WorkflowOptions options = {});
+
+  using DoneCallback = std::function<void(Result<WorkflowOutcome>)>;
+
+  /// Validates the spec and drives it to a terminal outcome. The
+  /// callback receives an error only for invalid specs; execution
+  /// failures are reported per stage inside the outcome.
+  void run(WorkflowSpec spec, DoneCallback done);
+
+  /// Builds the compute request a stage would be dispatched with —
+  /// exposed so tests can assert on the semantic names the engine emits.
+  [[nodiscard]] core::ComputeRequest buildRequest(const WorkflowSpec& spec,
+                                                  const StageSpec& stage) const;
+
+  /// Online per-(app, input) runtime model fed by completed stages;
+  /// ready stages are dispatched longest-predicted-first so the DAG's
+  /// critical path starts as early as possible.
+  [[nodiscard]] core::CompletionTimePredictor& predictor() noexcept {
+    return predictor_;
+  }
+
+  /// Intermediate bytes moved across all runs of this engine.
+  [[nodiscard]] std::uint64_t bytesMoved() const noexcept { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t stagesDispatched() const noexcept {
+    return stages_dispatched_;
+  }
+
+ private:
+  struct Run;
+
+  void dispatchReady(const std::shared_ptr<Run>& run);
+  void dispatchStage(const std::shared_ptr<Run>& run, std::size_t index);
+  void stageIntermediate(const std::shared_ptr<Run>& run, std::size_t index,
+                         const std::string& resultPath);
+  void completeStage(const std::shared_ptr<Run>& run, std::size_t index);
+  void handleStageFailure(const std::shared_ptr<Run>& run, std::size_t index,
+                          const Status& why);
+  /// Probes the availability of a failed stage's upstream intermediates
+  /// and resets unreachable producers (lineage recovery).
+  void probeInputsAndRecover(const std::shared_ptr<Run>& run, std::size_t index);
+  void failTerminally(const std::shared_ptr<Run>& run, std::size_t index);
+  void skipDependents(const std::shared_ptr<Run>& run, std::size_t index);
+  void maybeFinish(const std::shared_ptr<Run>& run);
+  void trace(const std::shared_ptr<Run>& run, const std::string& line);
+
+  core::LidcClient& client_;
+  WorkflowOptions options_;
+  core::CompletionTimePredictor predictor_;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t stages_dispatched_ = 0;
+};
+
+}  // namespace lidc::workflow

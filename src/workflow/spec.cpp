@@ -1,0 +1,117 @@
+#include "workflow/spec.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/semantic_name.hpp"
+
+namespace lidc::workflow {
+
+namespace {
+
+/// Identifiers become single name components and '/'-separated path
+/// segments, so they must stay inside the URI-safe alphabet.
+bool isNameSafe(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const StageSpec* WorkflowSpec::stage(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string intermediatePath(const std::string& wfId, const std::string& stage) {
+  return "wf/" + wfId + "/" + stage;
+}
+
+ndn::Name intermediateName(const std::string& wfId, const std::string& stage) {
+  ndn::Name name = core::kDataPrefix;
+  name.append("wf").append(wfId).append(stage);
+  return name;
+}
+
+Result<std::vector<std::size_t>> validateAndOrder(const WorkflowSpec& spec) {
+  if (!isNameSafe(spec.id)) {
+    return Status::InvalidArgument("workflow id '" + spec.id +
+                                   "' must be a non-empty name-safe token");
+  }
+  if (spec.stages.empty()) {
+    return Status::InvalidArgument("workflow '" + spec.id + "' has no stages");
+  }
+
+  std::map<std::string, std::size_t> indexOf;
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    const StageSpec& stage = spec.stages[i];
+    if (!isNameSafe(stage.name)) {
+      return Status::InvalidArgument("stage name '" + stage.name +
+                                     "' must be a non-empty name-safe token");
+    }
+    if (stage.app.empty()) {
+      return Status::InvalidArgument("stage '" + stage.name + "' names no app");
+    }
+    if (!indexOf.emplace(stage.name, i).second) {
+      return Status::InvalidArgument("duplicate stage name '" + stage.name + "'");
+    }
+  }
+
+  // Dangling-input and self-reference detection, then in-degrees.
+  std::vector<std::size_t> indegree(spec.stages.size(), 0);
+  std::vector<std::vector<std::size_t>> consumers(spec.stages.size());
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    for (const StageInput& input : spec.stages[i].stageInputs) {
+      auto it = indexOf.find(input.stage);
+      if (it == indexOf.end()) {
+        return Status::InvalidArgument("stage '" + spec.stages[i].name +
+                                       "' consumes unknown stage '" +
+                                       input.stage + "'");
+      }
+      if (it->second == i) {
+        return Status::InvalidArgument("stage '" + spec.stages[i].name +
+                                       "' consumes its own output");
+      }
+      ++indegree[i];
+      consumers[it->second].push_back(i);
+    }
+  }
+
+  // Kahn topological sort; the ready set is drained in declaration
+  // order so the result is deterministic for a given spec.
+  std::vector<std::size_t> order;
+  order.reserve(spec.stages.size());
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const std::size_t next = *std::min_element(ready.begin(), ready.end());
+    std::erase(ready, next);
+    order.push_back(next);
+    for (std::size_t consumer : consumers[next]) {
+      if (--indegree[consumer] == 0) ready.push_back(consumer);
+    }
+  }
+  if (order.size() != spec.stages.size()) {
+    std::string cyclic;
+    for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+      if (indegree[i] > 0) {
+        if (!cyclic.empty()) cyclic += ", ";
+        cyclic += spec.stages[i].name;
+      }
+    }
+    return Status::InvalidArgument("workflow '" + spec.id +
+                                   "' has a dependency cycle through: " + cyclic);
+  }
+  return order;
+}
+
+}  // namespace lidc::workflow

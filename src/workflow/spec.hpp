@@ -1,0 +1,70 @@
+// WorkflowSpec: a declared DAG of named compute stages (the paper's
+// unit of work — "user workflows express jobs as NDN Interests" and
+// "publish intermediate datasets back to the data lake"). Each stage
+// names an application plus resources; its data inputs are either
+// objects already in a lake or the named outputs of upstream stages.
+// Stage outputs live under the deterministic intermediate namespace
+// /ndn/k8s/data/wf/<wf_id>/<stage>, so downstream stages — possibly on
+// different clusters — pull them by name alone.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ndn/name.hpp"
+
+namespace lidc::workflow {
+
+/// One upstream dependency: the named output of `stage`. When
+/// `bindParam` is non-empty the resolved intermediate path is also
+/// passed as that request parameter (e.g. "input" for the compression
+/// app); either way it is declared as a dataset so gateways whose lake
+/// lacks it nack and the network routes the stage elsewhere.
+struct StageInput {
+  std::string stage;
+  std::string bindParam;
+};
+
+/// One named compute stage of a workflow.
+struct StageSpec {
+  std::string name;  // unique within the workflow, name-component safe
+  std::string app;   // e.g. "BLAST", "compress", "transform"
+  MilliCpu cpu;
+  ByteSize memory;
+  std::map<std::string, std::string> params;
+  /// Objects that must already exist in a data lake ('/'-separated
+  /// paths under /ndn/k8s/data); declared as dataset= in the name.
+  std::vector<std::string> lakeInputs;
+  /// Outputs of upstream stages (fan-in edges of the DAG).
+  std::vector<StageInput> stageInputs;
+};
+
+struct WorkflowSpec {
+  std::string id;  // unique workflow id, name-component safe
+  std::vector<StageSpec> stages;
+
+  /// Fluent helper for building specs in examples/tests.
+  StageSpec& addStage(StageSpec stage) {
+    stages.push_back(std::move(stage));
+    return stages.back();
+  }
+
+  [[nodiscard]] const StageSpec* stage(const std::string& name) const;
+};
+
+/// '/'-separated lake path of a stage's intermediate ("wf/<id>/<stage>").
+std::string intermediatePath(const std::string& wfId, const std::string& stage);
+
+/// Full content name: /ndn/k8s/data/wf/<wf_id>/<stage>.
+ndn::Name intermediateName(const std::string& wfId, const std::string& stage);
+
+/// Validates the spec — non-empty id/stages, name-safe identifiers,
+/// unique stage names, no dangling stage inputs, no self-references, no
+/// cycles — and returns stage indices in a deterministic topological
+/// order (Kahn's algorithm; ready stages in declaration order).
+Result<std::vector<std::size_t>> validateAndOrder(const WorkflowSpec& spec);
+
+}  // namespace lidc::workflow

@@ -75,7 +75,6 @@ TEST_F(PublishTest, EmptyPayloadRejected) {
 }
 
 TEST_F(PublishTest, OversizedPayloadRejected) {
-  GatewayOptions tight;
   // Shrink the limit on a second cluster and target it directly.
   ComputeClusterConfig config;
   config.name = "tiny";
@@ -84,12 +83,37 @@ TEST_F(PublishTest, OversizedPayloadRejected) {
   overlay_->connect("client-host", "tiny",
                     net::LinkParams{sim::Duration::millis(2)});
   overlay_->announceCluster("tiny");
-  (void)tiny;
 
   auto stored = publish("big", std::vector<std::uint8_t>(500, 1));
-  // The nearest gateway ("tiny", 2 ms) rejects with an error Data.
+  // The nearest gateway ("tiny", 2 ms) rejects with an error Data that
+  // names the limit, counts the rejection, and stores nothing.
   ASSERT_FALSE(stored.ok());
   EXPECT_NE(stored.status().message().find("exceeds"), std::string::npos);
+  EXPECT_NE(stored.status().message().find("100"), std::string::npos);
+  EXPECT_EQ(tiny.gateway().counters().publishesRejected, 1u);
+  EXPECT_EQ(tiny.gateway().counters().publishesAccepted, 0u);
+  EXPECT_FALSE(tiny.store().contains(ndn::Name("/ndn/k8s/data/big")));
+  // The far cluster never saw the Interest, so its counters stay clean.
+  EXPECT_EQ(cluster_->gateway().counters().publishesRejected, 0u);
+}
+
+TEST_F(PublishTest, PayloadAtExactLimitAccepted) {
+  ComputeClusterConfig config;
+  config.name = "tiny";
+  config.gateway.maxPublishBytes = 100;
+  auto& tiny = overlay_->addCluster(config);
+  overlay_->connect("client-host", "tiny",
+                    net::LinkParams{sim::Duration::millis(2)});
+  overlay_->announceCluster("tiny");
+
+  // The limit is inclusive: exactly maxPublishBytes must be stored.
+  auto stored = publish("fits", std::vector<std::uint8_t>(100, 7));
+  ASSERT_TRUE(stored.ok()) << stored.status();
+  EXPECT_EQ(tiny.gateway().counters().publishesAccepted, 1u);
+  EXPECT_EQ(tiny.gateway().counters().publishesRejected, 0u);
+  auto bytes = tiny.store().get(*stored);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 100u);
 }
 
 TEST_F(PublishTest, TamperedDigestRejected) {

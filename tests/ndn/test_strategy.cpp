@@ -41,12 +41,14 @@ class StrategyTest : public ::testing::Test {
                                          std::hash<std::string>{}(label));
     node.addFace(app);
     node.registerPrefix(Name("/svc"), app->id());
-    app->setInterestHandler([app, label, count](const Interest& interest) {
+    // Raw-pointer capture: the forwarder owns the face; a shared_ptr
+    // capture would cycle through the handler and leak.
+    app->setInterestHandler([face = app.get(), label, count](const Interest& interest) {
       ++*count;
       Data data(interest.name());
       data.setContent(label);
       data.sign();
-      app->putData(std::move(data));
+      face->putData(std::move(data));
     });
     return app;
   }
@@ -110,9 +112,9 @@ TEST_F(StrategyTest, BestRouteFailsOverOnNack) {
 }
 
 TEST_F(StrategyTest, BestRouteNacksDownstreamWhenAllUpstreamsNack) {
-  auto rejectAll = [](std::shared_ptr<AppFace> app) {
-    app->setInterestHandler([app](const Interest& interest) {
-      app->putNack(interest, NackReason::kCongestion);
+  auto rejectAll = [](const std::shared_ptr<AppFace>& app) {
+    app->setInterestHandler([face = app.get()](const Interest& interest) {
+      face->putNack(interest, NackReason::kCongestion);
     });
   };
   rejectAll(nearApp_);

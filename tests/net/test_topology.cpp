@@ -16,11 +16,13 @@ std::shared_ptr<ndn::AppFace> attachProducer(Topology& topo, const std::string& 
                                             std::hash<std::string>{}(label));
   fw->addFace(app);
   fw->registerPrefix(prefix, app->id());
-  app->setInterestHandler([app, label](const ndn::Interest& interest) {
+  // Capture a raw pointer: the forwarder keeps the face alive, and a
+  // shared_ptr capture would cycle through the handler and leak.
+  app->setInterestHandler([face = app.get(), label](const ndn::Interest& interest) {
     ndn::Data data(interest.name());
     data.setContent(label);
     data.sign();
-    app->putData(std::move(data));
+    face->putData(std::move(data));
   });
   return app;
 }

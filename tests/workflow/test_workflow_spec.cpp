@@ -1,0 +1,137 @@
+#include "workflow/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::workflow {
+namespace {
+
+StageSpec makeStage(std::string name, std::vector<StageInput> inputs = {}) {
+  StageSpec stage;
+  stage.name = std::move(name);
+  stage.app = "transform";
+  stage.cpu = MilliCpu::fromCores(1);
+  stage.memory = ByteSize::fromGiB(1);
+  stage.stageInputs = std::move(inputs);
+  return stage;
+}
+
+TEST(WorkflowSpecTest, IntermediateNamesAreDeterministic) {
+  EXPECT_EQ(intermediatePath("wf1", "align"), "wf/wf1/align");
+  EXPECT_EQ(intermediateName("wf1", "align").toUri(),
+            "/ndn/k8s/data/wf/wf1/align");
+}
+
+TEST(WorkflowSpecTest, LinearChainOrdersInDependencyOrder) {
+  WorkflowSpec spec;
+  spec.id = "chain";
+  spec.addStage(makeStage("c", {{"b", ""}}));
+  spec.addStage(makeStage("b", {{"a", ""}}));
+  spec.addStage(makeStage("a"));
+
+  auto order = validateAndOrder(spec);
+  ASSERT_TRUE(order.ok()) << order.status();
+  ASSERT_EQ(order->size(), 3u);
+  // a (index 2) before b (index 1) before c (index 0).
+  EXPECT_EQ((*order)[0], 2u);
+  EXPECT_EQ((*order)[1], 1u);
+  EXPECT_EQ((*order)[2], 0u);
+}
+
+TEST(WorkflowSpecTest, DiamondDrainsReadySetInDeclarationOrder) {
+  WorkflowSpec spec;
+  spec.id = "diamond";
+  spec.addStage(makeStage("prep"));
+  spec.addStage(makeStage("left", {{"prep", "input"}}));
+  spec.addStage(makeStage("right", {{"prep", "input"}}));
+  spec.addStage(makeStage("merge", {{"left", ""}, {"right", ""}}));
+
+  auto order = validateAndOrder(spec);
+  ASSERT_TRUE(order.ok()) << order.status();
+  EXPECT_EQ(*order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(WorkflowSpecTest, RejectsCycle) {
+  WorkflowSpec spec;
+  spec.id = "cyclic";
+  spec.addStage(makeStage("a", {{"c", ""}}));
+  spec.addStage(makeStage("b", {{"a", ""}}));
+  spec.addStage(makeStage("c", {{"b", ""}}));
+
+  auto order = validateAndOrder(spec);
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(order.status().message().find("cycle"), std::string::npos);
+  EXPECT_NE(order.status().message().find("a"), std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsDanglingInput) {
+  WorkflowSpec spec;
+  spec.id = "dangling";
+  spec.addStage(makeStage("a", {{"ghost", ""}}));
+
+  auto order = validateAndOrder(spec);
+  ASSERT_FALSE(order.ok());
+  EXPECT_NE(order.status().message().find("unknown stage 'ghost'"),
+            std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsSelfReference) {
+  WorkflowSpec spec;
+  spec.id = "selfie";
+  spec.addStage(makeStage("a", {{"a", ""}}));
+
+  auto order = validateAndOrder(spec);
+  ASSERT_FALSE(order.ok());
+  EXPECT_NE(order.status().message().find("own output"), std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsDuplicateStageNames) {
+  WorkflowSpec spec;
+  spec.id = "dup";
+  spec.addStage(makeStage("a"));
+  spec.addStage(makeStage("a"));
+
+  auto order = validateAndOrder(spec);
+  ASSERT_FALSE(order.ok());
+  EXPECT_NE(order.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(WorkflowSpecTest, RejectsUnsafeIdentifiers) {
+  WorkflowSpec spec;
+  spec.id = "has/slash";
+  spec.addStage(makeStage("a"));
+  EXPECT_FALSE(validateAndOrder(spec).ok());
+
+  spec.id = "ok";
+  spec.stages[0].name = "spaced out";
+  EXPECT_FALSE(validateAndOrder(spec).ok());
+
+  spec.stages[0].name = "";
+  EXPECT_FALSE(validateAndOrder(spec).ok());
+}
+
+TEST(WorkflowSpecTest, RejectsEmptyWorkflowAndMissingApp) {
+  WorkflowSpec spec;
+  spec.id = "empty";
+  EXPECT_FALSE(validateAndOrder(spec).ok());
+
+  StageSpec noApp = makeStage("a");
+  noApp.app.clear();
+  spec.addStage(std::move(noApp));
+  auto order = validateAndOrder(spec);
+  ASSERT_FALSE(order.ok());
+  EXPECT_NE(order.status().message().find("names no app"), std::string::npos);
+}
+
+TEST(WorkflowSpecTest, StageLookupFindsByName) {
+  WorkflowSpec spec;
+  spec.id = "lookup";
+  spec.addStage(makeStage("a"));
+  spec.addStage(makeStage("b"));
+  ASSERT_NE(spec.stage("b"), nullptr);
+  EXPECT_EQ(spec.stage("b")->name, "b");
+  EXPECT_EQ(spec.stage("zz"), nullptr);
+}
+
+}  // namespace
+}  // namespace lidc::workflow
