@@ -116,5 +116,18 @@ int main() {
       "shape check: static best-route pins jobs to the slow nearby cluster\n"
       "(~300 s mean completion); adaptive placement pays one exploration job\n"
       "and converges to the fast cluster (~30 s + WAN RTT).\n");
+
+  auto placed = [](const RunResult& r, const char* cluster) {
+    auto it = r.placements.find(cluster);
+    return it == r.placements.end() ? 0 : it->second;
+  };
+  bench::JsonReport report("adaptive");
+  report.add("static_mean_completion_s", statics.meanCompletionS);
+  report.add("adaptive_mean_completion_s", adaptive.meanCompletionS);
+  report.add("static_near_slow_jobs", placed(statics, "near-slow"));
+  report.add("static_far_fast_jobs", placed(statics, "far-fast"));
+  report.add("adaptive_near_slow_jobs", placed(adaptive, "near-slow"));
+  report.add("adaptive_far_fast_jobs", placed(adaptive, "far-fast"));
+  report.write();
   return 0;
 }

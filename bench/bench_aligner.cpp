@@ -7,6 +7,8 @@
 // per-read work is small relative to I/O at testbed scale.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_util.hpp"
+
 #include "genomics/aligner.hpp"
 #include "genomics/datasets.hpp"
 
@@ -71,4 +73,6 @@ BENCHMARK(BM_CompressReport);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lidc::bench::runBenchmarksWithJsonReport(argc, argv, "aligner");
+}

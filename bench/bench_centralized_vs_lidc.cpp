@@ -149,5 +149,20 @@ int main() {
       "cluster; the controller adds relay hops); under controller outage the\n"
       "centralized plane places nothing while LIDC is unaffected — it has no\n"
       "controller to lose.\n");
+
+  bench::JsonReport report("centralized_vs_lidc");
+  report.add("lidc_placed", lidc.placed);
+  report.add("lidc_failed", lidc.failed);
+  report.add("lidc_latency_mean_ms", lidc.latencyMs.mean);
+  report.add("lidc_latency_p95_ms", lidc.latencyMs.p95);
+  report.add("central_placed", central.placed);
+  report.add("central_failed", central.failed);
+  report.add("central_latency_mean_ms", central.latencyMs.mean);
+  report.add("central_latency_p95_ms", central.latencyMs.p95);
+  report.add("lidc_outage_placed", lidcOutage.placed);
+  report.add("lidc_outage_failed", lidcOutage.failed);
+  report.add("central_outage_placed", centralOutage.placed);
+  report.add("central_outage_failed", centralOutage.failed);
+  report.write();
   return 0;
 }

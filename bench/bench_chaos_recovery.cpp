@@ -129,6 +129,11 @@ int main() {
   std::printf("fault-free baseline: %d/%d complete, p50 %.1f s, p99 %.1f s\n\n",
               baseline.completed, kJobs, basP50, basP99);
 
+  bench::JsonReport report("chaos_recovery");
+  report.add("baseline_completed", baseline.completed);
+  report.add("baseline_p50_s", basP50);
+  report.add("baseline_p99_s", basP99);
+
   bench::printRow({"loss-rate", "complete", "failovers", "p50-added", "p99-added"});
   bench::printRule(5);
   for (const double loss : {0.05, 0.15, 0.30}) {
@@ -138,6 +143,11 @@ int main() {
                      std::to_string(stats.failovers),
                      bench::fmt(percentile(stats.latenciesSec, 0.50) - basP50, "%.1f") + "s",
                      bench::fmt(percentile(stats.latenciesSec, 0.99) - basP99, "%.1f") + "s"});
+    const std::string key = "loss" + bench::fmt(loss * 100, "%.0f");
+    report.add(key + "_completed", stats.completed);
+    report.add(key + "_failovers", stats.failovers);
+    report.add(key + "_p50_added_s", percentile(stats.latenciesSec, 0.50) - basP50);
+    report.add(key + "_p99_added_s", percentile(stats.latenciesSec, 0.99) - basP99);
   }
 
   std::printf(
@@ -146,5 +156,6 @@ int main() {
       "grows with loss (more submit retries and poll re-expressions burn\n"
       "backoff time before the failover lands).\n",
       kJobs, kJobs);
+  report.write();
   return 0;
 }

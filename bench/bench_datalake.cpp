@@ -80,12 +80,17 @@ int main() {
   bench::printRow({"object", "window", "time(s)", "goodput", "source"});
   bench::printRule(5);
 
+  bench::JsonReport report("datalake");
   for (std::size_t kib : {64, 512, 4096}) {
     for (std::size_t window : {1, 8, 32}) {
       const auto result = runTransfer(kib * 1024, window, false);
       bench::printRow({std::to_string(kib) + "KiB", std::to_string(window),
                        bench::fmt(result.seconds, "%.3f"),
                        bench::fmt(result.goodputMbps, "%.1f") + "Mb/s", "lake"});
+      const std::string key =
+          "kib" + std::to_string(kib) + "_w" + std::to_string(window);
+      report.add(key + "_seconds", result.seconds);
+      report.add(key + "_goodput_mbps", result.goodputMbps);
     }
   }
   // Cached re-fetch.
@@ -99,5 +104,7 @@ int main() {
       "shape check: goodput approaches the 100 Mbit/s link rate as window and\n"
       "object size grow; a repeated fetch is served from the local content\n"
       "store orders of magnitude faster.\n");
+  report.add("cached_refetch_seconds", cached.seconds);
+  report.write();
   return 0;
 }

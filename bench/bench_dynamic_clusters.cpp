@@ -96,6 +96,7 @@ int main() {
                    "clusters-used"});
   bench::printRule(6);
 
+  bench::JsonReport report("dynamic_clusters");
   for (double period : {0.0, 30.0, 10.0, 4.0}) {
     const auto result = runChurn(period, 120);
     bench::printRow({period == 0 ? "static" : bench::fmt(period, "%.0fs"),
@@ -103,10 +104,17 @@ int main() {
                      bench::fmt(100.0 * result.placed / result.attempted, "%.1f%%"),
                      bench::fmt(result.meanLatencyMs) + "ms",
                      std::to_string(result.placementsPerCluster.size())});
+    const std::string key =
+        period == 0 ? "static" : "churn" + bench::fmt(period, "%.0f") + "s";
+    report.add(key + "_success_pct", 100.0 * result.placed / result.attempted);
+    report.add(key + "_mean_latency_ms", result.meanLatencyMs);
+    report.add(key + "_clusters_used",
+               static_cast<double>(result.placementsPerCluster.size()));
   }
   std::printf(
       "shape check: success stays ~100%% under churn because placement follows\n"
       "names, not configured cluster addresses; latency rises slightly when the\n"
       "nearest cluster happens to be withdrawn.\n");
+  report.write();
   return 0;
 }

@@ -171,5 +171,18 @@ int main() {
       "shape check: LIDC loses no jobs (nack failover within one RTT); the\n"
       "centralized baseline keeps scheduling onto the dead cluster until its\n"
       "next heartbeat and loses those jobs.\n");
+
+  bench::JsonReport report("failover");
+  report.add("lidc_ok_before", lidc.placedBeforeOutage);
+  report.add("lidc_ok_during", lidc.placedDuringOutage);
+  report.add("lidc_lost_during", lidc.failedDuringOutage);
+  report.add("lidc_latency_before_ms", lidc.meanLatencyBeforeMs);
+  report.add("lidc_latency_during_ms", lidc.meanLatencyDuringMs);
+  report.add("central_ok_before", central.placedBeforeOutage);
+  report.add("central_ok_during", central.placedDuringOutage);
+  report.add("central_lost_during", central.failedDuringOutage);
+  report.add("central_latency_before_ms", central.meanLatencyBeforeMs);
+  report.add("central_latency_during_ms", central.meanLatencyDuringMs);
+  report.write();
   return 0;
 }

@@ -1,0 +1,58 @@
+// Google-benchmark glue for the JsonReport machinery: a ConsoleReporter
+// that also records each run's per-iteration real time (and throughput
+// counters, when present) so gbench binaries emit the same
+// BENCH_<name>.json files as the scenario benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace lidc::bench {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(std::string name) : report_(std::move(name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key) {
+        if (c == '/' || c == ':' || c == '.' || c == ' ') c = '_';
+      }
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      report_.add(key + "_real_ns", run.real_accumulated_time * 1e9 / iters);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_.add(key + "_items_per_s", items->second.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write() const { report_.write(); }
+
+ private:
+  JsonReport report_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that writes
+/// BENCH_<name>.json after the run.
+inline int runBenchmarksWithJsonReport(int argc, char** argv,
+                                       const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace lidc::bench

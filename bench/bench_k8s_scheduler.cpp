@@ -4,6 +4,8 @@
 // cluster model, at several node counts and for both scoring policies.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_util.hpp"
+
 #include "k8s/cluster.hpp"
 
 namespace {
@@ -95,4 +97,6 @@ BENCHMARK(BM_ServiceEndpointSelection)->Arg(16)->Arg(256)->Arg(2048);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lidc::bench::runBenchmarksWithJsonReport(argc, argv, "k8s_scheduler");
+}

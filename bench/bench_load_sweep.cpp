@@ -100,6 +100,7 @@ int main() {
                    "edge/reg/cloud"});
   bench::printRule(7);
 
+  bench::JsonReport report("load_sweep");
   for (double rate : {1.0, 4.0, 12.0, 30.0}) {
     for (auto strategy : {core::PlacementStrategy::kBestRoute,
                           core::PlacementStrategy::kLoadBalance}) {
@@ -115,6 +116,12 @@ int main() {
            bench::fmt(result.completionS.p95, "%.1f"),
            std::to_string(share("edge")) + "/" + std::to_string(share("regional")) +
                "/" + std::to_string(share("cloud"))});
+      const std::string key =
+          "rate" + bench::fmt(rate, "%.0f") + "_" + strategyName(strategy);
+      report.add(key + "_completed", result.completed);
+      report.add(key + "_rejected", result.rejected);
+      report.add(key + "_p50_s", result.completionS.p50);
+      report.add(key + "_p95_s", result.completionS.p95);
     }
   }
   std::printf(
@@ -122,5 +129,6 @@ int main() {
       "cluster; rising load spills jobs outward (edge -> regional -> cloud)\n"
       "with no client involvement, and rejections appear only once the\n"
       "aggregate overlay capacity itself is exceeded.\n");
+  report.write();
   return 0;
 }

@@ -6,6 +6,8 @@
 // Interest->Data exchange.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_util.hpp"
+
 #include "common/rng.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
@@ -135,4 +137,6 @@ BENCHMARK(BM_ForwarderExchange);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lidc::bench::runBenchmarksWithJsonReport(argc, argv, "ndn_forwarder");
+}

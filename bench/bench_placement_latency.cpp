@@ -76,6 +76,7 @@ int main() {
   };
   constexpr int kJobs = 40;
 
+  bench::JsonReport report("placement_latency");
   bench::printRow({"strategy", "clusters", "mean(ms)", "p50(ms)", "p95(ms)"});
   bench::printRule(5);
   for (const auto& scenario : scenarios) {
@@ -84,10 +85,15 @@ int main() {
       bench::printRow({scenario.label, std::to_string(clusters),
                        bench::fmt(summary.mean), bench::fmt(summary.p50),
                        bench::fmt(summary.p95)});
+      const std::string key =
+          std::string(scenario.label) + "_c" + std::to_string(clusters);
+      report.add(key + "_mean_ms", summary.mean);
+      report.add(key + "_p95_ms", summary.p95);
     }
   }
   std::printf(
       "shape check: best-route stays at the nearest-cluster RTT regardless of\n"
       "overlay size; load-balance/round-robin pay for touching farther clusters.\n");
+  report.write();
   return 0;
 }

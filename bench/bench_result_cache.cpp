@@ -93,6 +93,7 @@ int main() {
                    "mean-done(s)"});
   bench::printRule(6);
 
+  bench::JsonReport report("result_cache");
   for (double fraction : {0.0, 0.25, 0.5, 0.75, 0.9}) {
     for (bool enabled : {true, false}) {
       const auto result = runWorkload(fraction, kRequests, enabled);
@@ -101,11 +102,17 @@ int main() {
                        std::to_string(result.gatewayCacheHits),
                        std::to_string(result.dedupJoins),
                        bench::fmt(result.meanCompletionS, "%.1f")});
+      const std::string key = "repeat" + bench::fmt(fraction * 100, "%.0f") +
+                              (enabled ? "_cache_on" : "_cache_off");
+      report.add(key + "_jobs_run", result.jobsExecuted);
+      report.add(key + "_cache_hits", result.gatewayCacheHits);
+      report.add(key + "_mean_done_s", result.meanCompletionS);
     }
   }
   std::printf(
       "shape check: with caching on, executed jobs shrink toward the number of\n"
       "distinct requests and mean completion latency collapses as the repeat\n"
       "fraction grows; with caching off every request pays the full job time.\n");
+  report.write();
   return 0;
 }

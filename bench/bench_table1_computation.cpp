@@ -46,6 +46,7 @@ int main() {
 
   double riceRuntime = 0;
   double kidneyRuntime = 0;
+  bench::JsonReport report("table1_computation");
 
   for (const Row& row : kPaperRows) {
     // A fresh world per configuration, as the paper ran isolated jobs.
@@ -87,15 +88,21 @@ int main() {
                      std::to_string(row.cpu), row.paperRuntime,
                      strings::formatDurationHms(runtimeSeconds), row.paperOutput,
                      strings::formatBytes(outputBytes)});
+    const std::string key = row.srrId + "_m" + std::to_string(row.memGb) + "_c" +
+                            std::to_string(row.cpu);
+    report.add(key + "_runtime_s", runtimeSeconds);
+    report.add(key + "_output_bytes", static_cast<double>(outputBytes));
   }
 
   bench::printRule(8);
   if (riceRuntime > 0 && kidneyRuntime > 0) {
     std::printf("kidney/rice runtime ratio: paper 2.98x, reproduced %.2fx\n",
                 kidneyRuntime / riceRuntime);
+    report.add("kidney_rice_runtime_ratio", kidneyRuntime / riceRuntime);
   }
   std::printf(
       "shape check: runtime insensitive to cpu/mem variation (as in the paper);\n"
       "             kidney ~3x rice in both runtime and output size.\n");
+  report.write();
   return 0;
 }

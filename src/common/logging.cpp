@@ -8,6 +8,8 @@ namespace lidc::log {
 namespace {
 std::atomic<Level> g_level{Level::kWarn};
 std::mutex g_write_mutex;
+std::function<double()> g_time_source;  // guarded by g_write_mutex
+thread_local std::uint64_t t_active_trace = 0;
 
 constexpr std::string_view levelName(Level level) noexcept {
   switch (level) {
@@ -32,14 +34,33 @@ void setLevel(Level level) noexcept { g_level.store(level, std::memory_order_rel
 
 Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+void setTimeSource(std::function<double()> secondsNow) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_time_source = std::move(secondsNow);
+}
+
+void setActiveTrace(std::uint64_t traceId) noexcept { t_active_trace = traceId; }
+
+std::uint64_t activeTrace() noexcept { return t_active_trace; }
+
 namespace detail {
 bool enabled(Level lvl) noexcept { return lvl >= level() && level() != Level::kOff; }
 }  // namespace detail
 
 void write(Level lvl, std::string_view component, std::string_view message) {
   std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n", static_cast<int>(levelName(lvl).size()),
-               levelName(lvl).data(), static_cast<int>(component.size()),
+  char stamp[32] = "";
+  if (g_time_source) {
+    std::snprintf(stamp, sizeof(stamp), "[t=%.6fs] ", g_time_source());
+  }
+  char trace[32] = "";
+  if (t_active_trace != 0) {
+    std::snprintf(trace, sizeof(trace), "[trace=%016llx] ",
+                  static_cast<unsigned long long>(t_active_trace));
+  }
+  std::fprintf(stderr, "[%.*s] %s%s%.*s: %.*s\n",
+               static_cast<int>(levelName(lvl).size()), levelName(lvl).data(),
+               stamp, trace, static_cast<int>(component.size()),
                component.data(), static_cast<int>(message.size()), message.data());
 }
 

@@ -1,7 +1,13 @@
 // Minimal leveled logger. Thread-safe, globally configurable level,
 // optionally silenced entirely (benches and tests set kWarn or kOff).
+// With a time source installed (the Simulator does this on
+// construction), every line is stamped with the sim clock; while a
+// ScopedTrace is active on the emitting thread, the line also carries
+// the trace id, so log output can be cross-referenced with explain().
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -14,6 +20,30 @@ enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Sets the global minimum level; messages below it are dropped.
 void setLevel(Level level) noexcept;
 Level level() noexcept;
+
+/// Installs a clock for log timestamps (seconds since sim start).
+/// Pass nullptr to remove; lines then carry no timestamp.
+void setTimeSource(std::function<double()> secondsNow);
+
+/// Sets this thread's active trace id (0 = none); log lines carry it as
+/// "trace=<16-hex>". Prefer ScopedTrace over calling this directly.
+void setActiveTrace(std::uint64_t traceId) noexcept;
+[[nodiscard]] std::uint64_t activeTrace() noexcept;
+
+/// RAII: stamps log lines in scope with `traceId`, restoring the
+/// previous active trace on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::uint64_t traceId) noexcept : previous_(activeTrace()) {
+    setActiveTrace(traceId);
+  }
+  ~ScopedTrace() { setActiveTrace(previous_); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
 
 /// Emits one formatted line to stderr. Prefer the LIDC_LOG macro.
 void write(Level level, std::string_view component, std::string_view message);

@@ -36,6 +36,20 @@ sim::Time LidcClient::deadlineFor(sim::Time startedAt) const {
   return startedAt + options_.deadline;
 }
 
+void LidcClient::attachTelemetry(telemetry::MetricsRegistry& registry,
+                                 telemetry::Tracer* tracer) {
+  telemetry_ = std::make_unique<Telemetry>();
+  const telemetry::Labels labels{{"client", name_}};
+  telemetry_->submits = &registry.counter("lidc_client_submits", labels);
+  telemetry_->submits->set(submits_);
+  telemetry_->retries = &registry.counter("lidc_client_retries", labels);
+  telemetry_->failovers = &registry.counter("lidc_client_failovers", labels);
+  telemetry_->polls = &registry.counter("lidc_client_status_polls", labels);
+  telemetry_->jobLatencyUs =
+      &registry.histogram("lidc_client_job_latency_us", labels);
+  telemetry_->tracer = tracer;
+}
+
 sim::Duration LidcClient::backoffDelay(int attempt) {
   double delay = options_.backoffInitial.toSeconds();
   for (int i = 0; i < attempt; ++i) delay *= options_.backoffMultiplier;
@@ -45,20 +59,22 @@ sim::Duration LidcClient::backoffDelay(int attempt) {
   return sim::Duration::seconds(delay * jitter);
 }
 
-void LidcClient::submit(ComputeRequest request, SubmitCallback done) {
+void LidcClient::submit(ComputeRequest request, SubmitCallback done,
+                        telemetry::TraceContext parent) {
   if (options_.bypassCache && request.requestId.empty()) {
     // Unique request id defeats caches and Interest aggregation.
     request.requestId = name_ + "-" + std::to_string(next_request_id_++);
   }
   auto shared = std::make_shared<ComputeRequest>(std::move(request));
   const sim::Time now = forwarder_.simulator().now();
-  submitAttempt(std::move(shared), 0, now, deadlineFor(now), std::move(done));
+  submitAttempt(std::move(shared), 0, now, deadlineFor(now), std::move(done),
+                parent);
 }
 
 void LidcClient::retryOrGiveUp(std::shared_ptr<ComputeRequest> request,
                                int attempt, sim::Time startedAt,
                                sim::Time deadlineAt, SubmitCallback done,
-                               Status why) {
+                               Status why, telemetry::TraceContext parent) {
   if (attempt + 1 > options_.maxSubmitRetries) {
     done(std::move(why));
     return;
@@ -70,20 +86,46 @@ void LidcClient::retryOrGiveUp(std::shared_ptr<ComputeRequest> request,
                          why.toString() + ")"));
     return;
   }
+  if (telemetry_) {
+    telemetry_->retries->inc();
+    if (telemetry_->tracer != nullptr) {
+      telemetry_->tracer->instant(
+          "backoff", "client:" + name_, parent,
+          {{"delay_ms", std::to_string(delay.toMillis())},
+           {"after", why.toString()}});
+    }
+  }
   forwarder_.simulator().scheduleAfter(
       delay, [this, request = std::move(request), attempt, startedAt, deadlineAt,
-              done = std::move(done)] {
-        submitAttempt(request, attempt + 1, startedAt, deadlineAt, done);
+              done = std::move(done), parent] {
+        submitAttempt(request, attempt + 1, startedAt, deadlineAt, done, parent);
       });
 }
 
 void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
                                sim::Time startedAt, sim::Time deadlineAt,
-                               SubmitCallback done) {
+                               SubmitCallback done,
+                               telemetry::TraceContext parent) {
   ++submits_;
+  if (telemetry_) telemetry_->submits->inc();
   submit_attempt_log_.push_back(forwarder_.simulator().now());
+
+  telemetry::TraceContext span;
+  telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
+  if (tracer != nullptr) {
+    span = tracer->startSpan("submit-attempt", "client:" + name_, parent,
+                             {{"attempt", std::to_string(attempt)}});
+  }
+  auto closeSpan = [tracer, span](const char* outcome) {
+    if (tracer != nullptr && span) {
+      tracer->setAttr(span, "outcome", outcome);
+      tracer->endSpan(span);
+    }
+  };
+
   ndn::Interest interest(request->toName());
   interest.setLifetime(options_.interestLifetime);
+  interest.setTraceContext(span);
   // MustBeFresh keeps network caches from answering with acks older
   // than the gateway's ackFreshness; within that window, identical
   // canonical requests may legitimately be served from any CS.
@@ -91,9 +133,11 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
 
   face_->expressInterest(
       interest,
-      [this, startedAt, done](const ndn::Interest&, const ndn::Data& data) {
+      [this, startedAt, done, closeSpan](const ndn::Interest&,
+                                         const ndn::Data& data) {
         const KvMap fields = decodeKv(data.contentAsString());
         if (auto it = fields.find("error"); it != fields.end()) {
+          closeSpan("error");
           done(Status::InvalidArgument(it->second));
           return;
         }
@@ -118,30 +162,39 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
           result.outputBytes = strings::parseUint(it->second).value_or(0);
         }
         result.placementLatency = forwarder_.simulator().now() - startedAt;
+        closeSpan(result.cached ? "cache-hit"
+                                : (result.deduplicated ? "dedup" : "ack"));
         done(std::move(result));
       },
-      [this, request, attempt, startedAt, deadlineAt,
-       done](const ndn::Interest&, const ndn::Nack& nack) {
+      [this, request, attempt, startedAt, deadlineAt, done, closeSpan,
+       parent](const ndn::Interest&, const ndn::Nack& nack) {
+        closeSpan("nack");
         Status why = Status::Unavailable(
             "compute request nacked after " + std::to_string(attempt + 1) +
             " attempts: " + std::string(ndn::nackReasonName(nack.reason())));
         if (isRetryableNack(nack.reason())) {
           retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
-                        std::move(why));
+                        std::move(why), parent);
         } else {
           done(std::move(why));
         }
       },
-      [this, request, attempt, startedAt, deadlineAt, done](const ndn::Interest&) {
+      [this, request, attempt, startedAt, deadlineAt, done, closeSpan,
+       parent](const ndn::Interest&) {
+        closeSpan("timeout");
         retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
                       Status::Timeout("compute request timed out after " +
                                       std::to_string(attempt + 1) +
-                                      " attempts"));
+                                      " attempts"),
+                      parent);
       });
 }
 
-void LidcClient::queryStatus(const ndn::Name& statusName, StatusCallback done) {
+void LidcClient::queryStatus(const ndn::Name& statusName, StatusCallback done,
+                             telemetry::TraceContext parent) {
+  if (telemetry_) telemetry_->polls->inc();
   ndn::Interest interest(statusName);
+  interest.setTraceContext(parent);
   interest.setMustBeFresh(true);  // never accept a stale cached state
   interest.setLifetime(options_.interestLifetime);
 
@@ -194,15 +247,19 @@ void LidcClient::queryStatus(const ndn::Name& statusName, StatusCallback done) {
       });
 }
 
-void LidcClient::waitForCompletion(const ndn::Name& statusName, StatusCallback done) {
+void LidcClient::waitForCompletion(const ndn::Name& statusName, StatusCallback done,
+                                   telemetry::TraceContext parent) {
   pollLoop(statusName, 0, deadlineFor(forwarder_.simulator().now()),
-           std::move(done));
+           std::move(done), parent);
 }
 
 void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
-                          sim::Time deadlineAt, StatusCallback done) {
-  queryStatus(statusName, [this, statusName, consecutiveFailures, deadlineAt,
-                           done](Result<JobStatusSnapshot> result) {
+                          sim::Time deadlineAt, StatusCallback done,
+                          telemetry::TraceContext parent) {
+  queryStatus(
+      statusName,
+      [this, statusName, consecutiveFailures, deadlineAt, done,
+       parent](Result<JobStatusSnapshot> result) {
     const sim::Time now = forwarder_.simulator().now();
     if (!result.ok()) {
       // Timeouts on a lossy path and Nacks (transient kNoRoute/
@@ -216,8 +273,9 @@ void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
           now + options_.statusPollInterval <= deadlineAt) {
         forwarder_.simulator().scheduleAfter(
             options_.statusPollInterval, [this, statusName, consecutiveFailures,
-                                          deadlineAt, done] {
-              pollLoop(statusName, consecutiveFailures + 1, deadlineAt, done);
+                                          deadlineAt, done, parent] {
+              pollLoop(statusName, consecutiveFailures + 1, deadlineAt, done,
+                       parent);
             });
         return;
       }
@@ -235,24 +293,63 @@ void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
       return;
     }
     forwarder_.simulator().scheduleAfter(
-        options_.statusPollInterval, [this, statusName, deadlineAt, done] {
-          pollLoop(statusName, 0, deadlineAt, done);
+        options_.statusPollInterval, [this, statusName, deadlineAt, done, parent] {
+          pollLoop(statusName, 0, deadlineAt, done, parent);
         });
-  });
+      },
+      parent);
 }
 
-void LidcClient::runToCompletion(ComputeRequest request, OutcomeCallback done) {
+void LidcClient::runToCompletion(ComputeRequest request, OutcomeCallback done,
+                                 telemetry::TraceContext parent) {
   const sim::Time startedAt = forwarder_.simulator().now();
+
+  // Root of the job's span tree: a fresh trace, or a child of the
+  // caller's span (e.g. a workflow-stage span).
+  telemetry::TraceContext root;
+  telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
+  if (tracer != nullptr) {
+    const telemetry::SpanAttrs attrs{{"app", request.app}};
+    root = parent ? tracer->startSpan("job", "client:" + name_, parent, attrs)
+                  : tracer->startTrace("job", "client:" + name_, attrs);
+  }
+
   auto shared = std::make_shared<ComputeRequest>(std::move(request));
+  auto finish = [this, tracer, root, startedAt,
+                 done = std::move(done)](Result<JobOutcome> outcome) {
+    if (outcome.ok()) {
+      outcome->trace = root;
+      if (telemetry_) {
+        telemetry_->jobLatencyUs->observe(
+            static_cast<double>(outcome->totalLatency.toNanos()) / 1e3);
+      }
+    }
+    if (tracer != nullptr && root) {
+      if (outcome.ok()) {
+        tracer->setAttr(root, "job_id", outcome->submit.jobId);
+        tracer->setAttr(root, "cluster", outcome->finalStatus.cluster);
+        tracer->setAttr(root, "failovers",
+                        std::to_string(outcome->failovers));
+        if (!outcome->submit.jobId.empty()) {
+          tracer->bindJob(outcome->submit.jobId, root.trace);
+        }
+      } else {
+        tracer->setAttr(root, "error", outcome.status().toString());
+      }
+      tracer->endSpan(root);
+    }
+    done(std::move(outcome));
+  };
   runAttempt(std::move(shared), 0, startedAt, deadlineFor(startedAt),
-             std::move(done));
+             std::move(finish), root);
 }
 
 void LidcClient::failoverOrGiveUp(std::shared_ptr<ComputeRequest> request,
                                   int failover, sim::Time startedAt,
                                   sim::Time deadlineAt, OutcomeCallback done,
                                   Status why,
-                                  std::optional<JobOutcome> failedOutcome) {
+                                  std::optional<JobOutcome> failedOutcome,
+                                  telemetry::TraceContext root) {
   if (failover + 1 > options_.maxFailovers ||
       forwarder_.simulator().now() >= deadlineAt) {
     // Out of budget: a job that terminated Failed is still a valid
@@ -264,15 +361,23 @@ void LidcClient::failoverOrGiveUp(std::shared_ptr<ComputeRequest> request,
     }
     return;
   }
+  if (telemetry_) {
+    telemetry_->failovers->inc();
+    if (telemetry_->tracer != nullptr) {
+      telemetry_->tracer->instant("failover", "client:" + name_, root,
+                                  {{"after", why.toString()}});
+    }
+  }
+  log::ScopedTrace scopedTrace(root.trace);
   LIDC_LOG(kInfo, "client") << name_ << " failing over (attempt "
                             << (failover + 1) << "): " << why.toString();
   runAttempt(std::move(request), failover + 1, startedAt, deadlineAt,
-             std::move(done));
+             std::move(done), root);
 }
 
 void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failover,
                             sim::Time startedAt, sim::Time deadlineAt,
-                            OutcomeCallback done) {
+                            OutcomeCallback done, telemetry::TraceContext root) {
   ComputeRequest attemptRequest = *request;
   if (failover > 0) {
     // A fresh request id guarantees the resubmission is a new name: no
@@ -288,12 +393,18 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
   auto shared = std::make_shared<ComputeRequest>(std::move(attemptRequest));
   submitAttempt(
       std::move(shared), 0, startedAt, deadlineAt,
-      [this, request, failover, startedAt, deadlineAt,
-       done](Result<SubmitResult> submitted) {
+      [this, request, failover, startedAt, deadlineAt, done,
+       root](Result<SubmitResult> submitted) {
         if (!submitted.ok()) {
           failoverOrGiveUp(request, failover, startedAt, deadlineAt, done,
-                           submitted.status(), std::nullopt);
+                           submitted.status(), std::nullopt, root);
           return;
+        }
+        telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
+        if (tracer != nullptr && root && !submitted->jobId.empty()) {
+          // Bind early so explain(job_id) works even for jobs that never
+          // reach a terminal state (e.g. lost with their cluster).
+          tracer->bindJob(submitted->jobId, root.trace);
         }
         if (submitted->cached) {
           // Cache hit: no job to wait for.
@@ -309,15 +420,27 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
           return;
         }
         const SubmitResult submitCopy = *submitted;
+        telemetry::TraceContext await;
+        if (tracer != nullptr) {
+          await = tracer->startSpan("await-completion", "client:" + name_, root,
+                                    {{"job_id", submitCopy.jobId}});
+        }
         pollLoop(
             ndn::Name(submitCopy.statusName), 0, deadlineAt,
-            [this, request, failover, startedAt, deadlineAt, submitCopy,
-             done](Result<JobStatusSnapshot> status) {
+            [this, request, failover, startedAt, deadlineAt, submitCopy, done,
+             root, await, tracer](Result<JobStatusSnapshot> status) {
+              if (tracer != nullptr && await) {
+                tracer->setAttr(await, "outcome",
+                                status.ok()
+                                    ? std::string(k8s::jobStateName(status->state))
+                                    : status.status().toString());
+                tracer->endSpan(await);
+              }
               if (!status.ok()) {
                 // Status endpoint dark past the poll budget, or the job
                 // vanished (reaped after its cluster died): resubmit.
                 failoverOrGiveUp(request, failover, startedAt, deadlineAt,
-                                 done, status.status(), std::nullopt);
+                                 done, status.status(), std::nullopt, root);
                 return;
               }
               JobOutcome outcome;
@@ -330,21 +453,45 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
                                  done,
                                  Status::Unavailable("job failed: " +
                                                      status->error),
-                                 std::move(outcome));
+                                 std::move(outcome), root);
                 return;
               }
               done(std::move(outcome));
-            });
-      });
+            },
+            await ? await : root);
+      },
+      root);
 }
 
-void LidcClient::fetchData(const ndn::Name& objectName, FetchCallback done) {
-  retriever_->fetch(objectName, std::move(done));
+void LidcClient::fetchData(const ndn::Name& objectName, FetchCallback done,
+                           telemetry::TraceContext parent) {
+  telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
+  if (tracer == nullptr || !parent) {
+    retriever_->fetch(objectName, std::move(done));
+    return;
+  }
+  const telemetry::TraceContext span =
+      tracer->startSpan("data-retrieval", "client:" + name_, parent,
+                        {{"object", objectName.toUri()}});
+  retriever_->fetch(
+      objectName,
+      [tracer, span, done = std::move(done)](
+          Result<std::vector<std::uint8_t>> result) {
+        if (result.ok()) {
+          tracer->setAttr(span, "bytes", std::to_string(result->size()));
+        } else {
+          tracer->setAttr(span, "error", result.status().toString());
+        }
+        tracer->endSpan(span);
+        done(std::move(result));
+      },
+      span);
 }
 
 void LidcClient::publishData(const std::string& path,
                              std::vector<std::uint8_t> bytes,
-                             PublishCallback done) {
+                             PublishCallback done,
+                             telemetry::TraceContext parent) {
   // Digest binds the command name to the exact payload bytes.
   std::uint64_t digest = 0xcbf29ce484222325ULL;
   for (std::uint8_t byte : bytes) {
@@ -355,30 +502,50 @@ void LidcClient::publishData(const std::string& path,
   for (auto part : strings::splitSkipEmpty(path, '/')) name.append(part);
   name.append("sha=" + std::to_string(digest));
 
+  telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
+  telemetry::TraceContext span;
+  if (tracer != nullptr && parent) {
+    span = tracer->startSpan("data-publish", "client:" + name_, parent,
+                             {{"path", path},
+                              {"bytes", std::to_string(bytes.size())}});
+  }
+  auto closeSpan = [tracer, span](const std::string& outcome) {
+    if (tracer != nullptr && span) {
+      tracer->setAttr(span, "outcome", outcome);
+      tracer->endSpan(span);
+    }
+  };
+
   ndn::Interest interest(name);
   interest.setMustBeFresh(true);
   interest.setLifetime(options_.interestLifetime);
   interest.setApplicationParameters(std::move(bytes));
+  interest.setTraceContext(span);
 
   face_->expressInterest(
       interest,
-      [done](const ndn::Interest&, const ndn::Data& data) {
+      [done, closeSpan](const ndn::Interest&, const ndn::Data& data) {
         const KvMap fields = decodeKv(data.contentAsString());
         if (auto it = fields.find("error"); it != fields.end()) {
+          closeSpan("error");
           done(Status::InvalidArgument(it->second));
           return;
         }
         if (auto it = fields.find("stored"); it != fields.end()) {
+          closeSpan("stored");
           done(ndn::Name(it->second));
           return;
         }
+        closeSpan("malformed-ack");
         done(Status::Internal("malformed publish ack"));
       },
-      [done](const ndn::Interest&, const ndn::Nack& nack) {
+      [done, closeSpan](const ndn::Interest&, const ndn::Nack& nack) {
+        closeSpan("nack");
         done(Status::Unavailable("publish nacked: " +
                                  std::string(ndn::nackReasonName(nack.reason()))));
       },
-      [done](const ndn::Interest& i) {
+      [done, closeSpan](const ndn::Interest& i) {
+        closeSpan("timeout");
         done(Status::Timeout("publish timed out: " + i.name().toUri()));
       });
 }

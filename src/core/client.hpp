@@ -17,6 +17,8 @@
 #include "k8s/job.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lidc::core {
 
@@ -60,6 +62,9 @@ struct JobOutcome {
   JobStatusSnapshot finalStatus;
   sim::Duration totalLatency;  // first submit -> terminal status observed
   int failovers = 0;           // resubmissions after Failed / dark status
+  /// Root of the job's span tree when tracing was attached (trace id +
+  /// root span id); invalid otherwise.
+  telemetry::TraceContext trace;
 };
 
 struct ClientOptions {
@@ -102,20 +107,29 @@ class LidcClient {
   using FetchCallback = datalake::Retriever::CompletionCallback;
 
   /// Sends the compute Interest; the callback fires with the gateway ack
-  /// (job id / cached result) or an error.
-  void submit(ComputeRequest request, SubmitCallback done);
+  /// (job id / cached result) or an error. `parent` (optional) attaches
+  /// the submit-attempt spans to an existing trace.
+  void submit(ComputeRequest request, SubmitCallback done,
+              telemetry::TraceContext parent = {});
 
   /// One status poll by status name ("/ndn/k8s/status/<cluster>/<job>").
-  void queryStatus(const ndn::Name& statusName, StatusCallback done);
+  void queryStatus(const ndn::Name& statusName, StatusCallback done,
+                   telemetry::TraceContext parent = {});
 
   /// Polls until the job reaches Completed or Failed.
-  void waitForCompletion(const ndn::Name& statusName, StatusCallback done);
+  void waitForCompletion(const ndn::Name& statusName, StatusCallback done,
+                         telemetry::TraceContext parent = {});
 
   /// Full workflow: submit -> poll -> final status (Fig. 5's timeline).
-  void runToCompletion(ComputeRequest request, OutcomeCallback done);
+  /// With a tracer attached, opens a root "job" span (or a child of
+  /// `parent`) covering every retry, poll, and failover; the outcome
+  /// carries its TraceContext.
+  void runToCompletion(ComputeRequest request, OutcomeCallback done,
+                       telemetry::TraceContext parent = {});
 
   /// Retrieves a named object from the data lake.
-  void fetchData(const ndn::Name& objectName, FetchCallback done);
+  void fetchData(const ndn::Name& objectName, FetchCallback done,
+                 telemetry::TraceContext parent = {});
 
   /// Queries a cluster's advertised capabilities (paper SVII: "once the
   /// network knows cluster capabilities, it can select the best cluster").
@@ -128,7 +142,16 @@ class LidcClient {
   /// receives the stored content name.
   using PublishCallback = std::function<void(Result<ndn::Name>)>;
   void publishData(const std::string& path, std::vector<std::uint8_t> bytes,
-                   PublishCallback done);
+                   PublishCallback done, telemetry::TraceContext parent = {});
+
+  /// Mirrors client activity into `registry` (submits, retries,
+  /// failovers, end-to-end latency histogram) and — with a tracer —
+  /// records the client-side span tree for every runToCompletion().
+  void attachTelemetry(telemetry::MetricsRegistry& registry,
+                       telemetry::Tracer* tracer = nullptr);
+  [[nodiscard]] telemetry::Tracer* tracer() noexcept {
+    return telemetry_ ? telemetry_->tracer : nullptr;
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t submitsSent() const noexcept { return submits_; }
@@ -149,27 +172,40 @@ class LidcClient {
  private:
   void submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
                      sim::Time startedAt, sim::Time deadlineAt,
-                     SubmitCallback done);
+                     SubmitCallback done, telemetry::TraceContext parent);
   /// Retries after a jittered backoff delay, or fails with `why` when
   /// the attempt budget or the deadline is exhausted.
   void retryOrGiveUp(std::shared_ptr<ComputeRequest> request, int attempt,
                      sim::Time startedAt, sim::Time deadlineAt,
-                     SubmitCallback done, Status why);
+                     SubmitCallback done, Status why,
+                     telemetry::TraceContext parent);
   [[nodiscard]] sim::Duration backoffDelay(int attempt);
   void pollLoop(const ndn::Name& statusName, int consecutiveFailures,
-                sim::Time deadlineAt, StatusCallback done);
+                sim::Time deadlineAt, StatusCallback done,
+                telemetry::TraceContext parent);
   /// One submit+poll attempt of the runToCompletion() failover loop.
   void runAttempt(std::shared_ptr<ComputeRequest> request, int failover,
                   sim::Time startedAt, sim::Time deadlineAt,
-                  OutcomeCallback done);
+                  OutcomeCallback done, telemetry::TraceContext root);
   /// Resubmits with a fresh request id within the failover/deadline
   /// budget; otherwise reports `why` (or `failedOutcome` when the job
   /// terminated Failed and no budget remains).
   void failoverOrGiveUp(std::shared_ptr<ComputeRequest> request, int failover,
                         sim::Time startedAt, sim::Time deadlineAt,
                         OutcomeCallback done, Status why,
-                        std::optional<JobOutcome> failedOutcome);
+                        std::optional<JobOutcome> failedOutcome,
+                        telemetry::TraceContext root);
   [[nodiscard]] sim::Time deadlineFor(sim::Time startedAt) const;
+
+  /// Registry handles + tracer; null until attachTelemetry().
+  struct Telemetry {
+    telemetry::Counter* submits = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* failovers = nullptr;
+    telemetry::Counter* polls = nullptr;
+    telemetry::Histogram* jobLatencyUs = nullptr;
+    telemetry::Tracer* tracer = nullptr;
+  };
 
   ndn::Forwarder& forwarder_;
   std::string name_;
@@ -180,6 +216,7 @@ class LidcClient {
   std::uint64_t submits_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::vector<sim::Time> submit_attempt_log_;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace lidc::core

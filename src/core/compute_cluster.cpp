@@ -61,6 +61,38 @@ ComputeCluster::ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig c
   apps::installTransformApp(*cluster_, *store_);
 }
 
+void ComputeCluster::attachTelemetry(
+    telemetry::MetricsRegistry& registry, telemetry::Tracer* tracer,
+    telemetry::TelemetryPublisherOptions publisherOptions) {
+  forwarder_.attachTelemetry(registry, tracer);
+  gateway_->attachTelemetry(registry, tracer);
+
+  // K8s capacity gauges, synced at snapshot time (the k8s layer itself
+  // stays telemetry-free).
+  const telemetry::Labels labels{{"cluster", config_.name}};
+  registry.registerCollector([this, &registry, labels] {
+    const auto free = cluster_->totalFree();
+    const auto total = cluster_->totalAllocatable();
+    registry.gauge("lidc_cluster_free_cpu_m", labels)
+        .set(static_cast<double>(free.cpu.millicores()));
+    registry.gauge("lidc_cluster_free_mem_bytes", labels)
+        .set(static_cast<double>(free.memory.bytes()));
+    registry.gauge("lidc_cluster_total_cpu_m", labels)
+        .set(static_cast<double>(total.cpu.millicores()));
+    registry.gauge("lidc_cluster_running_jobs", labels)
+        .set(static_cast<double>(cluster_->runningJobCount()));
+    registry.gauge("lidc_cluster_nodes_ready", labels)
+        .set(static_cast<double>(cluster_->readyNodeCount()));
+    registry.gauge("lidc_cluster_nodes_total", labels)
+        .set(static_cast<double>(cluster_->nodeCount()));
+  });
+
+  publisher_ = std::make_unique<telemetry::TelemetryPublisher>(
+      forwarder_, registry, config_.name, publisherOptions);
+  publisher_->addGroup("forwarder", "lidc_forwarder");
+  publisher_->addGroup("gateway", "lidc_gateway");
+}
+
 void ComputeCluster::loadGenomicsDatasets(const genomics::DatasetCatalog& catalog) {
   // Reference database.
   {

@@ -16,6 +16,7 @@
 #include "genomics/magic_blast_app.hpp"
 #include "k8s/cluster.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/monitor.hpp"
 
 namespace lidc::core {
 
@@ -47,6 +48,16 @@ class ComputeCluster {
   /// app deployment, SV-B). Idempotent per object name.
   void loadGenomicsDatasets(const genomics::DatasetCatalog& catalog);
 
+  /// Hooks the whole cluster into `registry`: forwarder + gateway
+  /// counters, K8s capacity gauges, and a TelemetryPublisher serving the
+  /// registry under /ndn/k8s/telemetry/<name>. Call once.
+  void attachTelemetry(telemetry::MetricsRegistry& registry,
+                       telemetry::Tracer* tracer = nullptr,
+                       telemetry::TelemetryPublisherOptions publisherOptions = {});
+  [[nodiscard]] telemetry::TelemetryPublisher* telemetryPublisher() noexcept {
+    return publisher_.get();
+  }
+
  private:
   ComputeClusterConfig config_;
   ndn::Forwarder& forwarder_;
@@ -56,6 +67,7 @@ class ComputeCluster {
   std::unique_ptr<datalake::FileServer> file_server_;
   CompletionTimePredictor predictor_;
   std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<telemetry::TelemetryPublisher> publisher_;
 };
 
 }  // namespace lidc::core

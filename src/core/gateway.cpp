@@ -72,9 +72,23 @@ void Gateway::replyKv(const ndn::Name& name, const KvMap& fields,
 void Gateway::onCompute(const ndn::Interest& interest) {
   ++counters_.computeReceived;
 
+  // Admission decisions become zero-duration "gateway-admission" spans on
+  // the submitter's trace; the launch decision's context also parents the
+  // retroactive K8s spans recorded in onJobFinished().
+  const telemetry::TraceContext traceCtx = interest.traceContext();
+  auto admission = [this, traceCtx](const char* decision,
+                                    telemetry::SpanAttrs extra = {}) {
+    if (tracer_ == nullptr) return telemetry::TraceContext{};
+    telemetry::SpanAttrs attrs{{"decision", decision}};
+    attrs.insert(attrs.end(), extra.begin(), extra.end());
+    return tracer_->instant("gateway-admission", "gateway:" + cluster_name_,
+                            traceCtx, std::move(attrs));
+  };
+
   auto parsed = ComputeRequest::fromName(interest.name());
   if (!parsed.ok()) {
     ++counters_.computeRejected;
+    admission("parse-reject", {{"error", parsed.status().toString()}});
     replyKv(interest.name(),
             {{"error", parsed.status().toString()}, {"cluster", cluster_name_}},
             options_.ackFreshness);
@@ -88,6 +102,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   // malformed requests get a terminal error Data — no cluster can help.
   if (Status valid = validators_.validate(request); !valid.ok()) {
     ++counters_.computeRejected;
+    admission("validation-reject", {{"error", valid.toString()}});
     if (valid.code() == StatusCode::kNotFound) {
       face_->putNack(interest, ndn::NackReason::kNoRoute);
       return;
@@ -105,6 +120,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   if (options_.enableResultCache && request.requestId.empty()) {
     if (auto cached = cache_.get(canonical, forwarder_.simulator().now())) {
       ++counters_.cacheHits;
+      admission("cache-hit", {{"job_id", cached->jobId}});
       replyKv(interest.name(),
               {{"cached", "1"},
                {"job_id", cached->jobId},
@@ -117,6 +133,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
     // In-flight dedup: join a running job for the same canonical name.
     if (auto it = inflight_.find(canonical); it != inflight_.end()) {
       ++counters_.inflightDedup;
+      admission("dedup", {{"job_id", it->second}});
       replyKv(interest.name(),
               {{"job_id", it->second},
                {"cluster", cluster_name_},
@@ -137,6 +154,8 @@ void Gateway::onCompute(const ndn::Interest& interest) {
     // clusters to offer.
     if (healthyNodeFraction() < options_.minHealthyNodeFraction) {
       ++counters_.healthRejected;
+      admission("health-reject",
+                {{"healthy_fraction", std::to_string(healthyNodeFraction())}});
       face_->putNack(interest, ndn::NackReason::kCongestion);
       return;
     }
@@ -147,6 +166,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
                                                : JobManager::defaultMemory();
     if (!needed.fitsWithin(cluster_.totalFree())) {
       ++counters_.capacityRejected;
+      admission("capacity-reject");
       face_->putNack(interest, ndn::NackReason::kCongestion);
       return;
     }
@@ -155,6 +175,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   auto jobId = jobs_.submit(request);
   if (!jobId.ok()) {
     ++counters_.computeRejected;
+    admission("launch-reject", {{"error", jobId.status().toString()}});
     if (jobId.status().code() == StatusCode::kNotFound) {
       // e.g. this cluster does not serve the application image; another
       // cluster in the overlay might.
@@ -174,11 +195,14 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   }
 
   ++counters_.jobsLaunched;
-  launched_.emplace(*jobId,
-                    LaunchRecord{request, forwarder_.simulator().now()});
+  const telemetry::TraceContext launchCtx =
+      admission("launch", {{"job_id", *jobId}});
+  launched_.emplace(*jobId, LaunchRecord{request, forwarder_.simulator().now(),
+                                         launchCtx});
   if (request.requestId.empty()) inflight_.emplace(canonical, *jobId);
   scheduleReaper();
 
+  log::ScopedTrace scopedTrace(traceCtx.trace);
   LIDC_LOG(kInfo, "gateway") << cluster_name_ << " launched " << *jobId << " for "
                              << interest.name().toUri();
   replyKv(interest.name(),
@@ -209,6 +233,13 @@ void Gateway::onStatus(const ndn::Interest& interest) {
     replyKv(interest.name(), {{"error", status.status().toString()}},
             options_.statusFreshness);
     return;
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->instant("status-serve", "gateway:" + cluster_name_,
+                     interest.traceContext(),
+                     {{"job_id", parsed->second},
+                      {"state", std::string(k8s::jobStateName(status->state))}});
   }
 
   KvMap fields{{"state", std::string(k8s::jobStateName(status->state))},
@@ -321,6 +352,24 @@ void Gateway::onJobFinished(const k8s::Job& job) {
   const ndn::Name canonical = request.canonicalName();
   inflight_.erase(canonical);
 
+  // The gateway only learns scheduling/execution boundaries at terminal
+  // state, so the K8s spans are recorded retroactively under the launch
+  // decision's span.
+  if (tracer_ != nullptr && it->second.trace) {
+    const auto& st = job.status();
+    if (st.startTime >= it->second.launchedAt) {
+      tracer_->recordSpan("k8s-schedule", "k8s:" + cluster_name_,
+                          it->second.trace, it->second.launchedAt, st.startTime);
+      if (st.completionTime >= st.startTime) {
+        tracer_->recordSpan(
+            "k8s-exec", "k8s:" + cluster_name_, it->second.trace, st.startTime,
+            st.completionTime,
+            {{"state", std::string(k8s::jobStateName(st.state))}});
+      }
+    }
+    tracer_->bindJob(job.name(), it->second.trace.trace);
+  }
+
   if (job.status().state == k8s::JobState::kCompleted) {
     if (options_.enableResultCache && request.requestId.empty()) {
       cache_.put(canonical, CachedResult{job.name(), job.status().resultPath,
@@ -333,6 +382,37 @@ void Gateway::onJobFinished(const k8s::Job& job) {
     }
   }
   launched_.erase(it);
+}
+
+void Gateway::attachTelemetry(telemetry::MetricsRegistry& registry,
+                              telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  const telemetry::Labels labels{{"cluster", cluster_name_}};
+  registry.registerCollector([this, &registry, labels] {
+    auto sync = [&](const char* name, std::uint64_t value) {
+      registry.counter(name, labels).set(value);
+    };
+    sync("lidc_gateway_compute_received", counters_.computeReceived);
+    sync("lidc_gateway_compute_rejected", counters_.computeRejected);
+    sync("lidc_gateway_jobs_launched", counters_.jobsLaunched);
+    sync("lidc_gateway_cache_hits", counters_.cacheHits);
+    sync("lidc_gateway_inflight_dedup", counters_.inflightDedup);
+    sync("lidc_gateway_status_received", counters_.statusReceived);
+    sync("lidc_gateway_capacity_rejected", counters_.capacityRejected);
+    sync("lidc_gateway_info_received", counters_.infoReceived);
+    sync("lidc_gateway_publishes_accepted", counters_.publishesAccepted);
+    sync("lidc_gateway_publishes_rejected", counters_.publishesRejected);
+    sync("lidc_gateway_health_rejected", counters_.healthRejected);
+    sync("lidc_gateway_orphans_reaped", counters_.orphansReaped);
+    sync("lidc_gateway_vanished_evicted", counters_.vanishedEvicted);
+    sync("lidc_gateway_blackout_dropped", counters_.blackoutDropped);
+    sync("lidc_result_cache_hits", cache_.hits());
+    sync("lidc_result_cache_misses", cache_.misses());
+    registry.gauge("lidc_result_cache_size", labels)
+        .set(static_cast<double>(cache_.size()));
+    registry.gauge("lidc_gateway_healthy_node_fraction", labels)
+        .set(healthyNodeFraction());
+  });
 }
 
 double Gateway::healthyNodeFraction() const {

@@ -20,6 +20,8 @@
 #include "core/wire_format.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lidc::core {
 
@@ -99,6 +101,15 @@ class Gateway {
   /// Fraction of this cluster's nodes currently Ready, in [0, 1].
   [[nodiscard]] double healthyNodeFraction() const;
 
+  /// Syncs GatewayCounters, result-cache stats, and the health gauge
+  /// into `registry` at snapshot time (lidc_gateway_*{cluster=...}).
+  /// With a tracer, traced compute Interests get a "gateway-admission"
+  /// span, status serves get instants, and finished jobs get
+  /// retroactive "k8s-schedule" / "k8s-exec" spans from the recorded
+  /// launch and job timestamps.
+  void attachTelemetry(telemetry::MetricsRegistry& registry,
+                       telemetry::Tracer* tracer = nullptr);
+
  private:
   void handleInterest(const ndn::Interest& interest);
   void onCompute(const ndn::Interest& interest);
@@ -128,6 +139,7 @@ class Gateway {
   std::shared_ptr<ndn::AppFace> face_;
   ndn::FaceId face_id_ = ndn::kInvalidFaceId;
   GatewayCounters counters_;
+  telemetry::Tracer* tracer_ = nullptr;
   bool admission_control_ = true;
   bool blackout_ = false;
   bool reaper_pending_ = false;
@@ -135,6 +147,9 @@ class Gateway {
   struct LaunchRecord {
     ComputeRequest request;
     sim::Time launchedAt;
+    /// Trace of the Interest that launched the job (invalid when the
+    /// submitter was not tracing); parents the retroactive K8s spans.
+    telemetry::TraceContext trace;
   };
 
   /// canonical name -> jobId for jobs still in flight (dedup).

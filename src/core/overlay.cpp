@@ -46,6 +46,9 @@ void ClusterOverlay::announceCluster(const std::string& name,
   infoPrefix.append(name);
   topology_.installRoutesTo(infoPrefix, name);
   topology_.installRoutesTo(kPublishPrefix, name);
+  ndn::Name telemetryPrefix = telemetry::kTelemetryPrefix;
+  telemetryPrefix.append(name);
+  topology_.installRoutesTo(telemetryPrefix, name);
   if (std::find(announced_.begin(), announced_.end(), name) == announced_.end()) {
     announced_.push_back(name);
   }
@@ -61,6 +64,9 @@ void ClusterOverlay::withdrawCluster(const std::string& name) {
   infoPrefix.append(name);
   topology_.uninstallRoutesTo(infoPrefix, name);
   topology_.uninstallRoutesTo(kPublishPrefix, name);
+  ndn::Name telemetryPrefix = telemetry::kTelemetryPrefix;
+  telemetryPrefix.append(name);
+  topology_.uninstallRoutesTo(telemetryPrefix, name);
   std::erase(announced_, name);
 }
 
@@ -84,6 +90,17 @@ void ClusterOverlay::recoverCluster(const std::string& name) {
     if (edge.a == name || edge.b == name) edge.link->setUp(true);
   }
   announceCluster(name);
+}
+
+void ClusterOverlay::attachTelemetry(telemetry::MetricsRegistry& registry,
+                                     telemetry::Tracer* tracer) {
+  // Clusters attach their own forwarder (plus gateway, gauges, and the
+  // telemetry publisher); plain nodes just get forwarder counters.
+  for (auto& [name, host] : clusters_) host->attachTelemetry(registry, tracer);
+  for (const auto& nodeName : topology_.nodeNames()) {
+    if (clusters_.count(nodeName) > 0) continue;
+    topology_.node(nodeName)->attachTelemetry(registry, tracer);
+  }
 }
 
 void ClusterOverlay::setPlacementStrategy(PlacementStrategy strategy,

@@ -82,6 +82,13 @@ class ClusterOverlay {
   /// (New nodes added later need another call.)
   void setPlacementStrategy(PlacementStrategy strategy, std::uint64_t seed = 99);
 
+  /// Hooks every current node and cluster into `registry` (and `tracer`,
+  /// when given): forwarder counters everywhere, plus gateway counters,
+  /// capacity gauges, and a /ndn/k8s/telemetry publisher per cluster.
+  /// Like setPlacementStrategy(), nodes added later need another call.
+  void attachTelemetry(telemetry::MetricsRegistry& registry,
+                       telemetry::Tracer* tracer = nullptr);
+
  private:
   net::Topology topology_;
   std::map<std::string, std::unique_ptr<ComputeCluster>> clusters_;

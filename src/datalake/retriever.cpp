@@ -16,12 +16,15 @@ struct Retriever::Transfer {
   std::size_t inFlight = 0;
   std::map<std::uint64_t, std::vector<std::uint8_t>> segments;
   bool finished = false;
+  telemetry::TraceContext trace;
 };
 
-void Retriever::fetch(const ndn::Name& objectName, CompletionCallback done) {
+void Retriever::fetch(const ndn::Name& objectName, CompletionCallback done,
+                      telemetry::TraceContext trace) {
   auto transfer = std::make_shared<Transfer>();
   transfer->objectName = objectName;
   transfer->done = std::move(done);
+  transfer->trace = trace;
   fetchMeta(std::move(transfer), 0);
 }
 
@@ -31,6 +34,7 @@ void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt) {
   ndn::Interest interest(metaName);
   interest.setMustBeFresh(false);
   interest.setLifetime(options_.interestLifetime);
+  interest.setTraceContext(transfer->trace);
 
   face_.expressInterest(
       interest,
@@ -119,6 +123,7 @@ void Retriever::fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t i
   segName.append("seg=" + std::to_string(index));
   ndn::Interest interest(segName);
   interest.setLifetime(options_.interestLifetime);
+  interest.setTraceContext(transfer->trace);
 
   face_.expressInterest(
       interest,

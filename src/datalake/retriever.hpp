@@ -12,6 +12,7 @@
 #include "common/status.hpp"
 #include "datalake/object_store.hpp"
 #include "ndn/app_face.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace lidc::datalake {
 
@@ -33,8 +34,11 @@ class Retriever {
   explicit Retriever(ndn::AppFace& face, RetrieveOptions options = {})
       : face_(face), options_(options) {}
 
-  /// Starts an asynchronous fetch of the full object.
-  void fetch(const ndn::Name& objectName, CompletionCallback done);
+  /// Starts an asynchronous fetch of the full object. A valid `trace`
+  /// is stamped on the meta and every segment Interest, so forwarders
+  /// along the path attach their per-hop spans to the caller's trace.
+  void fetch(const ndn::Name& objectName, CompletionCallback done,
+             telemetry::TraceContext trace = {});
 
  private:
   struct Transfer;

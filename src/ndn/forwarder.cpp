@@ -57,6 +57,71 @@ Strategy& Forwarder::findStrategy(const Name& name) {
   return *strategies_.at(Name("/"));
 }
 
+void Forwarder::attachTelemetry(telemetry::MetricsRegistry& registry,
+                                telemetry::Tracer* tracer) {
+  telemetry_ = std::make_unique<TelemetryHooks>();
+  const telemetry::Labels labels{{"node", name_}};
+  auto mirror = [&](const char* metric, std::uint64_t seed) {
+    telemetry::Counter& c = registry.counter(metric, labels);
+    c.set(seed);  // carry over increments from before the attach
+    return &c;
+  };
+  telemetry_->inInterests = mirror("lidc_forwarder_in_interests", counters_.nInInterests);
+  telemetry_->outInterests = mirror("lidc_forwarder_out_interests", counters_.nOutInterests);
+  telemetry_->inData = mirror("lidc_forwarder_in_data", counters_.nInData);
+  telemetry_->outData = mirror("lidc_forwarder_out_data", counters_.nOutData);
+  telemetry_->csHits = mirror("lidc_forwarder_cs_hits", counters_.nCsHits);
+  telemetry_->csMisses = mirror("lidc_forwarder_cs_misses", counters_.nCsMisses);
+  telemetry_->satisfied = mirror("lidc_forwarder_satisfied", counters_.nSatisfied);
+  telemetry_->unsatisfied = mirror("lidc_forwarder_unsatisfied", counters_.nUnsatisfied);
+  telemetry_->duplicateNonce =
+      mirror("lidc_forwarder_duplicate_nonce", counters_.nDuplicateNonce);
+  telemetry_->noRoute = mirror("lidc_forwarder_no_route", counters_.nNoRoute);
+  telemetry_->unsolicitedData =
+      mirror("lidc_forwarder_unsolicited_data", counters_.nUnsolicitedData);
+  telemetry_->tracer = tracer;
+
+  // Per-face counters and table occupancy change too often to mirror
+  // live; a collector syncs the aggregates at snapshot time.
+  registry.registerCollector([this, &registry, labels] {
+    FaceCounters total;
+    for (const auto& [id, face] : faces_) {
+      const FaceCounters& c = face->counters();
+      total.nInInterests += c.nInInterests;
+      total.nOutInterests += c.nOutInterests;
+      total.nInData += c.nInData;
+      total.nOutData += c.nOutData;
+      total.nInNacks += c.nInNacks;
+      total.nOutNacks += c.nOutNacks;
+      total.nInBytes += c.nInBytes;
+      total.nOutBytes += c.nOutBytes;
+    }
+    registry.counter("lidc_face_in_interests", labels).set(total.nInInterests);
+    registry.counter("lidc_face_out_interests", labels).set(total.nOutInterests);
+    registry.counter("lidc_face_in_data", labels).set(total.nInData);
+    registry.counter("lidc_face_out_data", labels).set(total.nOutData);
+    registry.counter("lidc_face_in_nacks", labels).set(total.nInNacks);
+    registry.counter("lidc_face_out_nacks", labels).set(total.nOutNacks);
+    registry.counter("lidc_face_in_bytes", labels).set(total.nInBytes);
+    registry.counter("lidc_face_out_bytes", labels).set(total.nOutBytes);
+    registry.gauge("lidc_cs_size", labels).set(static_cast<double>(cs_.size()));
+    registry.gauge("lidc_pit_size", labels).set(static_cast<double>(pit_.size()));
+    registry.counter("lidc_cs_hits", labels).set(cs_.hits());
+    registry.counter("lidc_cs_misses", labels).set(cs_.misses());
+  });
+}
+
+void Forwarder::hopInstant(const Interest& interest, const char* decision,
+                           telemetry::SpanAttrs extra) {
+  if (!telemetry_ || telemetry_->tracer == nullptr) return;
+  const telemetry::TraceContext ctx = interest.traceContext();
+  if (!ctx) return;
+  telemetry::SpanAttrs attrs{{"decision", decision}};
+  attrs.insert(attrs.end(), extra.begin(), extra.end());
+  telemetry_->tracer->instant("forwarder-hop", "forwarder:" + name_, ctx,
+                              std::move(attrs));
+}
+
 void Forwarder::installHandlers(Face& face) {
   face.onReceiveInterest = [this](Face& inFace, const Interest& interest) {
     onIncomingInterest(inFace, interest);
@@ -71,6 +136,7 @@ void Forwarder::installHandlers(Face& face) {
 
 void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
   ++counters_.nInInterests;
+  if (telemetry_) telemetry_->inInterests->inc();
   LIDC_LOG(kTrace, "forwarder") << name_ << " <- Interest " << interest.name().toUri()
                                 << " via face " << inFace.id();
 
@@ -81,6 +147,8 @@ void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
   // consumed is still a duplicate.
   if (dnl_.has(interest.name(), interest.nonce())) {
     ++counters_.nDuplicateNonce;
+    if (telemetry_) telemetry_->duplicateNonce->inc();
+    hopInstant(interest, "nack-duplicate");
     inFace.sendNack(Nack(interest, NackReason::kDuplicate));
     return;
   }
@@ -90,6 +158,8 @@ void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
   // Loop detection by nonce.
   if (!isNew && entry->isDuplicateNonce(interest.nonce(), inFace.id())) {
     ++counters_.nDuplicateNonce;
+    if (telemetry_) telemetry_->duplicateNonce->inc();
+    hopInstant(interest, "nack-duplicate");
     inFace.sendNack(Nack(interest, NackReason::kDuplicate));
     return;
   }
@@ -97,12 +167,16 @@ void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
   // Content Store lookup.
   if (auto cached = cs_.find(interest, sim_.now())) {
     ++counters_.nCsHits;
+    if (telemetry_) telemetry_->csHits->inc();
+    hopInstant(interest, "cs-hit");
     if (isNew) pit_.erase(entry);
     ++counters_.nOutData;
+    if (telemetry_) telemetry_->outData->inc();
     inFace.sendData(*cached);
     return;
   }
   ++counters_.nCsMisses;
+  if (telemetry_) telemetry_->csMisses->inc();
 
   const sim::Time expiry = sim_.now() + interest.lifetime();
   entry->insertInRecord(inFace.id(), interest.nonce(), expiry);
@@ -117,18 +191,22 @@ void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
     // Entry exists but was never forwarded (e.g. all upstreams were down);
     // give the strategy another chance.
     findStrategy(interest.name()).afterReceiveInterest(interest, inFace, entry);
+  } else {
+    // Aggregated onto the in-flight Interest (no re-forwarding).
+    hopInstant(interest, "pit-aggregate");
   }
-  // Otherwise: aggregated onto the in-flight Interest (no re-forwarding).
 }
 
 void Forwarder::onIncomingData(Face& inFace, const Data& data) {
   ++counters_.nInData;
+  if (telemetry_) telemetry_->inData->inc();
   LIDC_LOG(kTrace, "forwarder") << name_ << " <- Data " << data.name().toUri()
                                 << " via face " << inFace.id();
 
   auto matches = pit_.findMatches(data);
   if (matches.empty()) {
     ++counters_.nUnsolicitedData;
+    if (telemetry_) telemetry_->unsolicitedData->inc();
     return;  // unsolicited Data is dropped, as in NFD's default policy
   }
 
@@ -141,10 +219,12 @@ void Forwarder::onIncomingData(Face& inFace, const Data& data) {
       if (in.face == inFace.id()) continue;
       if (auto* downstream = face(in.face); downstream != nullptr) {
         ++counters_.nOutData;
+        if (telemetry_) telemetry_->outData->inc();
         downstream->sendData(data);
       }
     }
     ++counters_.nSatisfied;
+    if (telemetry_) telemetry_->satisfied->inc();
     recordDeadNonces(*entry);
     pit_.erase(entry);
   }
@@ -171,6 +251,8 @@ void Forwarder::onInterestExpiry(std::weak_ptr<PitEntry> weakEntry) {
   auto entry = weakEntry.lock();
   if (!entry) return;
   ++counters_.nUnsatisfied;
+  if (telemetry_) telemetry_->unsatisfied->inc();
+  hopInstant(entry->interest(), "expire");
   findStrategy(entry->name()).onInterestTimeout(entry);
   recordDeadNonces(*entry);
   pit_.erase(entry);
@@ -186,6 +268,8 @@ void Forwarder::sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upst
 
   entry->insertOutRecord(upstream, interest.nonce(), sim_.now());
   ++counters_.nOutInterests;
+  if (telemetry_) telemetry_->outInterests->inc();
+  hopInstant(interest, "forward", {{"face", std::to_string(upstream)}});
   LIDC_LOG(kTrace, "forwarder") << name_ << " -> Interest " << interest.name().toUri()
                                 << " via face " << upstream;
   outFace->sendInterest(interest);
@@ -194,6 +278,9 @@ void Forwarder::sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upst
 void Forwarder::sendNackDownstream(const std::shared_ptr<PitEntry>& entry,
                                    NackReason reason) {
   ++counters_.nNoRoute;
+  if (telemetry_) telemetry_->noRoute->inc();
+  hopInstant(entry->interest(), "nack",
+             {{"reason", std::string(nackReasonName(reason))}});
   for (const auto& in : entry->inRecords()) {
     if (auto* downstream = face(in.face); downstream != nullptr) {
       downstream->sendNack(Nack(entry->interest(), reason));

@@ -19,6 +19,8 @@
 #include "ndn/pit.hpp"
 #include "ndn/strategy.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lidc::ndn {
 
@@ -70,6 +72,20 @@ class Forwarder {
   [[nodiscard]] RttMeasurements& measurements() noexcept { return measurements_; }
   [[nodiscard]] const ForwarderCounters& counters() const noexcept { return counters_; }
 
+  // --- telemetry ---
+  /// Mirrors every ForwarderCounters increment into `registry` as
+  /// lidc_forwarder_*{node=<name>} (live, one extra relaxed add per
+  /// event), registers a collector that syncs the per-face aggregate
+  /// FaceCounters plus CS/PIT gauges at snapshot time, and — when a
+  /// tracer is given — records per-hop "forwarder-hop" instants for
+  /// Interests carrying a TraceContext. The forwarder must outlive any
+  /// snapshot of the registry.
+  void attachTelemetry(telemetry::MetricsRegistry& registry,
+                       telemetry::Tracer* tracer = nullptr);
+  [[nodiscard]] telemetry::Tracer* tracer() noexcept {
+    return telemetry_ ? telemetry_->tracer : nullptr;
+  }
+
   // --- actions used by strategies ---
   void sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upstream);
   void sendNackDownstream(const std::shared_ptr<PitEntry>& entry, NackReason reason);
@@ -85,6 +101,27 @@ class Forwarder {
 
   void installHandlers(Face& face);
 
+  /// Live-mirror handles into an attached MetricsRegistry; null when
+  /// telemetry is not attached (the common fast path).
+  struct TelemetryHooks {
+    telemetry::Counter* inInterests = nullptr;
+    telemetry::Counter* outInterests = nullptr;
+    telemetry::Counter* inData = nullptr;
+    telemetry::Counter* outData = nullptr;
+    telemetry::Counter* csHits = nullptr;
+    telemetry::Counter* csMisses = nullptr;
+    telemetry::Counter* satisfied = nullptr;
+    telemetry::Counter* unsatisfied = nullptr;
+    telemetry::Counter* duplicateNonce = nullptr;
+    telemetry::Counter* noRoute = nullptr;
+    telemetry::Counter* unsolicitedData = nullptr;
+    telemetry::Tracer* tracer = nullptr;
+  };
+
+  /// Records one "forwarder-hop" instant for a traced Interest.
+  void hopInstant(const Interest& interest, const char* decision,
+                  telemetry::SpanAttrs extra = {});
+
   std::string name_;
   sim::Simulator& sim_;
   FaceId next_face_id_ = 1;
@@ -95,6 +132,7 @@ class Forwarder {
   DeadNonceList dnl_;
   RttMeasurements measurements_;
   ForwarderCounters counters_;
+  std::unique_ptr<TelemetryHooks> telemetry_;
   // Strategy-choice table: ordered by name for longest-prefix resolution.
   std::map<Name, std::unique_ptr<Strategy>> strategies_;
 };

@@ -13,6 +13,7 @@
 #include "ndn/name.hpp"
 #include "ndn/tlv.hpp"
 #include "sim/time.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace lidc::ndn {
 
@@ -68,6 +69,17 @@ class Interest {
     return *this;
   }
 
+  /// Trace context carried alongside the packet (like an NDNLPv2
+  /// hop-by-hop header): not part of the name, the wire encoding, or
+  /// CS/PIT matching, so tracing never perturbs forwarding behaviour.
+  [[nodiscard]] telemetry::TraceContext traceContext() const noexcept {
+    return trace_;
+  }
+  Interest& setTraceContext(telemetry::TraceContext ctx) noexcept {
+    trace_ = ctx;
+    return *this;
+  }
+
   /// Full TLV wire encoding.
   [[nodiscard]] tlv::Buffer wireEncode() const;
   static Result<Interest> wireDecode(std::span<const std::uint8_t> wire);
@@ -83,6 +95,7 @@ class Interest {
   sim::Duration lifetime_ = sim::Duration::millis(4000);
   std::uint8_t hop_limit_ = 64;
   std::vector<std::uint8_t> app_parameters_;
+  telemetry::TraceContext trace_;
 };
 
 /// Content type codes (subset of the NDN spec).

@@ -166,4 +166,20 @@ std::uint64_t ChaosEngine::totalRecoveries() const noexcept {
   return total;
 }
 
+void ChaosEngine::attachTelemetry(telemetry::MetricsRegistry& registry) {
+  registry.registerCollector([this, &registry] {
+    registry.counter("lidc_chaos_injections").set(totalInjections());
+    registry.counter("lidc_chaos_recoveries").set(totalRecoveries());
+    registry.gauge("lidc_chaos_faults_declared")
+        .set(static_cast<double>(faults_.size()));
+    for (const auto& fault : faults_) {
+      registry
+          .counter("lidc_chaos_fault_injections",
+                   {{"kind", std::string(faultKindName(fault.kind))},
+                    {"fault", fault.label}})
+          .set(fault.injections);
+    }
+  });
+}
+
 }  // namespace lidc::sim

@@ -17,6 +17,7 @@
 #include "k8s/cluster.hpp"
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lidc::sim {
 
@@ -105,6 +106,10 @@ class ChaosEngine {
 
   [[nodiscard]] std::uint64_t totalInjections() const noexcept;
   [[nodiscard]] std::uint64_t totalRecoveries() const noexcept;
+
+  /// Syncs injection/recovery totals (and per-kind injection counters)
+  /// into `registry` at snapshot time.
+  void attachTelemetry(telemetry::MetricsRegistry& registry);
 
  private:
   /// Registers a fault record; returns its index.

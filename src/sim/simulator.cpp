@@ -3,7 +3,27 @@
 #include <cassert>
 #include <utility>
 
+#include "common/logging.hpp"
+
 namespace lidc::sim {
+
+namespace {
+/// The simulator currently feeding log timestamps; guards against a
+/// destroyed simulator leaving a dangling time source behind.
+Simulator* g_log_clock_owner = nullptr;
+}  // namespace
+
+Simulator::Simulator() {
+  g_log_clock_owner = this;
+  log::setTimeSource([this] { return now().toSeconds(); });
+}
+
+Simulator::~Simulator() {
+  if (g_log_clock_owner == this) {
+    g_log_clock_owner = nullptr;
+    log::setTimeSource(nullptr);
+  }
+}
 
 EventHandle Simulator::scheduleAt(Time at, std::function<void()> fn) {
   assert(fn);

@@ -37,7 +37,11 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Installs this simulator's clock as the log timestamp source (the
+  /// most recently constructed simulator wins; the destructor removes
+  /// it again only if still the owner).
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -1,0 +1,193 @@
+// MetricsRegistry: the unified metrics layer every LIDC component
+// reports through. Three instrument kinds — monotonic Counters, Gauges,
+// and log2-bucketed Histograms with p50/p90/p99 — grouped into labeled
+// families (e.g. lidc_forwarder_in_interests{node="gw-east"}).
+//
+// Hot-path discipline: handles returned by counter()/gauge()/histogram()
+// are stable for the registry's lifetime, and incrementing one is a
+// single relaxed atomic add — no lock, no lookup. Registration and
+// snapshotting take a mutex; components that keep legacy counter
+// structs can instead register a *collector* callback that syncs those
+// values into registry instruments right before each snapshot/export.
+//
+// Exporters: toJson() (machine-readable, stable ordering) and
+// toPrometheus() (text exposition format; histograms as summaries).
+// The /ndn/k8s/telemetry monitoring plane publishes the Prometheus
+// form, and parsePrometheusText() turns it back into a flat value map
+// on the collector side.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lidc::telemetry {
+
+/// Sorted key=value pairs identifying one member of a metric family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. inc() is the hot path: one relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Absolute sync, used by collector callbacks mirroring legacy
+  /// counter structs at snapshot time.
+  void set(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Compiled-in no-op drop-in for Counter: every call is an empty inline
+/// the optimizer deletes. bench_telemetry uses it to measure the cost
+/// of instrumentation against a build with telemetry compiled out.
+struct NoopCounter {
+  void inc(std::uint64_t = 1) noexcept {}
+  void set(std::uint64_t) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+/// Point-in-time value (queue depth, free cores, health fraction).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram: bucket 0 holds [0,1), bucket i>=1 holds
+/// [2^(i-1), 2^i). Observing is two relaxed adds plus a CAS-add on the
+/// sum; quantiles are approximated by the midpoint of the bucket where
+/// the cumulative count crosses q. Choose the unit so interesting
+/// values land above 1 (e.g. microseconds for latencies).
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 64;
+
+  void observe(double v) noexcept {
+    buckets_[bucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Approximate quantile in [0,1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  static int bucketFor(double v) noexcept;
+  /// [lower, upper) bounds of one bucket.
+  static std::pair<double, double> bucketBounds(int bucket) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported metric value (histograms carry their summary stats).
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter/gauge value; histogram mean
+  // Histogram-only fields.
+  std::uint64_t count = 0;
+  double sum = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the instrument; the reference stays valid for the
+  /// registry's lifetime. Labels are sorted internally, so label order
+  /// does not create distinct series.
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, Labels labels = {});
+
+  /// Registers a callback run before every snapshot()/export, letting
+  /// components sync legacy counter structs into registry instruments
+  /// without touching their hot paths.
+  void registerCollector(std::function<void()> collect);
+
+  /// Runs collectors, then returns every metric whose name starts with
+  /// `prefix` (empty = all), ordered by (name, labels).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot(const std::string& prefix = "");
+
+  /// {"metrics":[{"name":...,"labels":{...},"kind":...,"value":...},...]}
+  [[nodiscard]] std::string toJson(const std::string& prefix = "");
+  /// Prometheus text exposition format (histograms as summaries).
+  [[nodiscard]] std::string toPrometheus(const std::string& prefix = "");
+  /// Convenience: toPrometheus() parsed back into {series -> value},
+  /// the same view a TelemetryCollector builds from scraped Data.
+  [[nodiscard]] std::map<std::string, double> flatten(const std::string& prefix = "");
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& findOrCreate(const std::string& name, Labels labels, MetricKind kind);
+  void runCollectors();
+
+  mutable std::mutex mutex_;
+  // (name, serialized labels) -> instrument; ordered for stable exports.
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+/// Serializes labels as `k1="v1",k2="v2"` (sorted), "" when empty.
+std::string labelString(const Labels& labels);
+
+/// Parses Prometheus text back into {"name{labels}" or "name" -> value}.
+/// Comment lines are skipped; malformed lines are ignored.
+std::map<std::string, double> parsePrometheusText(const std::string& text);
+
+}  // namespace lidc::telemetry

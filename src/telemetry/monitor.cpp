@@ -1,0 +1,281 @@
+#include "telemetry/monitor.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace lidc::telemetry {
+
+namespace {
+constexpr const char* kLatestComponent = "_latest";
+}
+
+TelemetryPublisher::TelemetryPublisher(ndn::Forwarder& forwarder,
+                                       MetricsRegistry& registry,
+                                       std::string clusterName,
+                                       TelemetryPublisherOptions options)
+    : forwarder_(forwarder),
+      registry_(registry),
+      cluster_name_(std::move(clusterName)),
+      options_(options) {
+  groups_["all"] = Group{};
+  ndn::Name prefix = kTelemetryPrefix;
+  prefix.append(cluster_name_);
+  face_ = std::make_shared<ndn::AppFace>("app://telemetry/" + cluster_name_,
+                                         forwarder_.simulator());
+  face_->setInterestHandler([this](const ndn::Interest& i) { handleInterest(i); });
+  face_id_ = forwarder_.addFace(face_);
+  forwarder_.registerPrefix(prefix, face_id_, /*cost=*/0);
+}
+
+void TelemetryPublisher::addGroup(const std::string& group,
+                                  const std::string& metricPrefix) {
+  groups_[group].metricPrefix = metricPrefix;
+}
+
+void TelemetryPublisher::handleInterest(const ndn::Interest& interest) {
+  // /ndn/k8s/telemetry/<cluster>/<group>/<_latest | seq>
+  const ndn::Name& name = interest.name();
+  if (name.size() != kTelemetryPrefix.size() + 3) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  const std::string group = name[name.size() - 2].toString();
+  const std::string selector = name[name.size() - 1].toString();
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  if (selector == kLatestComponent) {
+    replyLatest(interest, it->second);
+    return;
+  }
+  const auto seq = strings::parseUint(selector);
+  if (!seq) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  replySnapshot(interest, it->second, *seq);
+}
+
+void TelemetryPublisher::refreshGroup(Group& group) {
+  const sim::Time now = forwarder_.simulator().now();
+  if (group.seq != 0 && now - group.generatedAt < options_.snapshotInterval) {
+    return;
+  }
+  ++group.seq;
+  group.generatedAt = now;
+  group.snapshots[group.seq] = registry_.toPrometheus(group.metricPrefix);
+  ++snapshots_generated_;
+  while (group.snapshots.size() > options_.retainedSnapshots) {
+    group.snapshots.erase(group.snapshots.begin());
+  }
+}
+
+void TelemetryPublisher::replyLatest(const ndn::Interest& interest, Group& group) {
+  refreshGroup(group);
+  ++served_;
+  ndn::Data manifest(interest.name());
+  manifest
+      .setContent("seq=" + std::to_string(group.seq) + ";generated=" +
+                  std::to_string(group.generatedAt.toNanos()))
+      .setFreshnessPeriod(options_.manifestFreshness)
+      .sign();
+  face_->putData(std::move(manifest));
+}
+
+void TelemetryPublisher::replySnapshot(const ndn::Interest& interest, Group& group,
+                                       std::uint64_t seq) {
+  auto it = group.snapshots.find(seq);
+  if (it == group.snapshots.end()) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  ++served_;
+  ndn::Data snapshot(interest.name());
+  snapshot.setContent(it->second)
+      .setFreshnessPeriod(options_.snapshotFreshness)
+      .sign();
+  face_->putData(std::move(snapshot));
+}
+
+TelemetryCollector::TelemetryCollector(ndn::Forwarder& forwarder,
+                                       TelemetryCollectorOptions options)
+    : forwarder_(forwarder), sim_(forwarder.simulator()), options_(options) {
+  face_ = std::make_shared<ndn::AppFace>("app://telemetry-collector", sim_,
+                                         /*nonceSeed=*/0x7e1e);
+  face_id_ = forwarder_.addFace(face_);
+}
+
+void TelemetryCollector::watchCluster(const std::string& cluster) {
+  if (std::find(watched_.begin(), watched_.end(), cluster) == watched_.end()) {
+    watched_.push_back(cluster);
+    views_[cluster];
+  }
+}
+
+std::vector<std::string> TelemetryCollector::watchedClusters() const {
+  return watched_;
+}
+
+ndn::Name TelemetryCollector::groupPrefix(const std::string& cluster) const {
+  ndn::Name name = kTelemetryPrefix;
+  name.append(cluster);
+  name.append(options_.group);
+  return name;
+}
+
+void TelemetryCollector::scrapeOnce(std::function<void()> done) {
+  if (watched_.empty()) {
+    if (done) done();
+    return;
+  }
+  // Track completion across the fan-out; `done` fires after every
+  // watched cluster has either succeeded or failed.
+  auto remaining = std::make_shared<std::size_t>(watched_.size());
+  auto onClusterDone = [remaining, done = std::move(done)]() {
+    if (--*remaining == 0 && done) done();
+  };
+  for (const auto& cluster : watched_) {
+    ++counters_.scrapesStarted;
+    scrapeCluster(cluster, onClusterDone);
+  }
+}
+
+void TelemetryCollector::scrapeCluster(const std::string& cluster,
+                                       std::function<void()> done) {
+  ndn::Name latest = groupPrefix(cluster);
+  latest.append(kLatestComponent);
+  ndn::Interest interest(latest);
+  interest.setMustBeFresh(true).setLifetime(options_.interestLifetime);
+  face_->expressInterest(
+      std::move(interest),
+      [this, cluster, done](const ndn::Interest&, const ndn::Data& data) {
+        if (!data.verify()) {
+          ++counters_.signatureFailures;
+          ++counters_.scrapesFailed;
+          done();
+          return;
+        }
+        std::uint64_t seq = 0;
+        // Keep the content alive: splitSkipEmpty yields views into it.
+        const std::string content = data.contentAsString();
+        for (auto field : strings::splitSkipEmpty(content, ';')) {
+          if (strings::startsWith(field, "seq=")) {
+            if (auto parsed = strings::parseUint(field.substr(4))) seq = *parsed;
+          }
+        }
+        if (seq == 0) {
+          ++counters_.scrapesFailed;
+          done();
+          return;
+        }
+        ClusterView& view = views_[cluster];
+        if (view.everScraped && view.seq == seq) {
+          // Manifest says nothing changed; the previous values stand.
+          ++counters_.manifestReuses;
+          ++counters_.scrapesSucceeded;
+          view.lastUpdated = sim_.now();
+          done();
+          return;
+        }
+        fetchSnapshot(cluster, seq, std::move(done));
+      },
+      [this, done](const ndn::Interest&, const ndn::Nack&) {
+        ++counters_.scrapesFailed;
+        done();
+      },
+      [this, done](const ndn::Interest&) {
+        ++counters_.scrapesFailed;
+        done();
+      });
+}
+
+void TelemetryCollector::fetchSnapshot(const std::string& cluster,
+                                       std::uint64_t seq,
+                                       std::function<void()> done) {
+  ndn::Name name = groupPrefix(cluster);
+  name.appendNumber(seq);
+  // Immutable versioned Data: no MustBeFresh, so any Content Store on
+  // the path may answer.
+  ndn::Interest interest(name);
+  interest.setLifetime(options_.interestLifetime);
+  face_->expressInterest(
+      std::move(interest),
+      [this, cluster, seq, done](const ndn::Interest&, const ndn::Data& data) {
+        if (!data.verify()) {
+          ++counters_.signatureFailures;
+          ++counters_.scrapesFailed;
+          done();
+          return;
+        }
+        ClusterView& view = views_[cluster];
+        view.seq = seq;
+        view.rawText = data.contentAsString();
+        view.values = parsePrometheusText(view.rawText);
+        view.lastUpdated = sim_.now();
+        view.everScraped = true;
+        ++counters_.snapshotsFetched;
+        ++counters_.scrapesSucceeded;
+        done();
+      },
+      [this, done](const ndn::Interest&, const ndn::Nack&) {
+        ++counters_.scrapesFailed;
+        done();
+      },
+      [this, done](const ndn::Interest&) {
+        ++counters_.scrapesFailed;
+        done();
+      });
+}
+
+void TelemetryCollector::start() {
+  if (running_) return;
+  running_ = true;
+  scrapeTick();
+}
+
+void TelemetryCollector::stop() {
+  running_ = false;
+  tick_.cancel();
+}
+
+void TelemetryCollector::scrapeTick() {
+  if (!running_) return;
+  scrapeOnce();
+  tick_ = sim_.scheduleAfter(options_.scrapeInterval, [this] { scrapeTick(); });
+}
+
+const TelemetryCollector::ClusterView* TelemetryCollector::view(
+    const std::string& cluster) const {
+  auto it = views_.find(cluster);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+bool TelemetryCollector::isStale(const std::string& cluster) const {
+  const ClusterView* v = view(cluster);
+  if (!v || !v->everScraped) return true;
+  return sim_.now() - v->lastUpdated > options_.freshnessWindow;
+}
+
+double TelemetryCollector::metric(const std::string& cluster,
+                                  const std::string& series) const {
+  const ClusterView* v = view(cluster);
+  if (!v) return 0.0;
+  auto it = v->values.find(series);
+  return it == v->values.end() ? 0.0 : it->second;
+}
+
+void TelemetryCollector::invalidate(const std::string& cluster) {
+  auto it = views_.find(cluster);
+  if (it == views_.end()) return;
+  it->second = ClusterView{};
+}
+
+}  // namespace lidc::telemetry

@@ -1,0 +1,235 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lidc::telemetry {
+
+Span& Tracer::emplaceLocked(const std::string& name, const std::string& component,
+                            TraceId trace, SpanId parent, SpanAttrs attrs) {
+  Span span;
+  span.id = nextSpan_++;
+  span.parent = parent;
+  span.trace = trace;
+  span.name = name;
+  span.component = component;
+  span.start = sim_.now();
+  span.end = sim_.now();
+  span.attrs = std::move(attrs);
+  spanIndex_[span.id] = spans_.size();
+  spans_.push_back(std::move(span));
+  return spans_.back();
+}
+
+TraceContext Tracer::startTrace(const std::string& name,
+                                const std::string& component, SpanAttrs attrs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TraceId trace = nextTrace_++;
+  Span& span = emplaceLocked(name, component, trace, 0, std::move(attrs));
+  span.open = true;
+  return {trace, span.id};
+}
+
+TraceContext Tracer::startSpan(const std::string& name,
+                               const std::string& component, TraceContext parent,
+                               SpanAttrs attrs) {
+  if (!parent) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span& span = emplaceLocked(name, component, parent.trace, parent.span,
+                             std::move(attrs));
+  span.open = true;
+  return {parent.trace, span.id};
+}
+
+void Tracer::endSpan(TraceContext ctx) {
+  if (!ctx) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spanIndex_.find(ctx.span);
+  if (it == spanIndex_.end()) return;
+  Span& span = spans_[it->second];
+  if (!span.open) return;
+  span.end = sim_.now();
+  span.open = false;
+}
+
+void Tracer::setAttr(TraceContext ctx, const std::string& key,
+                     const std::string& value) {
+  if (!ctx) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spanIndex_.find(ctx.span);
+  if (it == spanIndex_.end()) return;
+  spans_[it->second].attrs.emplace_back(key, value);
+}
+
+TraceContext Tracer::instant(const std::string& name, const std::string& component,
+                             TraceContext parent, SpanAttrs attrs) {
+  if (!parent) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span& span = emplaceLocked(name, component, parent.trace, parent.span,
+                             std::move(attrs));
+  return {parent.trace, span.id};
+}
+
+TraceContext Tracer::recordSpan(const std::string& name,
+                                const std::string& component, TraceContext parent,
+                                sim::Time start, sim::Time end, SpanAttrs attrs) {
+  if (!parent) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span& span = emplaceLocked(name, component, parent.trace, parent.span,
+                             std::move(attrs));
+  span.start = start;
+  span.end = end;
+  return {parent.trace, span.id};
+}
+
+void Tracer::bindJob(const std::string& jobId, TraceId trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobTraces_[jobId] = trace;
+}
+
+std::optional<TraceId> Tracer::traceForJob(const std::string& jobId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobTraces_.find(jobId);
+  if (it == jobTraces_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Tracer::boundJobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> jobs;
+  jobs.reserve(jobTraces_.size());
+  for (const auto& [jobId, trace] : jobTraces_) jobs.push_back(jobId);
+  return jobs;
+}
+
+std::size_t Tracer::spanCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::spansForTrace(TraceId trace) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  for (const auto& span : spans_)
+    if (span.trace == trace) out.push_back(span);
+  return out;
+}
+
+std::vector<Span> Tracer::allSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+namespace {
+
+std::string formatTime(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", t.toSeconds());
+  return buf;
+}
+
+std::string formatDuration(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", d.toSeconds());
+  return buf;
+}
+
+void renderTree(std::ostringstream& os, const std::vector<Span>& spans,
+                const std::multimap<SpanId, std::size_t>& children, SpanId node,
+                const std::string& indent) {
+  auto [lo, hi] = children.equal_range(node);
+  std::vector<std::size_t> kids;
+  for (auto it = lo; it != hi; ++it) kids.push_back(it->second);
+  std::sort(kids.begin(), kids.end(), [&](std::size_t a, std::size_t b) {
+    if (spans[a].start != spans[b].start) return spans[a].start < spans[b].start;
+    return spans[a].id < spans[b].id;
+  });
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    const Span& span = spans[kids[i]];
+    const bool last = i + 1 == kids.size();
+    os << indent << (last ? "└─ " : "├─ ") << span.name << " ["
+       << span.component << "] ";
+    if (span.open) {
+      os << formatTime(span.start) << " (open)";
+    } else if (span.duration() == sim::Duration{}) {
+      os << '@' << formatTime(span.start);
+    } else {
+      os << formatTime(span.start) << " +" << formatDuration(span.duration());
+    }
+    for (const auto& [k, v] : span.attrs) os << ' ' << k << '=' << v;
+    os << '\n';
+    renderTree(os, spans, children, span.id,
+               indent + (last ? "   " : "│  "));
+  }
+}
+
+}  // namespace
+
+std::string Tracer::explainTrace(TraceId trace) const {
+  const auto spans = spansForTrace(trace);
+  if (spans.empty()) {
+    return "trace " + traceIdToString(trace) + ": no spans recorded\n";
+  }
+  sim::Time lo = spans.front().start;
+  sim::Time hi = spans.front().end;
+  for (const auto& span : spans) {
+    lo = std::min(lo, span.start);
+    hi = std::max(hi, span.end);
+  }
+  std::ostringstream os;
+  os << "trace " << traceIdToString(trace) << " spans=" << spans.size()
+     << " span=" << formatTime(lo) << ".." << formatTime(hi) << " ("
+     << formatDuration(hi - lo) << ")\n";
+  std::multimap<SpanId, std::size_t> children;
+  std::unordered_map<SpanId, bool> present;
+  for (const auto& span : spans) present[span.id] = true;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    // Spans whose parent is unknown (or 0) render at the root level.
+    const SpanId parent = present.count(spans[i].parent) ? spans[i].parent : 0;
+    children.emplace(parent, i);
+  }
+  renderTree(os, spans, children, 0, "");
+  return os.str();
+}
+
+std::string Tracer::explain(const std::string& jobId) const {
+  const auto trace = traceForJob(jobId);
+  if (!trace) return "job " + jobId + ": no trace bound\n";
+  return "job " + jobId + " " + explainTrace(*trace);
+}
+
+std::string Tracer::chromeTraceJson() const {
+  const auto spans = allSpans();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) os << ',';
+    first = false;
+    const double ts = static_cast<double>(span.start.toNanos()) / 1e3;
+    const double dur =
+        static_cast<double>((span.end - span.start).toNanos()) / 1e3;
+    os << "{\"name\":\"" << span.name << "\",\"cat\":\"" << span.component
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.trace << ",\"ts\":" << ts
+       << ",\"dur\":" << dur << ",\"args\":{\"span\":" << span.id
+       << ",\"parent\":" << span.parent;
+    for (const auto& [k, v] : span.attrs) {
+      os << ",\"" << k << "\":\"" << v << '"';
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  spanIndex_.clear();
+  jobTraces_.clear();
+  nextTrace_ = 1;
+  nextSpan_ = 1;
+}
+
+}  // namespace lidc::telemetry

@@ -1,0 +1,116 @@
+// Tracer: causal job tracing over the deterministic sim clock. A trace
+// is started when a job (or other top-level operation) is submitted;
+// every layer the job touches — client retry loop, per-hop forwarder
+// pipelines, gateway admission, K8s scheduling/execution, data-lake
+// segment retrieval — attaches spans to it via the TraceContext carried
+// on Interests. Spans are stamped from sim::Simulator::now(), so a
+// given seed always yields a byte-identical trace.
+//
+// Consumers: explain(jobId) renders a human-readable span tree for one
+// job; chromeTraceJson() dumps everything in the chrome://tracing /
+// Perfetto "Trace Event" JSON format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace lidc::telemetry {
+
+using SpanAttrs = std::vector<std::pair<std::string, std::string>>;
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root of its trace
+  TraceId trace = 0;
+  std::string name;       // e.g. "submit-attempt", "forwarder-hop"
+  std::string component;  // e.g. "client:wf-user", "forwarder:gw-east"
+  sim::Time start;
+  sim::Time end;
+  bool open = false;  // true until endSpan(); instants are never open
+  SpanAttrs attrs;
+
+  [[nodiscard]] sim::Duration duration() const noexcept { return end - start; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulator& sim) : sim_(sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a root span under a fresh trace id. The returned context's
+  /// span id names the new span (pass it as the parent of children).
+  TraceContext startTrace(const std::string& name, const std::string& component,
+                          SpanAttrs attrs = {});
+
+  /// Opens a child span of `parent`. If parent is invalid (untraced
+  /// path) this is a no-op returning an invalid context, so callers
+  /// never need to branch.
+  TraceContext startSpan(const std::string& name, const std::string& component,
+                         TraceContext parent, SpanAttrs attrs = {});
+
+  /// Closes the span named by ctx at sim-now. No-op on invalid ctx.
+  void endSpan(TraceContext ctx);
+
+  /// Appends an attribute to the span named by ctx (open or closed).
+  void setAttr(TraceContext ctx, const std::string& key, const std::string& value);
+
+  /// Zero-duration marker (e.g. one forwarder decision).
+  TraceContext instant(const std::string& name, const std::string& component,
+                       TraceContext parent, SpanAttrs attrs = {});
+
+  /// Records a span whose start/end are already known — used for
+  /// retroactive spans like K8s scheduling and pod execution, which the
+  /// gateway only learns about when the job reaches a terminal state.
+  TraceContext recordSpan(const std::string& name, const std::string& component,
+                          TraceContext parent, sim::Time start, sim::Time end,
+                          SpanAttrs attrs = {});
+
+  /// Associates a job id with a trace so explain(jobId) can find it.
+  void bindJob(const std::string& jobId, TraceId trace);
+  [[nodiscard]] std::optional<TraceId> traceForJob(const std::string& jobId) const;
+  /// Every job id bound so far, sorted.
+  [[nodiscard]] std::vector<std::string> boundJobs() const;
+
+  [[nodiscard]] std::size_t spanCount() const;
+  /// All spans of one trace, in recording order.
+  [[nodiscard]] std::vector<Span> spansForTrace(TraceId trace) const;
+  /// Copy of every span (tests, exporters).
+  [[nodiscard]] std::vector<Span> allSpans() const;
+
+  /// Human-readable span tree for the trace bound to jobId; children
+  /// indented under parents, sorted by (start, id), instants rendered
+  /// as "@t", spans as "t +duration". Returns a one-line message when
+  /// the job id is unknown.
+  [[nodiscard]] std::string explain(const std::string& jobId) const;
+  [[nodiscard]] std::string explainTrace(TraceId trace) const;
+
+  /// chrome://tracing "Trace Event" JSON: complete ("X") events, one
+  /// tid per trace, timestamps in microseconds.
+  [[nodiscard]] std::string chromeTraceJson() const;
+
+  void clear();
+
+ private:
+  Span& emplaceLocked(const std::string& name, const std::string& component,
+                      TraceId trace, SpanId parent, SpanAttrs attrs);
+
+  sim::Simulator& sim_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::unordered_map<SpanId, std::size_t> spanIndex_;
+  std::map<std::string, TraceId> jobTraces_;
+  std::uint64_t nextTrace_ = 1;
+  std::uint64_t nextSpan_ = 1;
+};
+
+}  // namespace lidc::telemetry

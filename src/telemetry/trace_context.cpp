@@ -1,0 +1,13 @@
+#include "telemetry/trace_context.hpp"
+
+#include <cstdio>
+
+namespace lidc::telemetry {
+
+std::string traceIdToString(TraceId id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace lidc::telemetry

@@ -1,0 +1,29 @@
+// TraceContext: the causal identity a packet or operation carries so
+// every layer it touches can attach spans to the same trace. Modeled on
+// W3C traceparent, shrunk to the simulator's needs: a 64-bit trace id
+// (one per submitted job / top-level operation) and a 64-bit span id
+// (the parent span of whatever the receiver records). Carried on
+// Interests the way NDNLPv2 carries hop-by-hop link-layer headers —
+// alongside the packet, not inside the signed name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lidc::telemetry {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+struct TraceContext {
+  TraceId trace = 0;  // 0 = not traced
+  SpanId span = 0;    // parent span for anything recorded downstream
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return trace != 0; }
+  explicit constexpr operator bool() const noexcept { return valid(); }
+};
+
+/// Fixed-width lowercase-hex rendering (log lines, explain() output).
+std::string traceIdToString(TraceId id);
+
+}  // namespace lidc::telemetry

@@ -36,6 +36,10 @@ struct WorkflowEngine::Run {
   bool aborted = false;   // fail-fast tripped
   bool finished = false;
   DoneCallback done;
+  /// Root "workflow" span and the open span of each stage's current
+  /// attempt (all invalid when no tracer is attached).
+  telemetry::TraceContext rootCtx;
+  std::vector<telemetry::TraceContext> stageCtx;
 };
 
 WorkflowEngine::WorkflowEngine(core::LidcClient& client, WorkflowOptions options)
@@ -63,6 +67,15 @@ void WorkflowEngine::run(WorkflowSpec spec, DoneCallback done) {
   run->outcome.id = run->spec.id;
   run->startedAt = client_.simulator().now();
   run->done = std::move(done);
+  run->stageCtx.resize(run->spec.stages.size());
+  if (telemetry_) {
+    telemetry_->runs->inc();
+    if (telemetry_->tracer != nullptr) {
+      run->rootCtx = telemetry_->tracer->startTrace(
+          "workflow", "workflow:" + run->spec.id,
+          {{"stages", std::to_string(run->spec.stages.size())}});
+    }
+  }
   trace(run, "start workflow " + run->spec.id + " stages=" +
                  std::to_string(run->spec.stages.size()));
   dispatchReady(run);
@@ -138,11 +151,22 @@ void WorkflowEngine::dispatchStage(const std::shared_ptr<Run>& run,
   ++stages_dispatched_;
   const StageSpec& stage = run->spec.stages[index];
   trace(run, "dispatch " + stage.name + " app=" + stage.app);
+  if (telemetry_) {
+    telemetry_->stagesDispatched->inc();
+    if (telemetry_->tracer != nullptr) {
+      run->stageCtx[index] = telemetry_->tracer->startSpan(
+          "stage", "workflow:" + run->spec.id, run->rootCtx,
+          {{"stage", stage.name},
+           {"app", stage.app},
+           {"attempt", std::to_string(st.retries)}});
+    }
+  }
 
   auto request =
       std::make_shared<core::ComputeRequest>(buildRequest(run->spec, stage));
   client_.runToCompletion(
-      *request, [this, run, index, request](Result<core::JobOutcome> result) {
+      *request,
+      [this, run, index, request](Result<core::JobOutcome> result) {
         StageStatus& status = run->statuses[index];
         if (result.ok()) {
           status.cluster = result->finalStatus.cluster;
@@ -166,7 +190,8 @@ void WorkflowEngine::dispatchStage(const std::shared_ptr<Run>& run,
                                             "': " + result->finalStatus.error)
                          : result.status();
         handleStageFailure(run, index, why);
-      });
+      },
+      run->stageCtx[index]);
 }
 
 void WorkflowEngine::stageIntermediate(const std::shared_ptr<Run>& run,
@@ -192,6 +217,7 @@ void WorkflowEngine::stageIntermediate(const std::shared_ptr<Run>& run,
         const std::uint64_t size = fetched->size();
         bytes_moved_ += size;
         run->outcome.intermediateBytesMoved += size;
+        if (telemetry_) telemetry_->bytesMoved->inc(size);
         client_.publishData(
             intermediatePath(run->spec.id, name), std::move(fetched).value(),
             [this, run, index, size](Result<ndn::Name> published) {
@@ -204,9 +230,12 @@ void WorkflowEngine::stageIntermediate(const std::shared_ptr<Run>& run,
               }
               bytes_moved_ += size;
               run->outcome.intermediateBytesMoved += size;
+              if (telemetry_) telemetry_->bytesMoved->inc(size);
               completeStage(run, index);
-            });
-      });
+            },
+            run->stageCtx[index]);
+      },
+      run->stageCtx[index]);
 }
 
 void WorkflowEngine::completeStage(const std::shared_ptr<Run>& run,
@@ -217,6 +246,11 @@ void WorkflowEngine::completeStage(const std::shared_ptr<Run>& run,
   const std::string& name = run->spec.stages[index].name;
   st.outputName = intermediateName(run->spec.id, name).toUri();
   --run->running;
+  if (telemetry_ && telemetry_->tracer != nullptr) {
+    telemetry_->tracer->setAttr(run->stageCtx[index], "outcome", "completed");
+    telemetry_->tracer->setAttr(run->stageCtx[index], "cluster", st.cluster);
+    telemetry_->tracer->endSpan(run->stageCtx[index]);
+  }
   trace(run, "complete " + name + " cluster=" + st.cluster +
                  " bytes=" + std::to_string(st.outputBytes));
   dispatchReady(run);
@@ -232,6 +266,13 @@ void WorkflowEngine::handleStageFailure(const std::shared_ptr<Run>& run,
     ++st.retries;
     st.state = StageState::kPending;
     --run->running;
+    if (telemetry_) {
+      telemetry_->stageRetries->inc();
+      if (telemetry_->tracer != nullptr) {
+        telemetry_->tracer->setAttr(run->stageCtx[index], "outcome", "retry");
+        telemetry_->tracer->endSpan(run->stageCtx[index]);
+      }
+    }
     trace(run, "retry " + name + " (" + std::to_string(st.retries) + "/" +
                    std::to_string(options_.maxStageRetries) + ")");
     probeInputsAndRecover(run, index);
@@ -268,6 +309,7 @@ void WorkflowEngine::probeInputsAndRecover(const std::shared_ptr<Run>& run,
                 pst.state = StageState::kPending;
                 pst.error.clear();
                 ++run->outcome.lineageRecoveries;
+                if (telemetry_) telemetry_->lineageRecoveries->inc();
                 trace(run, "reset " + producer +
                                " (lineage: intermediate unreachable)");
               }
@@ -288,6 +330,11 @@ void WorkflowEngine::failTerminally(const std::shared_ptr<Run>& run,
   st.finishedAt = client_.simulator().now();
   --run->running;
   const std::string& name = run->spec.stages[index].name;
+  if (telemetry_ && telemetry_->tracer != nullptr) {
+    telemetry_->tracer->setAttr(run->stageCtx[index], "outcome", "failed");
+    telemetry_->tracer->setAttr(run->stageCtx[index], "error", st.error);
+    telemetry_->tracer->endSpan(run->stageCtx[index]);
+  }
   trace(run, "failed " + name + " (" + st.error + ")");
   if (options_.failurePolicy == FailurePolicy::kFailFast) {
     if (!run->aborted) {
@@ -346,6 +393,16 @@ void WorkflowEngine::maybeFinish(const std::shared_ptr<Run>& run) {
   }
   run->outcome.succeeded = succeeded;
   run->outcome.makespan = client_.simulator().now() - run->startedAt;
+  if (telemetry_) {
+    (succeeded ? telemetry_->runsSucceeded : telemetry_->runsFailed)->inc();
+    telemetry_->makespanUs->observe(
+        static_cast<double>(run->outcome.makespan.toNanos()) / 1e3);
+    if (telemetry_->tracer != nullptr) {
+      telemetry_->tracer->setAttr(run->rootCtx, "succeeded",
+                                  succeeded ? "true" : "false");
+      telemetry_->tracer->endSpan(run->rootCtx);
+    }
+  }
   trace(run, std::string("finish workflow ") + run->spec.id +
                  (succeeded ? " succeeded" : " failed"));
   for (std::size_t i = 0; i < run->statuses.size(); ++i) {
@@ -353,6 +410,24 @@ void WorkflowEngine::maybeFinish(const std::shared_ptr<Run>& run) {
   }
   DoneCallback done = std::move(run->done);
   done(std::move(run->outcome));
+}
+
+void WorkflowEngine::attachTelemetry(telemetry::MetricsRegistry& registry,
+                                     telemetry::Tracer* tracer) {
+  telemetry_ = std::make_unique<Telemetry>();
+  telemetry_->runs = &registry.counter("lidc_workflow_runs");
+  telemetry_->runsSucceeded = &registry.counter("lidc_workflow_runs_succeeded");
+  telemetry_->runsFailed = &registry.counter("lidc_workflow_runs_failed");
+  telemetry_->stagesDispatched =
+      &registry.counter("lidc_workflow_stages_dispatched");
+  telemetry_->stagesDispatched->set(stages_dispatched_);
+  telemetry_->stageRetries = &registry.counter("lidc_workflow_stage_retries");
+  telemetry_->lineageRecoveries =
+      &registry.counter("lidc_workflow_lineage_recoveries");
+  telemetry_->bytesMoved = &registry.counter("lidc_workflow_bytes_moved");
+  telemetry_->bytesMoved->set(bytes_moved_);
+  telemetry_->makespanUs = &registry.histogram("lidc_workflow_makespan_us");
+  telemetry_->tracer = tracer;
 }
 
 void WorkflowEngine::trace(const std::shared_ptr<Run>& run,

@@ -31,6 +31,8 @@
 
 #include "core/client.hpp"
 #include "core/predictor.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "workflow/spec.hpp"
 
 namespace lidc::workflow {
@@ -127,6 +129,13 @@ class WorkflowEngine {
     return stages_dispatched_;
   }
 
+  /// Mirrors engine activity into `registry` (runs, stage dispatches/
+  /// retries, lineage recoveries, bytes moved, makespan histogram). With
+  /// a tracer every run() opens a root "workflow" span; stage spans and
+  /// the client/forwarder/gateway/K8s spans beneath them all share it.
+  void attachTelemetry(telemetry::MetricsRegistry& registry,
+                       telemetry::Tracer* tracer = nullptr);
+
  private:
   struct Run;
 
@@ -145,11 +154,25 @@ class WorkflowEngine {
   void maybeFinish(const std::shared_ptr<Run>& run);
   void trace(const std::shared_ptr<Run>& run, const std::string& line);
 
+  /// Registry handles + tracer; null until attachTelemetry().
+  struct Telemetry {
+    telemetry::Counter* runs = nullptr;
+    telemetry::Counter* runsSucceeded = nullptr;
+    telemetry::Counter* runsFailed = nullptr;
+    telemetry::Counter* stagesDispatched = nullptr;
+    telemetry::Counter* stageRetries = nullptr;
+    telemetry::Counter* lineageRecoveries = nullptr;
+    telemetry::Counter* bytesMoved = nullptr;
+    telemetry::Histogram* makespanUs = nullptr;
+    telemetry::Tracer* tracer = nullptr;
+  };
+
   core::LidcClient& client_;
   WorkflowOptions options_;
   core::CompletionTimePredictor predictor_;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t stages_dispatched_ = 0;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace lidc::workflow

@@ -1,0 +1,211 @@
+// Named monitoring plane tests: the publisher serves signed metric
+// snapshots under /ndn/k8s/telemetry/<cluster>/..., the collector
+// scrapes them with ordinary Interests, repeat snapshot fetches are
+// served from Content Stores on the path, and a blacked-out cluster
+// goes *stale* instead of wedging the collector.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/topology.hpp"
+#include "sim/chaos.hpp"
+#include "telemetry/monitor.hpp"
+
+namespace lidc::telemetry {
+namespace {
+
+/// One publisher node ("east") and one collector host, directly linked.
+struct MonitorWorld {
+  MonitorWorld() : topology(sim) {
+    ndn::Forwarder& pubNode = topology.addNode("east");
+    topology.addNode("col-host");
+    topology.connect("east", "col-host",
+                     net::LinkParams{sim::Duration::millis(5), 0.0, 0.0});
+
+    registry.counter("lidc_forwarder_in_interests", {{"node", "east"}}).set(12);
+    registry.gauge("lidc_cluster_free_cpu_m", {{"cluster", "east"}}).set(8000);
+
+    publisher = std::make_unique<TelemetryPublisher>(pubNode, registry, "east");
+
+    ndn::Name prefix = kTelemetryPrefix;
+    prefix.append("east");
+    topology.installRoutesTo(prefix, "east");
+
+    collector = std::make_unique<TelemetryCollector>(
+        *topology.node("col-host"), collectorOptions());
+    collector->watchCluster("east");
+  }
+
+  static TelemetryCollectorOptions collectorOptions() {
+    TelemetryCollectorOptions options;
+    options.interestLifetime = sim::Duration::millis(500);
+    options.freshnessWindow = sim::Duration::seconds(5);
+    options.scrapeInterval = sim::Duration::seconds(2);
+    return options;
+  }
+
+  sim::Simulator sim;
+  net::Topology topology;
+  MetricsRegistry registry;
+  std::unique_ptr<TelemetryPublisher> publisher;
+  std::unique_ptr<TelemetryCollector> collector;
+};
+
+TEST(MonitorTest, CollectorScrapesPublishedSnapshot) {
+  MonitorWorld world;
+  bool done = false;
+  world.collector->scrapeOnce([&done] { done = true; });
+  world.sim.run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(world.collector->counters().scrapesSucceeded, 1u);
+  EXPECT_EQ(world.collector->counters().snapshotsFetched, 1u);
+  EXPECT_FALSE(world.collector->isStale("east"));
+
+  const auto* view = world.collector->view("east");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->seq, 1u);
+  EXPECT_DOUBLE_EQ(
+      world.collector->metric("east",
+                              "lidc_forwarder_in_interests{node=\"east\"}"),
+      12.0);
+  EXPECT_DOUBLE_EQ(
+      world.collector->metric("east", "lidc_cluster_free_cpu_m{cluster=\"east\"}"),
+      8000.0);
+  EXPECT_EQ(world.publisher->snapshotsGenerated(), 1u);
+}
+
+TEST(MonitorTest, UnchangedSeqReusesManifestWithoutRefetch) {
+  MonitorWorld world;
+  world.collector->scrapeOnce();
+  world.sim.run();
+  // Second scrape well inside snapshotInterval: same seq, so the
+  // collector skips the snapshot fetch entirely.
+  world.collector->scrapeOnce();
+  world.sim.run();
+
+  EXPECT_EQ(world.collector->counters().scrapesSucceeded, 2u);
+  EXPECT_EQ(world.collector->counters().manifestReuses, 1u);
+  EXPECT_EQ(world.collector->counters().snapshotsFetched, 1u);
+}
+
+TEST(MonitorTest, RepeatSnapshotFetchIsServedFromContentStore) {
+  MonitorWorld world;
+  world.collector->scrapeOnce();
+  world.sim.run();
+  const std::uint64_t servedBefore = world.publisher->interestsServed();
+  const std::uint64_t csHitsBefore =
+      world.topology.node("col-host")->counters().nCsHits;
+
+  // Forget the scraped values; the next scrape must re-fetch the
+  // (immutable, long-freshness) snapshot Data — and the collector
+  // host's own Content Store answers it without touching the publisher.
+  // Delayed past the manifest's 500 ms freshness so the MustBeFresh
+  // `_latest` Interest provably reaches the publisher while the
+  // snapshot Interest still hits the cache.
+  world.collector->invalidate("east");
+  EXPECT_TRUE(world.collector->isStale("east"));
+  world.sim.scheduleAfter(sim::Duration::millis(600),
+                          [&world] { world.collector->scrapeOnce(); });
+  world.sim.run();
+
+  EXPECT_EQ(world.collector->counters().snapshotsFetched, 2u);
+  EXPECT_FALSE(world.collector->isStale("east"));
+  // The publisher answered only the MustBeFresh `_latest` manifest...
+  EXPECT_EQ(world.publisher->interestsServed(), servedBefore + 1);
+  // ...because the snapshot Interest was a Content Store hit.
+  EXPECT_GT(world.topology.node("col-host")->counters().nCsHits, csHitsBefore);
+}
+
+TEST(MonitorTest, NewSeqAfterIntervalCarriesUpdatedValues) {
+  MonitorWorld world;
+  world.collector->scrapeOnce();
+  world.sim.run();
+
+  world.registry.counter("lidc_forwarder_in_interests", {{"node", "east"}})
+      .set(99);
+  // Past the publisher's snapshotInterval the next manifest Interest
+  // triggers a fresh export with a bumped sequence number.
+  world.sim.scheduleAfter(sim::Duration::seconds(2),
+                          [&world] { world.collector->scrapeOnce(); });
+  world.sim.run();
+
+  const auto* view = world.collector->view("east");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->seq, 2u);
+  EXPECT_DOUBLE_EQ(
+      world.collector->metric("east",
+                              "lidc_forwarder_in_interests{node=\"east\"}"),
+      99.0);
+}
+
+TEST(MonitorTest, BlackedOutClusterGoesStaleInsteadOfWedging) {
+  MonitorWorld world;
+  world.collector->scrapeOnce();
+  world.sim.run();
+  ASSERT_FALSE(world.collector->isStale("east"));
+
+  // Chaos: the link to east dies at t=1s and never recovers inside the
+  // observation window. Periodic scraping keeps running against the
+  // dead cluster.
+  sim::ChaosEngine chaos(world.sim);
+  chaos.linkDown("east-isolated", *world.topology.linkBetween("east", "col-host"),
+                 world.sim.now() + sim::Duration::seconds(1),
+                 sim::Duration::minutes(5));
+
+  world.collector->start();
+  world.sim.scheduleAfter(sim::Duration::seconds(20), [&world] {
+    // Well past the freshness window: every scrape since the blackout
+    // has failed and the cluster must read as stale.
+    EXPECT_TRUE(world.collector->isStale("east"));
+    EXPECT_GE(world.collector->counters().scrapesFailed, 2u);
+    world.collector->stop();
+  });
+  world.sim.run();
+
+  EXPECT_FALSE(world.collector->running());
+  // The stale view still holds the last good values (seq 1) — staleness
+  // is a flag, not data loss.
+  const auto* view = world.collector->view("east");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->seq, 1u);
+  EXPECT_TRUE(view->everScraped);
+}
+
+TEST(MonitorTest, UnknownClusterNacksAndScrapeFails) {
+  MonitorWorld world;
+  world.collector->watchCluster("ghost");  // no route, no publisher
+  bool done = false;
+  world.collector->scrapeOnce([&done] { done = true; });
+  world.sim.run();
+
+  ASSERT_TRUE(done);  // the failed cluster does not hang the batch
+  EXPECT_EQ(world.collector->counters().scrapesSucceeded, 1u);
+  EXPECT_EQ(world.collector->counters().scrapesFailed, 1u);
+  EXPECT_TRUE(world.collector->isStale("ghost"));
+  EXPECT_FALSE(world.collector->isStale("east"));
+}
+
+TEST(MonitorTest, PublisherRejectsMalformedTelemetryNames) {
+  MonitorWorld world;
+  auto& forwarder = *world.topology.node("col-host");
+  auto face = std::make_shared<ndn::AppFace>("app://probe", world.sim);
+  forwarder.addFace(face);
+
+  ndn::Name tooShort = kTelemetryPrefix;
+  tooShort.append("east");  // missing <group>/<seq|_latest>
+  ndn::Interest interest(tooShort);
+  interest.setLifetime(sim::Duration::millis(500));
+  bool nacked = false;
+  face->expressInterest(
+      interest, [](const ndn::Interest&, const ndn::Data&) { FAIL(); },
+      [&nacked](const ndn::Interest&, const ndn::Nack&) { nacked = true; },
+      [](const ndn::Interest&) {});
+  world.sim.run();
+  EXPECT_TRUE(nacked);
+  EXPECT_GE(world.publisher->interestsRejected(), 1u);
+}
+
+}  // namespace
+}  // namespace lidc::telemetry

@@ -1,0 +1,158 @@
+// Tracer unit tests: span lifecycle on the sim clock, invalid-context
+// no-ops, job binding, explain() tree rendering, and the Chrome trace
+// export.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "telemetry/trace.hpp"
+
+namespace lidc::telemetry {
+namespace {
+
+TEST(TraceTest, SpanLifecycleStampsSimClock) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+
+  TraceContext root;
+  TraceContext child;
+  sim.scheduleAt(sim::Time::fromNanos(1000), [&] {
+    root = tracer.startTrace("job", "client:u1");
+  });
+  sim.scheduleAt(sim::Time::fromNanos(2000), [&] {
+    child = tracer.startSpan("submit-attempt", "client:u1", root,
+                             {{"attempt", "0"}});
+  });
+  sim.scheduleAt(sim::Time::fromNanos(5000),
+                 [&] { tracer.endSpan(child); });
+  sim.scheduleAt(sim::Time::fromNanos(9000), [&] { tracer.endSpan(root); });
+  sim.run();
+
+  ASSERT_TRUE(root);
+  ASSERT_TRUE(child);
+  EXPECT_EQ(root.trace, child.trace);
+  EXPECT_NE(root.span, child.span);
+
+  const auto spans = tracer.spansForTrace(root.trace);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "job");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].start.toNanos(), 1000);
+  EXPECT_EQ(spans[0].end.toNanos(), 9000);
+  EXPECT_FALSE(spans[0].open);
+  EXPECT_EQ(spans[1].parent, root.span);
+  EXPECT_EQ(spans[1].duration().toNanos(), 3000);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(spans[1].attrs[0].first, "attempt");
+}
+
+TEST(TraceTest, InvalidParentMakesEverythingNoop) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+  const TraceContext invalid;
+  EXPECT_FALSE(invalid);
+  EXPECT_FALSE(tracer.startSpan("x", "c", invalid));
+  EXPECT_FALSE(tracer.instant("x", "c", invalid));
+  EXPECT_FALSE(tracer.recordSpan("x", "c", invalid, sim::Time::fromNanos(0),
+                                 sim::Time::fromNanos(1)));
+  tracer.endSpan(invalid);                  // must not crash
+  tracer.setAttr(invalid, "k", "v");        // must not crash
+  EXPECT_EQ(tracer.spanCount(), 0u);
+}
+
+TEST(TraceTest, InstantAndRecordSpan) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+  const TraceContext root = tracer.startTrace("job", "client:u1");
+  const TraceContext hop =
+      tracer.instant("forwarder-hop", "forwarder:r1", root, {{"decision", "forward"}});
+  ASSERT_TRUE(hop);
+  const TraceContext exec =
+      tracer.recordSpan("k8s-exec", "k8s:east", root, sim::Time::fromNanos(100),
+                        sim::Time::fromNanos(400));
+  ASSERT_TRUE(exec);
+
+  const auto spans = tracer.spansForTrace(root.trace);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].duration().toNanos(), 0);
+  EXPECT_FALSE(spans[1].open);
+  EXPECT_EQ(spans[2].start.toNanos(), 100);
+  EXPECT_EQ(spans[2].end.toNanos(), 300 + 100);
+}
+
+TEST(TraceTest, ExplainRendersTreeForBoundJob) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+
+  EXPECT_NE(tracer.explain("nope").find("no trace bound"), std::string::npos);
+
+  TraceContext root, attempt;
+  sim.scheduleAt(sim::Time::fromNanos(0), [&] {
+    root = tracer.startTrace("job", "client:u1");
+    attempt = tracer.startSpan("submit-attempt", "client:u1", root);
+  });
+  sim.scheduleAt(sim::Time::fromNanos(500), [&] {
+    tracer.instant("gateway-admission", "gateway:east", attempt,
+                   {{"decision", "launch"}});
+    tracer.endSpan(attempt);
+  });
+  sim.scheduleAt(sim::Time::fromNanos(800), [&] { tracer.endSpan(root); });
+  sim.run();
+  tracer.bindJob("job-1", root.trace);
+
+  ASSERT_TRUE(tracer.traceForJob("job-1").has_value());
+  EXPECT_EQ(*tracer.traceForJob("job-1"), root.trace);
+
+  const std::string tree = tracer.explain("job-1");
+  EXPECT_NE(tree.find("job job-1"), std::string::npos);
+  EXPECT_NE(tree.find("job"), std::string::npos);
+  EXPECT_NE(tree.find("submit-attempt"), std::string::npos);
+  EXPECT_NE(tree.find("gateway-admission"), std::string::npos);
+  EXPECT_NE(tree.find("decision=launch"), std::string::npos);
+  // The child is indented under the root.
+  EXPECT_LT(tree.find("job"), tree.find("submit-attempt"));
+  EXPECT_LT(tree.find("submit-attempt"), tree.find("gateway-admission"));
+}
+
+TEST(TraceTest, TracesAreIndependent) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+  const TraceContext a = tracer.startTrace("job", "client:a");
+  const TraceContext b = tracer.startTrace("job", "client:b");
+  EXPECT_NE(a.trace, b.trace);
+  tracer.startSpan("child", "client:a", a);
+  EXPECT_EQ(tracer.spansForTrace(a.trace).size(), 2u);
+  EXPECT_EQ(tracer.spansForTrace(b.trace).size(), 1u);
+}
+
+TEST(TraceTest, ChromeTraceJsonEmitsCompleteEvents) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+  TraceContext root;
+  sim.scheduleAt(sim::Time::fromNanos(2000), [&] {
+    root = tracer.startTrace("job", "client:u1", {{"app", "sleep"}});
+  });
+  sim.scheduleAt(sim::Time::fromNanos(4000), [&] { tracer.endSpan(root); });
+  sim.run();
+
+  const std::string json = tracer.chromeTraceJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2"), std::string::npos);   // microseconds
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"sleep\""), std::string::npos);
+}
+
+TEST(TraceTest, ClearResetsEverything) {
+  sim::Simulator sim;
+  Tracer tracer(sim);
+  const TraceContext root = tracer.startTrace("job", "c");
+  tracer.bindJob("j", root.trace);
+  tracer.clear();
+  EXPECT_EQ(tracer.spanCount(), 0u);
+  EXPECT_FALSE(tracer.traceForJob("j").has_value());
+}
+
+}  // namespace
+}  // namespace lidc::telemetry
