@@ -1,15 +1,21 @@
 // Telemetry hot-path cost: what one counter increment costs in each
 // mode (plain uint64, compiled-in NoopCounter, atomic Counter, and the
-// worst case of a per-increment family lookup), and what attaching the
-// full registry + tracer instrumentation does to forwarder throughput.
+// worst case of a per-increment family lookup), what one flight-recorder
+// record() costs against the ring, how many rule evaluations per second
+// the AlertEngine sustains, and what attaching the full registry +
+// tracer instrumentation does to forwarder throughput.
 // Results go to BENCH_telemetry.json.
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "bench_util.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -123,6 +129,52 @@ int main() {
   sink(registry.counter("lidc_bench_lookup", {{"node", "n1"}}).value());
   bench::printRow({"family-lookup", bench::fmt(lookupNs, "%.3f")});
 
+  bench::printHeader("Flight recorder: record() cost into the ring");
+  bench::printRow({"mode", "ns/record"});
+  bench::printRule(2);
+  sim::Simulator frSim;
+  telemetry::FlightRecorder recorder(frSim, 4096);
+  const double recordNs = measureNs(kIncrements / 10, [&recorder](std::uint64_t i) {
+    recorder.record("bench", log::Level::kWarn,
+                    i % 2 == 0 ? "event-even" : "event-odd");
+  });
+  sink(recorder.recorded());
+  bench::printRow({"record", bench::fmt(recordNs, "%.3f")});
+  // The null-recorder call site (every component holds a possibly-null
+  // pointer) must cost a predicted branch, nothing more.
+  telemetry::FlightRecorder* nullRecorder = nullptr;
+  const double nullRecordNs = measureNs(kIncrements, [&nullRecorder](std::uint64_t i) {
+    LIDC_FR_EVENT(nullRecorder, kWarn, "bench", i % 2 == 0 ? "a" : "b");
+  });
+  bench::printRow({"null-call-site", bench::fmt(nullRecordNs, "%.3f")});
+
+  bench::printHeader("Alert engine: rule evaluations per second");
+  bench::printRow({"rules", "evals/s"});
+  bench::printRule(2);
+  double alertEvalsPerSec = 0;
+  {
+    constexpr int kRules = 64;
+    constexpr std::uint64_t kEvalPasses = 20'000;
+    sim::Simulator aeSim;
+    telemetry::AlertEngine engine(aeSim);
+    std::map<std::string, double> values;
+    for (int r = 0; r < kRules; ++r) {
+      const std::string series = "s" + std::to_string(r);
+      values[series] = static_cast<double>(r);
+      engine.addThresholdRule("rule-" + std::to_string(r), series,
+                              telemetry::AlertComparison::kAbove, 1e9);
+    }
+    engine.setValueSource([&values] { return values; });
+    const double start = nowSeconds();
+    int transitions = 0;
+    for (std::uint64_t i = 0; i < kEvalPasses; ++i) transitions += engine.evaluate();
+    sink(static_cast<std::uint64_t>(transitions));
+    alertEvalsPerSec = static_cast<double>(kEvalPasses) * kRules /
+                       (nowSeconds() - start);
+    bench::printRow({bench::fmt(static_cast<double>(kRules), "%.0f"),
+                     bench::fmt(alertEvalsPerSec, "%.0f")});
+  }
+
   bench::printHeader("Forwarder throughput: instrumentation on vs off");
   bench::printRow({"mode", "exchanges/s"});
   bench::printRule(2);
@@ -156,6 +208,9 @@ int main() {
   report.add("noop_counter_inc_ns", noopNs);
   report.add("atomic_counter_inc_ns", counterNs);
   report.add("family_lookup_inc_ns", lookupNs);
+  report.add("flight_recorder_record_ns", recordNs);
+  report.add("flight_recorder_null_site_ns", nullRecordNs);
+  report.add("alert_rule_evals_per_s", alertEvalsPerSec);
   report.add("forwarder_exchanges_per_s_off", off.exchangesPerSec);
   report.add("forwarder_exchanges_per_s_counters", counters.exchangesPerSec);
   report.add("forwarder_exchanges_per_s_traced", traced.exchangesPerSec);

@@ -9,6 +9,7 @@ namespace {
 std::atomic<Level> g_level{Level::kWarn};
 std::mutex g_write_mutex;
 std::function<double()> g_time_source;  // guarded by g_write_mutex
+Sink g_sink;                            // guarded by g_write_mutex
 thread_local std::uint64_t t_active_trace = 0;
 
 constexpr std::string_view levelName(Level level) noexcept {
@@ -39,6 +40,11 @@ void setTimeSource(std::function<double()> secondsNow) {
   g_time_source = std::move(secondsNow);
 }
 
+void setSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_sink = std::move(sink);
+}
+
 void setActiveTrace(std::uint64_t traceId) noexcept { t_active_trace = traceId; }
 
 std::uint64_t activeTrace() noexcept { return t_active_trace; }
@@ -62,6 +68,7 @@ void write(Level lvl, std::string_view component, std::string_view message) {
                static_cast<int>(levelName(lvl).size()), levelName(lvl).data(),
                stamp, trace, static_cast<int>(component.size()),
                component.data(), static_cast<int>(message.size()), message.data());
+  if (g_sink) g_sink(lvl, component, message);
 }
 
 }  // namespace lidc::log

@@ -48,6 +48,14 @@ class ScopedTrace {
 /// Emits one formatted line to stderr. Prefer the LIDC_LOG macro.
 void write(Level level, std::string_view component, std::string_view message);
 
+/// Mirrors every emitted line (already formatted by the LIDC_LOG call
+/// site — the sink adds no second formatting pass) to `sink` in
+/// addition to stderr. One sink at a time; pass nullptr to remove.
+/// The FlightRecorder uses this to capture warn/error context.
+using Sink =
+    std::function<void(Level, std::string_view component, std::string_view message)>;
+void setSink(Sink sink);
+
 namespace detail {
 bool enabled(Level level) noexcept;
 }  // namespace detail

@@ -16,6 +16,16 @@ void AdaptivePlacement::recordCompletion(const std::string& cluster,
   }
 }
 
+void AdaptivePlacement::observeHealth(const std::string& cluster, double score) {
+  if (cluster.empty()) return;
+  observed_health_[cluster] = score < 0.0 ? 0.0 : (score > 1.0 ? 1.0 : score);
+}
+
+double AdaptivePlacement::observedHealth(const std::string& cluster) const {
+  auto it = observed_health_.find(cluster);
+  return it == observed_health_.end() ? 1.0 : it->second;
+}
+
 void AdaptivePlacement::observeInfo(const ClusterInfo& info) {
   if (info.cluster.empty() || info.totalCpu.millicores() == 0) return;
   advertised_utilization_[info.cluster] =
@@ -42,6 +52,12 @@ std::uint64_t AdaptivePlacement::computeCost(const std::string& cluster) const {
           static_cast<double>(allocated.cpu.millicores()) /
           static_cast<double>(allocatable.cpu.millicores());
       cost += options_.loadCostUs * utilization;
+    }
+  }
+  if (auto it = observed_health_.find(cluster); it != observed_health_.end()) {
+    cost += options_.healthCostUs * (1.0 - it->second);
+    if (it->second <= options_.unhealthyThreshold) {
+      cost += options_.unhealthyExtraCostUs;
     }
   }
   return static_cast<std::uint64_t>(std::llround(cost));

@@ -36,6 +36,14 @@ struct AdaptiveOptions {
   /// Re-announce only when a cluster's cost moved by at least this much
   /// (hysteresis; avoids FIB churn).
   std::uint64_t updateThresholdUs = 5'000;
+  /// Extra cost as telemetry-reported health degrades, scaled by
+  /// (1 - score); only clusters fed via observeHealth() pay it.
+  double healthCostUs = 500'000.0;
+  /// At or below this health the cluster additionally pays
+  /// unhealthyExtraCostUs, so even the most distant healthy cluster
+  /// wins the route before the degraded one hard-fails jobs.
+  double unhealthyThreshold = 0.25;
+  double unhealthyExtraCostUs = 1'000'000.0;
 };
 
 class AdaptivePlacement {
@@ -45,6 +53,14 @@ class AdaptivePlacement {
 
   /// Feeds one observed end-to-end completion (submit -> terminal).
   void recordCompletion(const std::string& cluster, sim::Duration totalLatency);
+
+  /// Feeds a telemetry-plane health score in [0, 1] (see
+  /// TelemetryCollector::healthScore); wire a collector health listener
+  /// to this + tick() to close the steering loop.
+  void observeHealth(const std::string& cluster, double score);
+
+  /// Last health score fed for a cluster (1.0 if never fed).
+  [[nodiscard]] double observedHealth(const std::string& cluster) const;
 
   /// Feeds a cluster's /ndn/k8s/info advertisement. When info has been
   /// observed for a cluster, load costing uses the advertised free/total
@@ -69,6 +85,7 @@ class AdaptivePlacement {
   AdaptiveOptions options_;
   std::map<std::string, double> observed_latency_s_;  // EWMA per cluster
   std::map<std::string, double> advertised_utilization_;  // from /info
+  std::map<std::string, double> observed_health_;     // from telemetry
   std::map<std::string, std::uint64_t> applied_cost_us_;
   std::uint64_t updates_ = 0;
 };

@@ -95,6 +95,10 @@ void LidcClient::retryOrGiveUp(std::shared_ptr<ComputeRequest> request,
            {"after", why.toString()}});
     }
   }
+  LIDC_FR_EVENT(recorder_, kWarn, "client",
+                name_ + " backoff attempt=" + std::to_string(attempt + 1) +
+                    " delay_ms=" + std::to_string(delay.toMillis()) + " after " +
+                    why.toString());
   forwarder_.simulator().scheduleAfter(
       delay, [this, request = std::move(request), attempt, startedAt, deadlineAt,
               done = std::move(done), parent] {
@@ -369,6 +373,9 @@ void LidcClient::failoverOrGiveUp(std::shared_ptr<ComputeRequest> request,
     }
   }
   log::ScopedTrace scopedTrace(root.trace);
+  LIDC_FR_EVENT(recorder_, kWarn, "client",
+                name_ + " failover attempt=" + std::to_string(failover + 1) +
+                    " after " + why.toString());
   LIDC_LOG(kInfo, "client") << name_ << " failing over (attempt "
                             << (failover + 1) << "): " << why.toString();
   runAttempt(std::move(request), failover + 1, startedAt, deadlineAt,
@@ -418,6 +425,25 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
           outcome.failovers = failover;
           done(std::move(outcome));
           return;
+        }
+        // Telemetry-steered proactive failover: the ack names the
+        // cluster the job landed on; if the health plane says it is
+        // degraded, resubmit elsewhere now rather than poll a job that
+        // is likely to stall or fail. Skipped once the failover budget
+        // is spent — a running job beats an error.
+        if (options_.healthProvider && options_.minClusterHealth > 0.0 &&
+            failover < options_.maxFailovers && !submitted->cluster.empty()) {
+          const double health = options_.healthProvider(submitted->cluster);
+          if (health < options_.minClusterHealth) {
+            LIDC_FR_EVENT(recorder_, kWarn, "client",
+                          name_ + " steering off " + submitted->cluster);
+            failoverOrGiveUp(
+                request, failover, startedAt, deadlineAt, done,
+                Status::Unavailable("cluster " + submitted->cluster +
+                                    " health below minimum"),
+                std::nullopt, root);
+            return;
+          }
         }
         const SubmitResult submitCopy = *submitted;
         telemetry::TraceContext await;

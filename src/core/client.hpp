@@ -17,6 +17,7 @@
 #include "k8s/job.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -94,6 +95,13 @@ struct ClientOptions {
   /// forwarding strategy can fail over to a healthy cluster) when a job
   /// lands Failed or its status endpoint goes dark past the poll budget.
   int maxFailovers = 2;
+  /// Telemetry-steered proactive failover: when set and a submit ack
+  /// names a cluster whose health (as reported by this provider, e.g.
+  /// TelemetryCollector::healthScore) is below minClusterHealth, the
+  /// client fails over with a fresh request id instead of parking the
+  /// job on a degraded cluster. Zero threshold = disabled.
+  std::function<double(const std::string& cluster)> healthProvider;
+  double minClusterHealth = 0.0;
 };
 
 class LidcClient {
@@ -153,6 +161,12 @@ class LidcClient {
     return telemetry_ ? telemetry_->tracer : nullptr;
   }
 
+  /// Records retry/backoff and failover steps into `recorder` for
+  /// alert post-mortem windows.
+  void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t submitsSent() const noexcept { return submits_; }
 
@@ -210,6 +224,7 @@ class LidcClient {
   ndn::Forwarder& forwarder_;
   std::string name_;
   ClientOptions options_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
   Rng rng_;
   std::shared_ptr<ndn::AppFace> face_;
   std::unique_ptr<datalake::Retriever> retriever_;

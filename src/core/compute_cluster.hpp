@@ -58,6 +58,13 @@ class ComputeCluster {
     return publisher_.get();
   }
 
+  /// Points the cluster's forwarder and gateway at a flight recorder
+  /// (forwarding failures + admission rejections). Null detaches.
+  void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
+    forwarder_.setFlightRecorder(recorder);
+    gateway_->setFlightRecorder(recorder);
+  }
+
  private:
   ComputeClusterConfig config_;
   ndn::Forwarder& forwarder_;

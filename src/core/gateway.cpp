@@ -1,5 +1,7 @@
 #include "core/gateway.hpp"
 
+#include <string_view>
+
 #include "common/logging.hpp"
 #include "core/wire_format.hpp"
 
@@ -45,6 +47,8 @@ void Gateway::handleInterest(const ndn::Interest& interest) {
   if (blackout_) {
     // Gateway process "down": total silence, the PIT entry times out.
     ++counters_.blackoutDropped;
+    LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                  cluster_name_ + " blackout-drop " + interest.name().toUri());
     return;
   }
   if (kComputePrefix.isPrefixOf(interest.name())) {
@@ -78,6 +82,12 @@ void Gateway::onCompute(const ndn::Interest& interest) {
   const telemetry::TraceContext traceCtx = interest.traceContext();
   auto admission = [this, traceCtx](const char* decision,
                                     telemetry::SpanAttrs extra = {}) {
+    // Rejections land in the flight recorder (alert post-mortems);
+    // normal launches would only drown the window.
+    if (std::string_view(decision).ends_with("-reject")) {
+      LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                    cluster_name_ + " " + decision);
+    }
     if (tracer_ == nullptr) return telemetry::TraceContext{};
     telemetry::SpanAttrs attrs{{"decision", decision}};
     attrs.insert(attrs.end(), extra.begin(), extra.end());

@@ -20,6 +20,7 @@
 #include "core/wire_format.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -110,6 +111,12 @@ class Gateway {
   void attachTelemetry(telemetry::MetricsRegistry& registry,
                        telemetry::Tracer* tracer = nullptr);
 
+  /// Records admission rejections and blackout drops into `recorder`,
+  /// so fired alerts carry the gateway's recent decisions.
+  void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   void handleInterest(const ndn::Interest& interest);
   void onCompute(const ndn::Interest& interest);
@@ -140,6 +147,7 @@ class Gateway {
   ndn::FaceId face_id_ = ndn::kInvalidFaceId;
   GatewayCounters counters_;
   telemetry::Tracer* tracer_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
   bool admission_control_ = true;
   bool blackout_ = false;
   bool reaper_pending_ = false;

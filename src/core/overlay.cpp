@@ -103,6 +103,14 @@ void ClusterOverlay::attachTelemetry(telemetry::MetricsRegistry& registry,
   }
 }
 
+void ClusterOverlay::attachFlightRecorder(telemetry::FlightRecorder* recorder) {
+  for (auto& [name, host] : clusters_) host->setFlightRecorder(recorder);
+  for (const auto& nodeName : topology_.nodeNames()) {
+    if (clusters_.count(nodeName) > 0) continue;
+    topology_.node(nodeName)->setFlightRecorder(recorder);
+  }
+}
+
 void ClusterOverlay::setPlacementStrategy(PlacementStrategy strategy,
                                           std::uint64_t seed) {
   for (const auto& nodeName : topology_.nodeNames()) {

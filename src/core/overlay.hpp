@@ -89,6 +89,11 @@ class ClusterOverlay {
   void attachTelemetry(telemetry::MetricsRegistry& registry,
                        telemetry::Tracer* tracer = nullptr);
 
+  /// Points every current node's forwarder and every cluster's gateway
+  /// at `recorder` (see FlightRecorder). Nodes added later need another
+  /// call; null detaches.
+  void attachFlightRecorder(telemetry::FlightRecorder* recorder);
+
  private:
   net::Topology topology_;
   std::map<std::string, std::unique_ptr<ComputeCluster>> clusters_;

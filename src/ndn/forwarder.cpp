@@ -252,6 +252,8 @@ void Forwarder::onInterestExpiry(std::weak_ptr<PitEntry> weakEntry) {
   if (!entry) return;
   ++counters_.nUnsatisfied;
   if (telemetry_) telemetry_->unsatisfied->inc();
+  LIDC_FR_EVENT(recorder_, kWarn, "forwarder",
+                name_ + " unsatisfied " + entry->interest().name().toUri());
   hopInstant(entry->interest(), "expire");
   findStrategy(entry->name()).onInterestTimeout(entry);
   recordDeadNonces(*entry);
@@ -279,6 +281,9 @@ void Forwarder::sendNackDownstream(const std::shared_ptr<PitEntry>& entry,
                                    NackReason reason) {
   ++counters_.nNoRoute;
   if (telemetry_) telemetry_->noRoute->inc();
+  LIDC_FR_EVENT(recorder_, kWarn, "forwarder",
+                name_ + " nack " + std::string(nackReasonName(reason)) + " " +
+                    entry->interest().name().toUri());
   hopInstant(entry->interest(), "nack",
              {{"reason", std::string(nackReasonName(reason))}});
   for (const auto& in : entry->inRecords()) {

@@ -19,6 +19,7 @@
 #include "ndn/pit.hpp"
 #include "ndn/strategy.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -86,6 +87,12 @@ class Forwarder {
     return telemetry_ ? telemetry_->tracer : nullptr;
   }
 
+  /// Records forwarding failures (unsatisfied expiry, no-route nacks)
+  /// into `recorder` for post-mortem alert windows. Null detaches.
+  void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   // --- actions used by strategies ---
   void sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upstream);
   void sendNackDownstream(const std::shared_ptr<PitEntry>& entry, NackReason reason);
@@ -133,6 +140,7 @@ class Forwarder {
   RttMeasurements measurements_;
   ForwarderCounters counters_;
   std::unique_ptr<TelemetryHooks> telemetry_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
   // Strategy-choice table: ordered by name for longest-prefix resolution.
   std::map<Name, std::unique_ptr<Strategy>> strategies_;
 };

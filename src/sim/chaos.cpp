@@ -41,6 +41,9 @@ void ChaosEngine::schedulePhase(std::size_t fault, Time at, bool inject,
     }
     trace_.push_back(
         ChaosEvent{sim_.now(), record.label, inject ? "inject" : "recover"});
+    LIDC_FR_EVENT(recorder_, kWarn, "chaos",
+                  std::string(inject ? "inject " : "recover ") + record.label +
+                      " (" + std::string(faultKindName(record.kind)) + ")");
     LIDC_LOG(kInfo, "chaos") << (inject ? "inject " : "recover ") << record.label
                              << " (" << faultKindName(record.kind) << ")";
     action();

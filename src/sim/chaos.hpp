@@ -17,6 +17,7 @@
 #include "k8s/cluster.hpp"
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace lidc::sim {
@@ -111,6 +112,12 @@ class ChaosEngine {
   /// into `registry` at snapshot time.
   void attachTelemetry(telemetry::MetricsRegistry& registry);
 
+  /// Records every injection/recovery into `recorder`, so alert
+  /// post-mortems show the fault that caused the symptom.
+  void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   /// Registers a fault record; returns its index.
   std::size_t declare(std::string label, FaultKind kind);
@@ -122,6 +129,7 @@ class ChaosEngine {
   Rng rng_;
   std::vector<FaultRecord> faults_;
   std::vector<ChaosEvent> trace_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace lidc::sim

@@ -1,0 +1,41 @@
+#include "telemetry/anomaly.hpp"
+
+#include <cmath>
+
+namespace lidc::telemetry {
+
+AnomalyPoint EwmaDetector::observe(double value) noexcept {
+  AnomalyPoint point;
+  point.value = value;
+  if (!std::isfinite(value)) {
+    // Garbage in the series (a scrape glitch) is ignored, not scored.
+    return point;
+  }
+
+  if (samples_ == 0) {
+    mean_ = value;
+    variance_ = 0.0;
+    samples_ = 1;
+    point.mean = value;
+    point.stddev = options_.minStdDev;
+    return point;
+  }
+
+  point.mean = mean_;
+  point.stddev = std::max(options_.minStdDev, std::sqrt(variance_));
+  point.z = (value - mean_) / point.stddev;
+  if (samples_ >= options_.warmupSamples) {
+    const bool high = options_.flagHigh && point.z >= options_.zThreshold;
+    const bool low = options_.flagLow && point.z <= -options_.zThreshold;
+    point.anomalous = high || low;
+  }
+
+  // Standard EWMA mean/variance update (West's incremental form).
+  const double delta = value - mean_;
+  mean_ += options_.alpha * delta;
+  variance_ = (1.0 - options_.alpha) * (variance_ + options_.alpha * delta * delta);
+  ++samples_;
+  return point;
+}
+
+}  // namespace lidc::telemetry

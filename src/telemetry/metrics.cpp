@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 namespace lidc::telemetry {
 
@@ -267,19 +270,41 @@ std::map<std::string, double> MetricsRegistry::flatten(const std::string& prefix
 }
 
 std::map<std::string, double> parsePrometheusText(const std::string& text) {
+  // Tolerant by construction: exposition text may arrive truncated or
+  // corrupted off the wire. Bad lines are skipped deterministically
+  // (same input -> same output), duplicate series keep the last value,
+  // non-finite values (NaN/Inf) are dropped, and nothing ever throws.
   std::map<std::string, double> out;
-  std::istringstream is(text);
-  std::string line;
-  while (std::getline(is, line)) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(
+        text.data() + pos,
+        (eol == std::string::npos ? text.size() : eol) - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+
     if (line.empty() || line[0] == '#') continue;
-    const auto space = line.rfind(' ');
-    if (space == std::string::npos || space == 0) continue;
-    const std::string series = line.substr(0, space);
-    try {
-      out[series] = std::stod(line.substr(space + 1));
-    } catch (...) {
-      // malformed value — skip the line
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      continue;  // no value field
     }
+    const std::string_view series = line.substr(0, space);
+    // A series is a metric name with an optional complete {labels}
+    // block; an unbalanced brace means a truncated line.
+    const std::size_t open = series.find('{');
+    if (open != std::string::npos &&
+        (series.back() != '}' || series.find('}') != series.size() - 1)) {
+      continue;
+    }
+    if (open == 0) continue;  // label block with no metric name
+
+    const std::string value(line.substr(space + 1));
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') continue;  // not a number
+    if (!std::isfinite(parsed)) continue;                // NaN / +-Inf
+    out[std::string(series)] = parsed;  // duplicates: last one wins
   }
   return out;
 }

@@ -34,6 +34,14 @@ void TelemetryPublisher::addGroup(const std::string& group,
   groups_[group].metricPrefix = metricPrefix;
 }
 
+void TelemetryPublisher::addContentGroup(const std::string& group,
+                                         std::function<std::string()> content,
+                                         std::function<std::uint64_t()> revision) {
+  Group& g = groups_[group];
+  g.content = std::move(content);
+  g.revision = std::move(revision);
+}
+
 void TelemetryPublisher::handleInterest(const ndn::Interest& interest) {
   // /ndn/k8s/telemetry/<cluster>/<group>/<_latest | seq>
   const ndn::Name& name = interest.name();
@@ -68,9 +76,23 @@ void TelemetryPublisher::refreshGroup(Group& group) {
   if (group.seq != 0 && now - group.generatedAt < options_.snapshotInterval) {
     return;
   }
-  ++group.seq;
-  group.generatedAt = now;
-  group.snapshots[group.seq] = registry_.toPrometheus(group.metricPrefix);
+  if (group.content) {
+    // Content group: a new sequence only when the provider's revision
+    // moved, so collectors keep reusing the manifest while quiet.
+    const std::uint64_t revision = group.revision ? group.revision() : 0;
+    if (group.seq != 0 && revision == group.lastRevision) {
+      group.generatedAt = now;
+      return;
+    }
+    group.lastRevision = revision;
+    ++group.seq;
+    group.generatedAt = now;
+    group.snapshots[group.seq] = group.content();
+  } else {
+    ++group.seq;
+    group.generatedAt = now;
+    group.snapshots[group.seq] = registry_.toPrometheus(group.metricPrefix);
+  }
   ++snapshots_generated_;
   while (group.snapshots.size() > options_.retainedSnapshots) {
     group.snapshots.erase(group.snapshots.begin());
@@ -150,13 +172,20 @@ void TelemetryCollector::scrapeOnce(std::function<void()> done) {
 
 void TelemetryCollector::scrapeCluster(const std::string& cluster,
                                        std::function<void()> done) {
+  // Every terminal path reports the (possibly degraded) health score,
+  // so a blackout is announced as soon as the scrape fails — the
+  // steering loop must not wait for a hard job failure.
+  auto finish = [this, cluster, done = std::move(done)] {
+    notifyHealth(cluster);
+    if (done) done();
+  };
   ndn::Name latest = groupPrefix(cluster);
   latest.append(kLatestComponent);
   ndn::Interest interest(latest);
   interest.setMustBeFresh(true).setLifetime(options_.interestLifetime);
   face_->expressInterest(
       std::move(interest),
-      [this, cluster, done](const ndn::Interest&, const ndn::Data& data) {
+      [this, cluster, done = finish](const ndn::Interest&, const ndn::Data& data) {
         if (!data.verify()) {
           ++counters_.signatureFailures;
           ++counters_.scrapesFailed;
@@ -187,11 +216,11 @@ void TelemetryCollector::scrapeCluster(const std::string& cluster,
         }
         fetchSnapshot(cluster, seq, std::move(done));
       },
-      [this, done](const ndn::Interest&, const ndn::Nack&) {
+      [this, done = finish](const ndn::Interest&, const ndn::Nack&) {
         ++counters_.scrapesFailed;
         done();
       },
-      [this, done](const ndn::Interest&) {
+      [this, done = finish](const ndn::Interest&) {
         ++counters_.scrapesFailed;
         done();
       });
@@ -217,6 +246,7 @@ void TelemetryCollector::fetchSnapshot(const std::string& cluster,
         }
         ClusterView& view = views_[cluster];
         view.seq = seq;
+        view.prevValues = std::move(view.values);
         view.rawText = data.contentAsString();
         view.values = parsePrometheusText(view.rawText);
         view.lastUpdated = sim_.now();
@@ -276,6 +306,122 @@ void TelemetryCollector::invalidate(const std::string& cluster) {
   auto it = views_.find(cluster);
   if (it == views_.end()) return;
   it->second = ClusterView{};
+}
+
+namespace {
+
+double clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+/// Series lookup that tolerates both labeled ("name{cluster=\"x\"}")
+/// and bare ("name") exports.
+double seriesValue(const std::map<std::string, double>& values,
+                   const std::string& name, const std::string& cluster,
+                   double fallback) {
+  auto it = values.find(name + "{cluster=\"" + cluster + "\"}");
+  if (it != values.end()) return it->second;
+  it = values.find(name);
+  if (it != values.end()) return it->second;
+  return fallback;
+}
+
+double seriesDelta(const TelemetryCollector::ClusterView& view,
+                   const std::string& name, const std::string& cluster) {
+  const double now = seriesValue(view.values, name, cluster, 0.0);
+  const double before = seriesValue(view.prevValues, name, cluster, 0.0);
+  return now > before ? now - before : 0.0;
+}
+
+}  // namespace
+
+double TelemetryCollector::rawHealthScore(const std::string& cluster) const {
+  const HealthPolicy& policy = options_.health;
+  if (isStale(cluster)) return policy.staleScore;
+  const ClusterView* v = view(cluster);
+  if (v == nullptr) return policy.staleScore;
+
+  // Base: the gateway's own view of how many nodes are ready.
+  double score =
+      clamp01(seriesValue(v->values, policy.healthyFractionSeries, cluster, 1.0));
+
+  // Discount by refused-work pressure since the last snapshot: a
+  // gateway shedding load (health gate, capacity) or dropping Interests
+  // dark (blackout) is degraded even while its nodes still report
+  // ready — and even while its telemetry publisher keeps answering.
+  const double rejected =
+      seriesDelta(*v, "lidc_gateway_health_rejected", cluster) +
+      seriesDelta(*v, "lidc_gateway_capacity_rejected", cluster) +
+      seriesDelta(*v, "lidc_gateway_blackout_dropped", cluster);
+  const double received = seriesDelta(*v, "lidc_gateway_compute_received", cluster);
+  if (rejected > 0.0) {
+    const double pressure = rejected / std::max(1.0, received);
+    score *= clamp01(1.0 - policy.rejectionWeight * pressure);
+  }
+  return clamp01(score);
+}
+
+double TelemetryCollector::healthScore(const std::string& cluster) const {
+  const double raw = rawHealthScore(cluster);
+  const ClusterView* v = view(cluster);
+  if (v != nullptr && v->degradedUntil.toNanos() > 0 &&
+      sim_.now() < v->degradedUntil) {
+    // Hold-down: once steering moves traffic away, the refused-work
+    // deltas go quiet — without memory the score would snap back to
+    // healthy and lure jobs straight back into the fault.
+    return std::min(raw, v->degradedScore);
+  }
+  return raw;
+}
+
+void TelemetryCollector::notifyHealth(const std::string& cluster) {
+  const HealthPolicy& policy = options_.health;
+  const double raw = rawHealthScore(cluster);
+  if (raw < policy.degradedThreshold) {
+    auto it = views_.find(cluster);
+    if (it != views_.end()) {
+      it->second.degradedUntil = sim_.now() + policy.holdDown;
+      it->second.degradedScore = raw;
+    }
+  }
+  if (health_listener_) health_listener_(cluster, healthScore(cluster));
+}
+
+void TelemetryCollector::attachTelemetry(MetricsRegistry& registry) {
+  registry.registerCollector([this, &registry] {
+    registry.counter("lidc_collector_scrapes_started_total")
+        .set(counters_.scrapesStarted);
+    registry.counter("lidc_collector_scrape_failures_total")
+        .set(counters_.scrapesFailed);
+    registry.counter("lidc_collector_snapshots_fetched_total")
+        .set(counters_.snapshotsFetched);
+    registry.counter("lidc_collector_manifest_reuses_total")
+        .set(counters_.manifestReuses);
+    registry.counter("lidc_collector_signature_failures_total")
+        .set(counters_.signatureFailures);
+    double stale = 0.0;
+    for (const auto& cluster : watched_) {
+      if (isStale(cluster)) stale += 1.0;
+      registry.gauge("lidc_collector_cluster_health", {{"cluster", cluster}})
+          .set(healthScore(cluster));
+    }
+    registry.gauge("lidc_collector_stale_clusters").set(stale);
+  });
+}
+
+AlertEngine::ValueSource collectorValueSource(
+    const TelemetryCollector& collector) {
+  return [&collector] {
+    std::map<std::string, double> out;
+    for (const auto& cluster : collector.watchedClusters()) {
+      out[cluster + "/stale"] = collector.isStale(cluster) ? 1.0 : 0.0;
+      out[cluster + "/health"] = collector.healthScore(cluster);
+      if (const auto* v = collector.view(cluster)) {
+        for (const auto& [series, value] : v->values) {
+          out[cluster + "/" + series] = value;
+        }
+      }
+    }
+    return out;
+  };
 }
 
 }  // namespace lidc::telemetry

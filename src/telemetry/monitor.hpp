@@ -31,6 +31,7 @@
 
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "telemetry/alerts.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace lidc::telemetry {
@@ -61,6 +62,15 @@ class TelemetryPublisher {
 
   void addGroup(const std::string& group, const std::string& metricPrefix);
 
+  /// A group whose snapshot text comes from `content` instead of the
+  /// registry. A new sequence is exported only when `revision` has
+  /// changed since the last export, so manifest reuse still works for
+  /// slow-changing payloads — this is how the AlertEngine's transition
+  /// log becomes /ndn/k8s/telemetry/<cluster>/alerts/.
+  void addContentGroup(const std::string& group,
+                       std::function<std::string()> content,
+                       std::function<std::uint64_t()> revision);
+
   [[nodiscard]] const std::string& clusterName() const noexcept {
     return cluster_name_;
   }
@@ -75,6 +85,10 @@ class TelemetryPublisher {
  private:
   struct Group {
     std::string metricPrefix;
+    /// Non-null for content groups (addContentGroup).
+    std::function<std::string()> content;
+    std::function<std::uint64_t()> revision;
+    std::uint64_t lastRevision = 0;
     std::uint64_t seq = 0;  // 0 = nothing exported yet
     sim::Time generatedAt;
     std::map<std::uint64_t, std::string> snapshots;  // seq -> Prometheus text
@@ -99,6 +113,25 @@ class TelemetryPublisher {
   std::uint64_t rejected_ = 0;
 };
 
+struct HealthPolicy {
+  /// Score assigned to clusters never scraped or past their freshness
+  /// window (a blacked-out gateway lands here).
+  double staleScore = 0.0;
+  /// Gauge series (before the {cluster=...} label) carrying the
+  /// gateway's ready-node fraction; missing series counts as healthy.
+  std::string healthyFractionSeries = "lidc_gateway_healthy_node_fraction";
+  /// Weight of the refused-work ratio (admission rejections + blackout
+  /// drops since the previous snapshot, over compute Interests
+  /// received) in the score.
+  double rejectionWeight = 1.0;
+  /// A raw score below this arms the hold-down: the cluster keeps
+  /// reporting its degraded score for `holdDown` even after steering
+  /// has moved traffic away (so no new evidence accumulates), instead
+  /// of flapping healthy and luring jobs back into the fault.
+  double degradedThreshold = 0.5;
+  sim::Duration holdDown = sim::Duration::seconds(10);
+};
+
 struct TelemetryCollectorOptions {
   /// Metric group to scrape.
   std::string group = "all";
@@ -109,6 +142,8 @@ struct TelemetryCollectorOptions {
   sim::Duration freshnessWindow = sim::Duration::seconds(5);
   /// Period of start()ed background scraping.
   sim::Duration scrapeInterval = sim::Duration::seconds(2);
+  /// How scraped series aggregate into healthScore().
+  HealthPolicy health;
 };
 
 struct CollectorCounters {
@@ -128,8 +163,20 @@ class TelemetryCollector {
     sim::Time lastUpdated;
     bool everScraped = false;
     std::map<std::string, double> values;  // Prometheus series -> value
+    /// Previous snapshot's values — rejection pressure is scored on
+    /// the delta between consecutive snapshots, not lifetime totals.
+    std::map<std::string, double> prevValues;
     std::string rawText;
+    /// Hold-down state (see HealthPolicy::holdDown).
+    sim::Time degradedUntil;
+    double degradedScore = 1.0;
   };
+
+  /// Invoked with (cluster, healthScore) after every scrape attempt
+  /// settles for that cluster — success OR failure, so a blackout
+  /// drives the score down as soon as the scrape times out.
+  using HealthListener =
+      std::function<void(const std::string& cluster, double score)>;
 
   /// Attaches to the collector host's forwarder.
   TelemetryCollector(ndn::Forwarder& forwarder,
@@ -160,6 +207,20 @@ class TelemetryCollector {
     return counters_;
   }
 
+  /// Aggregated cluster health in [0, 1]: staleScore when stale or
+  /// never scraped; otherwise the gateway's healthy-node fraction
+  /// discounted by admission-rejection pressure since the previous
+  /// snapshot. 1.0 = route work here, 0.0 = steer away.
+  [[nodiscard]] double healthScore(const std::string& cluster) const;
+
+  void setHealthListener(HealthListener listener) {
+    health_listener_ = std::move(listener);
+  }
+
+  /// Mirrors lidc_collector_* counters plus the stale-cluster gauge and
+  /// per-cluster health gauges into `registry`.
+  void attachTelemetry(MetricsRegistry& registry);
+
   /// Forgets a cluster's scraped values (keeps it watched), forcing the
   /// next scrape to re-fetch the snapshot Data — which a warm Content
   /// Store on the path then answers without touching the publisher.
@@ -170,6 +231,9 @@ class TelemetryCollector {
   void fetchSnapshot(const std::string& cluster, std::uint64_t seq,
                      std::function<void()> done);
   void scrapeTick();
+  void notifyHealth(const std::string& cluster);
+  /// healthScore() without the hold-down memory.
+  [[nodiscard]] double rawHealthScore(const std::string& cluster) const;
   [[nodiscard]] ndn::Name groupPrefix(const std::string& cluster) const;
 
   ndn::Forwarder& forwarder_;
@@ -180,8 +244,18 @@ class TelemetryCollector {
   std::vector<std::string> watched_;
   std::map<std::string, ClusterView> views_;
   CollectorCounters counters_;
+  HealthListener health_listener_;
   bool running_ = false;
   sim::EventHandle tick_;
 };
+
+/// Adapter: an AlertEngine value source over a collector's scraped
+/// views. For every watched cluster C it exposes
+///   "<C>/stale"  — 1 when the cluster is stale, else 0
+///   "<C>/health" — healthScore(C)
+///   "<C>/<series>" — each scraped Prometheus series
+/// so rules can reference cross-cluster series with stable names.
+[[nodiscard]] AlertEngine::ValueSource collectorValueSource(
+    const TelemetryCollector& collector);
 
 }  // namespace lidc::telemetry

@@ -1,0 +1,93 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+
+namespace lidc::telemetry {
+
+namespace {
+
+double lookup(const std::map<std::string, double>& values,
+              const std::string& series) {
+  auto it = values.find(series);
+  return it == values.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(SloSpec spec) : spec_(std::move(spec)) {
+  for (const SloWindow& w : spec_.windows) {
+    longest_window_ = std::max(longest_window_, w.window);
+  }
+}
+
+SloStatus SloTracker::evaluate(sim::Time now,
+                               const std::map<std::string, double>& values) {
+  Sample sample;
+  sample.at = now;
+  if (spec_.kind == SloKind::kSuccessRatio) {
+    sample.good = lookup(values, spec_.goodSeries);
+    sample.total = lookup(values, spec_.totalSeries);
+  } else {
+    const double value = lookup(values, spec_.valueSeries);
+    sample.good = value <= spec_.bound ? 1.0 : 0.0;
+    sample.total = value;  // reused as "latest value" below
+  }
+  history_.push_back(sample);
+  // Keep one sample at or before the longest window's left edge so
+  // counter deltas have a baseline; everything older goes.
+  while (history_.size() >= 2 &&
+         now - history_[1].at >= longest_window_) {
+    history_.pop_front();
+  }
+
+  SloStatus status;
+  const double budget = std::max(1e-9, 1.0 - spec_.target);
+  std::size_t burning = 0;
+  bool first = true;
+  for (const SloWindow& w : spec_.windows) {
+    double burnRate = 0.0;
+    if (spec_.kind == SloKind::kSuccessRatio) {
+      // Baseline: the newest sample at or before now - window.
+      const Sample* baseline = &history_.front();
+      for (const Sample& s : history_) {
+        if (now - s.at >= w.window) baseline = &s;
+      }
+      const double deltaGood = sample.good - baseline->good;
+      const double deltaTotal = sample.total - baseline->total;
+      const double errorRatio =
+          deltaTotal > 0.0 ? 1.0 - deltaGood / deltaTotal : 0.0;
+      burnRate = std::max(0.0, errorRatio) / budget;
+    } else {
+      std::size_t count = 0;
+      std::size_t bad = 0;
+      for (const Sample& s : history_) {
+        if (now - s.at >= w.window) continue;
+        ++count;
+        if (s.good == 0.0) ++bad;
+      }
+      const double badFraction =
+          count > 0 ? static_cast<double>(bad) / static_cast<double>(count) : 0.0;
+      burnRate = badFraction / budget;
+    }
+    SloWindowStatus ws;
+    ws.window = w.window;
+    ws.burnRate = burnRate;
+    ws.burning = burnRate >= w.maxBurnRate;
+    if (ws.burning) ++burning;
+    if (first || burnRate < status.gatingBurnRate) {
+      status.gatingBurnRate = burnRate;
+      first = false;
+    }
+    status.windows.push_back(ws);
+  }
+  status.breached = !spec_.windows.empty() && burning == spec_.windows.size();
+  if (spec_.kind == SloKind::kSuccessRatio) {
+    status.currentValue =
+        sample.total > 0.0 ? sample.good / sample.total : 1.0;
+  } else {
+    status.currentValue = sample.total;
+  }
+  return status;
+}
+
+}  // namespace lidc::telemetry

@@ -35,6 +35,10 @@ struct WorkflowEngine::Run {
   std::size_t running = 0;
   bool aborted = false;   // fail-fast tripped
   bool finished = false;
+  /// Fleet-health gate state: a recheck timer is armed / the deferral
+  /// has already been traced for this degraded period.
+  bool deferPending = false;
+  bool deferring = false;
   DoneCallback done;
   /// Root "workflow" span and the open span of each stage's current
   /// attempt (all invalid when no tracer is attached).
@@ -107,6 +111,39 @@ core::ComputeRequest WorkflowEngine::buildRequest(const WorkflowSpec& spec,
 void WorkflowEngine::dispatchReady(const std::shared_ptr<Run>& run) {
   if (run->finished) return;
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  if (options_.fleetHealth && options_.minFleetHealth > 0.0 && !run->aborted) {
+    bool hasPending = false;
+    for (const StageStatus& st : run->statuses) {
+      if (st.state == StageState::kPending) {
+        hasPending = true;
+        break;
+      }
+    }
+    if (hasPending) {
+      if (run->deferPending) return;  // recheck timer already armed
+      const double health = options_.fleetHealth();
+      if (health < options_.minFleetHealth) {
+        if (!run->deferring) {
+          run->deferring = true;
+          char line[64];
+          std::snprintf(line, sizeof(line), "defer dispatch fleet-health=%.2f",
+                        health);
+          trace(run, line);
+        }
+        run->deferPending = true;
+        client_.simulator().scheduleAfter(
+            options_.healthRecheckInterval, [this, run] {
+              run->deferPending = false;
+              dispatchReady(run);
+            });
+        return;
+      }
+      if (run->deferring) {
+        run->deferring = false;
+        trace(run, "resume dispatch");
+      }
+    }
+  }
   while (options_.maxConcurrentStages == 0 ||
          run->running < options_.maxConcurrentStages) {
     // Longest-predicted-first among ready stages, so the critical path

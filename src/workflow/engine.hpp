@@ -69,6 +69,14 @@ struct WorkflowOptions {
   /// Observer for the engine's event log ("t=..s dispatch <stage>"
   /// lines), invoked as events are appended. Narration hook.
   std::function<void(const std::string&)> observer;
+  /// Fleet-health gate on dispatch: when fleetHealth() (caller-composed,
+  /// e.g. max over TelemetryCollector::healthScore of the clusters that
+  /// could run work) drops below minFleetHealth, ready stages are held
+  /// back and re-checked every healthRecheckInterval instead of burning
+  /// stage retries into a degraded fleet. Zero threshold = disabled.
+  std::function<double()> fleetHealth;
+  double minFleetHealth = 0.0;
+  sim::Duration healthRecheckInterval = sim::Duration::millis(500);
 };
 
 /// Terminal per-stage report.

@@ -372,6 +372,41 @@ TEST(WorkflowEngineTest, ClusterDeathMidWorkflowRecoversLineageOnSurvivor) {
   EXPECT_EQ(scenario.fetchIntermediate("wfx", "merge"), expectedMergeBytes());
 }
 
+TEST(WorkflowEngineTest, FleetHealthGateDefersDispatchUntilRecovery) {
+  WorkflowScenario scenario;
+  // Rebuild the engine with the health gate wired to a fleet that reads
+  // degraded for the first 5 simulated seconds (e.g. max collector
+  // healthScore over the candidate clusters), then recovers.
+  workflow::WorkflowOptions gated;
+  gated.fleetHealth = [&scenario] {
+    return scenario.sim.now() < sim::Time::fromNanos(0) + sim::Duration::seconds(5)
+               ? 0.2
+               : 1.0;
+  };
+  gated.minFleetHealth = 0.5;
+  gated.healthRecheckInterval = sim::Duration::millis(500);
+  scenario.engine =
+      std::make_unique<workflow::WorkflowEngine>(*scenario.client, gated);
+
+  scenario.run(diamondSpec("wfh"));
+  ASSERT_TRUE(scenario.outcome.has_value());
+  ASSERT_TRUE(scenario.outcome->ok()) << scenario.outcome->status();
+  const auto& outcome = scenario.outcome->value();
+  EXPECT_TRUE(outcome.succeeded);
+
+  // The gate held the first dispatch back (one defer line, not one per
+  // recheck) and nothing launched until the fleet read healthy again.
+  const std::size_t defer = outcome.trace.find("defer dispatch fleet-health=0.20");
+  const std::size_t dispatch = outcome.trace.find("dispatch prep");
+  ASSERT_NE(defer, std::string::npos) << outcome.trace;
+  ASSERT_NE(dispatch, std::string::npos) << outcome.trace;
+  EXPECT_LT(defer, dispatch);
+  EXPECT_EQ(outcome.trace.find("defer dispatch", defer + 1), std::string::npos)
+      << outcome.trace;
+  EXPECT_NE(outcome.trace.find("t=5.000000s dispatch prep"), std::string::npos)
+      << outcome.trace;
+}
+
 TEST(WorkflowEngineTest, ChaosRunIsByteIdenticalPerSeed) {
   WorkflowChaosScenario first(/*chaosSeed=*/4242);
   first.run(diamondSpec("wfx"));

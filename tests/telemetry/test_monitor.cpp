@@ -5,8 +5,11 @@
 // goes *stale* instead of wedging the collector.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "sim/chaos.hpp"
@@ -205,6 +208,182 @@ TEST(MonitorTest, PublisherRejectsMalformedTelemetryNames) {
   world.sim.run();
   EXPECT_TRUE(nacked);
   EXPECT_GE(world.publisher->interestsRejected(), 1u);
+}
+
+TEST(MonitorTest, CollectorTelemetryGaugesTrackStaleAndFailures) {
+  MonitorWorld world;
+  MetricsRegistry colRegistry;
+  world.collector->attachTelemetry(colRegistry);
+
+  world.collector->scrapeOnce();
+  world.sim.run();
+  auto flat = colRegistry.flatten();
+  EXPECT_EQ(flat.at("lidc_collector_stale_clusters"), 0.0);
+  EXPECT_EQ(flat.at("lidc_collector_scrape_failures_total"), 0.0);
+  EXPECT_EQ(flat.at("lidc_collector_scrapes_started_total"), 1.0);
+  EXPECT_EQ(flat.at("lidc_collector_cluster_health{cluster=\"east\"}"), 1.0);
+
+  // A watched-but-unreachable cluster shows up in both the failure
+  // counter and the stale gauge — the monitor test for satellite #1.
+  world.collector->watchCluster("ghost");
+  world.collector->scrapeOnce();
+  world.sim.run();
+  flat = colRegistry.flatten();
+  EXPECT_EQ(flat.at("lidc_collector_stale_clusters"), 1.0);
+  EXPECT_GE(flat.at("lidc_collector_scrape_failures_total"), 1.0);
+  EXPECT_EQ(flat.at("lidc_collector_cluster_health{cluster=\"ghost\"}"), 0.0);
+}
+
+TEST(MonitorTest, HealthScoreFollowsGatewayFractionAndStaleness) {
+  MonitorWorld world;
+  // Never scraped: staleScore.
+  EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 0.0);
+
+  world.collector->scrapeOnce();
+  world.sim.run();
+  // Scraped, no healthy-fraction series published: fully healthy.
+  EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 1.0);
+
+  // The gateway starts reporting 50% ready nodes; after the publisher's
+  // snapshotInterval a new seq carries it into the score.
+  world.registry.gauge("lidc_gateway_healthy_node_fraction", {{"cluster", "east"}})
+      .set(0.5);
+  world.sim.scheduleAfter(sim::Duration::seconds(2),
+                          [&world] { world.collector->scrapeOnce(); });
+  world.sim.run();
+  EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 0.5);
+
+  // Forgetting the view drops the cluster back to the stale score.
+  world.collector->invalidate("east");
+  EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 0.0);
+}
+
+TEST(MonitorTest, RejectionPressureDiscountsHealth) {
+  MonitorWorld world;
+  world.registry.counter("lidc_gateway_compute_received", {{"cluster", "east"}})
+      .set(10);
+  world.registry.counter("lidc_gateway_health_rejected", {{"cluster", "east"}})
+      .set(0);
+  world.collector->scrapeOnce();
+  world.sim.run();
+  EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 1.0);
+
+  // Between snapshots the gateway rejected 5 of 10 new compute
+  // Interests: pressure 0.5 discounts the score.
+  world.registry.counter("lidc_gateway_compute_received", {{"cluster", "east"}})
+      .set(20);
+  world.registry.counter("lidc_gateway_health_rejected", {{"cluster", "east"}})
+      .set(5);
+  world.sim.scheduleAfter(sim::Duration::seconds(2),
+                          [&world] { world.collector->scrapeOnce(); });
+  world.sim.run();
+  EXPECT_NEAR(world.collector->healthScore("east"), 0.5, 1e-9);
+}
+
+TEST(MonitorTest, BlackoutDropsDegradeHealthWithHoldDown) {
+  MonitorWorld world;
+  world.registry.counter("lidc_gateway_blackout_dropped", {{"cluster", "east"}})
+      .set(0);
+  world.collector->scrapeOnce();
+  world.sim.run();
+  EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 1.0);
+
+  // The gateway went dark for compute while its telemetry publisher
+  // kept answering: the drop delta alone must flag the cluster.
+  world.registry.counter("lidc_gateway_blackout_dropped", {{"cluster", "east"}})
+      .set(5);
+  world.sim.scheduleAfter(sim::Duration::seconds(2), [&world] {
+    world.collector->scrapeOnce([&world] {
+      EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 0.0);
+    });
+  });
+  // No new drops (steering moved traffic away), but the hold-down keeps
+  // the degraded score so jobs are not lured back mid-fault.
+  world.sim.scheduleAfter(sim::Duration::seconds(4), [&world] {
+    world.collector->scrapeOnce([&world] {
+      EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 0.0);
+    });
+  });
+  // Past the hold-down window the cluster reads healthy again.
+  world.sim.scheduleAfter(sim::Duration::seconds(13), [&world] {
+    world.collector->scrapeOnce([&world] {
+      EXPECT_DOUBLE_EQ(world.collector->healthScore("east"), 1.0);
+    });
+  });
+  world.sim.run();
+}
+
+TEST(MonitorTest, HealthListenerFiresAfterEveryScrapeSettles) {
+  MonitorWorld world;
+  std::vector<std::pair<std::string, double>> notified;
+  world.collector->setHealthListener(
+      [&notified](const std::string& cluster, double score) {
+        notified.emplace_back(cluster, score);
+      });
+  world.collector->watchCluster("ghost");
+  world.collector->scrapeOnce();
+  world.sim.run();
+
+  ASSERT_EQ(notified.size(), 2u);
+  // Success and failure both notify: east healthy, ghost at staleScore.
+  std::map<std::string, double> byCluster(notified.begin(), notified.end());
+  EXPECT_DOUBLE_EQ(byCluster.at("east"), 1.0);
+  EXPECT_DOUBLE_EQ(byCluster.at("ghost"), 0.0);
+}
+
+TEST(MonitorTest, ContentGroupServesCustomTextWithRevisionGatedSeq) {
+  MonitorWorld world;
+  std::string content = "t=1.000000s alert=1 rule=r state=fired\n";
+  std::uint64_t revision = 1;
+  world.publisher->addContentGroup(
+      "alerts", [&content] { return content; }, [&revision] { return revision; });
+
+  TelemetryCollectorOptions options = MonitorWorld::collectorOptions();
+  options.group = "alerts";
+  TelemetryCollector alertScraper(*world.topology.node("col-host"), options);
+  alertScraper.watchCluster("east");
+
+  alertScraper.scrapeOnce();
+  world.sim.run();
+  const auto* view = alertScraper.view("east");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->seq, 1u);
+  EXPECT_EQ(view->rawText, content);
+
+  // Unchanged revision past the snapshot interval: same seq (manifest
+  // reuse keeps the alert plane cheap while nothing transitions).
+  world.sim.scheduleAfter(sim::Duration::seconds(2),
+                          [&alertScraper] { alertScraper.scrapeOnce(); });
+  world.sim.run();
+  EXPECT_EQ(alertScraper.view("east")->seq, 1u);
+  EXPECT_EQ(alertScraper.counters().manifestReuses, 1u);
+
+  // A transition bumps the revision: next scrape sees a new seq + text.
+  content += "t=9.000000s alert=1 rule=r state=resolved\n";
+  revision = 2;
+  world.sim.scheduleAfter(sim::Duration::seconds(2),
+                          [&alertScraper] { alertScraper.scrapeOnce(); });
+  world.sim.run();
+  EXPECT_EQ(alertScraper.view("east")->seq, 2u);
+  EXPECT_EQ(alertScraper.view("east")->rawText, content);
+}
+
+TEST(MonitorTest, CollectorValueSourceExposesPrefixedSeries) {
+  MonitorWorld world;
+  world.collector->scrapeOnce();
+  world.sim.run();
+
+  const auto source = collectorValueSource(*world.collector);
+  const auto values = source();
+  EXPECT_DOUBLE_EQ(values.at("east/stale"), 0.0);
+  EXPECT_DOUBLE_EQ(values.at("east/health"), 1.0);
+  EXPECT_DOUBLE_EQ(values.at("east/lidc_cluster_free_cpu_m{cluster=\"east\"}"),
+                   8000.0);
+
+  world.collector->invalidate("east");
+  const auto stale = source();
+  EXPECT_DOUBLE_EQ(stale.at("east/stale"), 1.0);
+  EXPECT_DOUBLE_EQ(stale.at("east/health"), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+// parsePrometheusText() hardening: collectors scrape exposition text
+// off the wire, so the parser must never throw and must skip malformed
+// lines deterministically — truncated lines, non-finite values,
+// unbalanced label blocks, duplicates, and seeded random mutations of
+// valid text all parse to the same result every time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace lidc::telemetry {
+namespace {
+
+TEST(PromParseTest, ParsesWellFormedText) {
+  const std::string text =
+      "# HELP lidc_jobs_total jobs\n"
+      "# TYPE lidc_jobs_total counter\n"
+      "lidc_jobs_total 42\n"
+      "lidc_free_cpu_m{cluster=\"east\"} 8000\n"
+      "lidc_ratio 0.125\n";
+  const auto values = parsePrometheusText(text);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values.at("lidc_jobs_total"), 42.0);
+  EXPECT_DOUBLE_EQ(values.at("lidc_free_cpu_m{cluster=\"east\"}"), 8000.0);
+  EXPECT_DOUBLE_EQ(values.at("lidc_ratio"), 0.125);
+}
+
+TEST(PromParseTest, SkipsMalformedLinesKeepsGoodOnes) {
+  const std::string text =
+      "good_before 1\n"
+      "no_value_here\n"
+      "   \n"
+      "just spaces and words here\n"
+      "trailing_space_no_value \n"
+      "unbalanced{label=\"x\" 5\n"
+      "{onlylabels=\"x\"} 5\n"
+      "name{a=\"1\"}garbage 5\n"
+      "not_a_number abc\n"
+      "partial_number 12abc\n"
+      "good_after 2\n";
+  const auto values = parsePrometheusText(text);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values.at("good_before"), 1.0);
+  EXPECT_DOUBLE_EQ(values.at("good_after"), 2.0);
+}
+
+TEST(PromParseTest, DropsNonFiniteValues) {
+  const std::string text =
+      "a NaN\n"
+      "b nan\n"
+      "c Inf\n"
+      "d -Inf\n"
+      "e +Inf\n"
+      "f 3.5\n";
+  const auto values = parsePrometheusText(text);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values.at("f"), 3.5);
+}
+
+TEST(PromParseTest, DuplicateSeriesLastWins) {
+  const auto values = parsePrometheusText("x 1\nx 2\nx 3\n");
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values.at("x"), 3.0);
+}
+
+TEST(PromParseTest, TruncatedFinalLineWithoutNewline) {
+  const auto values = parsePrometheusText("a 1\nb 2");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values.at("b"), 2.0);
+}
+
+TEST(PromParseTest, EmptyAndCommentOnlyInputs) {
+  EXPECT_TRUE(parsePrometheusText("").empty());
+  EXPECT_TRUE(parsePrometheusText("\n\n\n").empty());
+  EXPECT_TRUE(parsePrometheusText("# just a comment\n# another\n").empty());
+}
+
+TEST(PromParseTest, ScientificNotationAndSigns) {
+  const auto values = parsePrometheusText("a 1e3\nb -2.5\nc +4\nd 1.5e-2\n");
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_DOUBLE_EQ(values.at("a"), 1000.0);
+  EXPECT_DOUBLE_EQ(values.at("b"), -2.5);
+  EXPECT_DOUBLE_EQ(values.at("c"), 4.0);
+  EXPECT_DOUBLE_EQ(values.at("d"), 0.015);
+}
+
+// Property-style fuzz: random byte mutations of a valid exposition must
+// never throw, and any given garbage must parse identically twice
+// (deterministic skipping, no hidden state).
+TEST(PromParseTest, SeededMutationFuzzNeverThrowsAndIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("lidc_fuzz_total", {{"cluster", "east"}}).inc(7);
+  registry.gauge("lidc_fuzz_gauge").set(123.5);
+  registry.counter("lidc_fuzz_other").inc(1);
+  const std::string valid = registry.toPrometheus();
+  ASSERT_FALSE(parsePrometheusText(valid).empty());
+
+  std::mt19937 rng(424242);
+  std::uniform_int_distribution<std::size_t> pickPos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> pickByte(0, 255);
+  std::uniform_int_distribution<int> pickMutations(1, 8);
+
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = valid;
+    const int mutations = pickMutations(rng);
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = pickPos(rng);
+      switch (pickByte(rng) % 3) {
+        case 0:  // overwrite
+          mutated[pos] = static_cast<char>(pickByte(rng));
+          break;
+        case 1:  // delete
+          mutated.erase(pos % mutated.size(), 1);
+          break;
+        default:  // insert
+          mutated.insert(pos % mutated.size(), 1,
+                         static_cast<char>(pickByte(rng)));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    std::map<std::string, double> first;
+    ASSERT_NO_THROW(first = parsePrometheusText(mutated)) << "round " << round;
+    EXPECT_EQ(first, parsePrometheusText(mutated)) << "round " << round;
+    for (const auto& [series, value] : first) {
+      EXPECT_TRUE(std::isfinite(value)) << series;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lidc::telemetry

@@ -1,0 +1,153 @@
+// SLO tracker: multi-window burn-rate semantics on the sim clock —
+// healthy traffic never breaches, sustained error burn does, a short
+// blip is rejected by the long window, and upper-bound SLOs follow the
+// fraction of samples within bound.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "telemetry/slo.hpp"
+
+namespace lidc::telemetry {
+namespace {
+
+sim::Time at(double seconds) {
+  return sim::Time::fromNanos(
+      static_cast<std::uint64_t>(seconds * 1'000'000'000.0));
+}
+
+std::map<std::string, double> ratioSample(double good, double total) {
+  return {{"good", good}, {"total", total}};
+}
+
+SloSpec ratioSpec(double target, std::vector<SloWindow> windows) {
+  SloSpec spec;
+  spec.name = "submit-success";
+  spec.kind = SloKind::kSuccessRatio;
+  spec.target = target;
+  spec.goodSeries = "good";
+  spec.totalSeries = "total";
+  spec.windows = std::move(windows);
+  return spec;
+}
+
+TEST(SloTrackerTest, HealthyTrafficNeverBreaches) {
+  SloTracker tracker(ratioSpec(0.9, {{sim::Duration::seconds(5), 1.0}}));
+  SloStatus status;
+  for (int i = 0; i <= 10; ++i) {
+    const double n = 10.0 * i;
+    status = tracker.evaluate(at(i), ratioSample(n, n));
+    EXPECT_FALSE(status.breached) << "at t=" << i;
+  }
+  EXPECT_DOUBLE_EQ(status.currentValue, 1.0);
+}
+
+TEST(SloTrackerTest, SustainedErrorsBurnThroughTheBudget) {
+  // Target 0.9 => 10% budget. All-failing traffic burns at 10x.
+  SloTracker tracker(ratioSpec(0.9, {{sim::Duration::seconds(5), 1.0}}));
+  for (int i = 0; i <= 5; ++i) {
+    const double n = 10.0 * i;
+    tracker.evaluate(at(i), ratioSample(n, n));
+  }
+  SloStatus status;
+  for (int i = 6; i <= 12; ++i) {
+    // good stops moving, total keeps counting: every new request fails.
+    status = tracker.evaluate(at(i), ratioSample(50.0, 10.0 * i));
+  }
+  EXPECT_TRUE(status.breached);
+  ASSERT_EQ(status.windows.size(), 1u);
+  EXPECT_TRUE(status.windows[0].burning);
+  EXPECT_GT(status.gatingBurnRate, 1.0);
+  EXPECT_LT(status.currentValue, 0.9);
+}
+
+TEST(SloTrackerTest, LongWindowRejectsShortBlips) {
+  SloTracker tracker(ratioSpec(0.9, {{sim::Duration::seconds(2), 1.0},
+                                     {sim::Duration::seconds(20), 1.0}}));
+  double good = 0.0;
+  bool everBreached = false;
+  for (int i = 0; i <= 40; ++i) {
+    // One bad second at t=30, after the long window is full of healthy
+    // traffic; everything else succeeds.
+    if (i != 30) good += 10.0;
+    const auto status = tracker.evaluate(at(i), ratioSample(good, 10.0 * i));
+    everBreached = everBreached || status.breached;
+  }
+  EXPECT_FALSE(everBreached);
+}
+
+TEST(SloTrackerTest, AllWindowsBurningBreaches) {
+  SloTracker tracker(ratioSpec(0.9, {{sim::Duration::seconds(2), 1.0},
+                                     {sim::Duration::seconds(20), 1.0}}));
+  SloStatus status;
+  for (int i = 0; i <= 30; ++i) {
+    // Failing from the start: both windows see 100% errors.
+    status = tracker.evaluate(at(i), ratioSample(0.0, 10.0 * i));
+  }
+  EXPECT_TRUE(status.breached);
+  ASSERT_EQ(status.windows.size(), 2u);
+  EXPECT_TRUE(status.windows[0].burning);
+  EXPECT_TRUE(status.windows[1].burning);
+}
+
+TEST(SloTrackerTest, UpperBoundBreachesAndRecovers) {
+  SloSpec spec;
+  spec.name = "latency";
+  spec.kind = SloKind::kUpperBound;
+  spec.target = 0.8;  // 80% of samples must be within bound
+  spec.valueSeries = "p99";
+  spec.bound = 100.0;
+  spec.windows = {{sim::Duration::seconds(4), 1.0}};
+  SloTracker tracker(spec);
+
+  SloStatus status;
+  for (int i = 0; i < 6; ++i) {
+    status = tracker.evaluate(at(i), {{"p99", 50.0}});
+    EXPECT_FALSE(status.breached);
+  }
+  for (int i = 6; i < 12; ++i) {
+    status = tracker.evaluate(at(i), {{"p99", 250.0}});
+  }
+  EXPECT_TRUE(status.breached);
+  EXPECT_DOUBLE_EQ(status.currentValue, 250.0);
+
+  for (int i = 12; i < 20; ++i) {
+    status = tracker.evaluate(at(i), {{"p99", 50.0}});
+  }
+  EXPECT_FALSE(status.breached);
+}
+
+TEST(SloTrackerTest, MissingSeriesDoesNotBreach) {
+  SloTracker tracker(ratioSpec(0.9, {{sim::Duration::seconds(5), 1.0}}));
+  const auto status = tracker.evaluate(at(1), {});
+  EXPECT_FALSE(status.breached);
+}
+
+TEST(SloTrackerTest, PrimarySeriesFollowsKind) {
+  const SloSpec ratio = ratioSpec(0.9, {});
+  EXPECT_EQ(ratio.primarySeries(), "total");
+  SloSpec upper;
+  upper.kind = SloKind::kUpperBound;
+  upper.valueSeries = "p99";
+  EXPECT_EQ(upper.primarySeries(), "p99");
+}
+
+TEST(SloTrackerTest, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    SloTracker tracker(ratioSpec(0.95, {{sim::Duration::seconds(3), 1.0},
+                                        {sim::Duration::seconds(9), 2.0}}));
+    std::string trace;
+    double good = 0.0;
+    for (int i = 0; i <= 15; ++i) {
+      good += (i % 4 == 0) ? 2.0 : 10.0;
+      const auto s = tracker.evaluate(at(i), ratioSample(good, 10.0 * i));
+      trace += s.breached ? '1' : '0';
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lidc::telemetry
