@@ -26,6 +26,16 @@ double AdaptivePlacement::observedHealth(const std::string& cluster) const {
   return it == observed_health_.end() ? 1.0 : it->second;
 }
 
+void AdaptivePlacement::observeBreaker(const std::string& cluster, bool open) {
+  if (cluster.empty()) return;
+  breaker_open_[cluster] = open;
+}
+
+bool AdaptivePlacement::breakerOpen(const std::string& cluster) const {
+  auto it = breaker_open_.find(cluster);
+  return it != breaker_open_.end() && it->second;
+}
+
 void AdaptivePlacement::observeInfo(const ClusterInfo& info) {
   if (info.cluster.empty() || info.totalCpu.millicores() == 0) return;
   advertised_utilization_[info.cluster] =
@@ -59,6 +69,9 @@ std::uint64_t AdaptivePlacement::computeCost(const std::string& cluster) const {
     if (it->second <= options_.unhealthyThreshold) {
       cost += options_.unhealthyExtraCostUs;
     }
+  }
+  if (auto it = breaker_open_.find(cluster); it != breaker_open_.end() && it->second) {
+    cost += options_.breakerCostUs;
   }
   return static_cast<std::uint64_t>(std::llround(cost));
 }

@@ -44,6 +44,12 @@ struct AdaptiveOptions {
   /// wins the route before the degraded one hard-fails jobs.
   double unhealthyThreshold = 0.25;
   double unhealthyExtraCostUs = 1'000'000.0;
+  /// Extra cost while a cluster's circuit breaker is open (see
+  /// LidcClient breakers; wire the breakerListener to observeBreaker).
+  /// Large enough that any breaker-closed cluster wins the route —
+  /// gray clusters pass health probes, so only outcome-driven breakers
+  /// catch them.
+  double breakerCostUs = 2'000'000.0;
 };
 
 class AdaptivePlacement {
@@ -61,6 +67,16 @@ class AdaptivePlacement {
 
   /// Last health score fed for a cluster (1.0 if never fed).
   [[nodiscard]] double observedHealth(const std::string& cluster) const;
+
+  /// Feeds a circuit-breaker transition: while `open` the cluster pays
+  /// breakerCostUs on its compute route. Wire a client's breakerListener
+  /// to this + tick() so tripped clusters stop receiving new jobs at
+  /// the routing layer (half-open probes still reach them once the
+  /// breaker lifts). Any non-closed state counts as open here.
+  void observeBreaker(const std::string& cluster, bool open);
+
+  /// True when the last observeBreaker() for the cluster reported open.
+  [[nodiscard]] bool breakerOpen(const std::string& cluster) const;
 
   /// Feeds a cluster's /ndn/k8s/info advertisement. When info has been
   /// observed for a cluster, load costing uses the advertised free/total
@@ -86,6 +102,7 @@ class AdaptivePlacement {
   std::map<std::string, double> observed_latency_s_;  // EWMA per cluster
   std::map<std::string, double> advertised_utilization_;  // from /info
   std::map<std::string, double> observed_health_;     // from telemetry
+  std::map<std::string, bool> breaker_open_;          // from client breakers
   std::map<std::string, std::uint64_t> applied_cost_us_;
   std::uint64_t updates_ = 0;
 };

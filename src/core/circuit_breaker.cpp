@@ -1,0 +1,91 @@
+#include "core/circuit_breaker.hpp"
+
+namespace lidc::core {
+
+std::string_view breakerStateName(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerState CircuitBreaker::state(sim::Time now) {
+  if (state_ == BreakerState::kOpen && now >= reopen_at_) {
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+    transition(BreakerState::kHalfOpen, now);
+  }
+  return state_;
+}
+
+bool CircuitBreaker::allowRequest(sim::Time now) {
+  switch (state(now)) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++rejected_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_inflight_ >= options_.halfOpenProbes) {
+        ++rejected_;
+        return false;
+      }
+      ++probes_inflight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::recordSuccess(sim::Time now) {
+  switch (state(now)) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (probes_inflight_ > 0) --probes_inflight_;
+      if (++probe_successes_ >= options_.successesToClose) {
+        consecutive_failures_ = 0;
+        transition(BreakerState::kClosed, now);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler response from before the trip: ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::recordFailure(sim::Time now) {
+  switch (state(now)) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= options_.failureThreshold) open(now);
+      break;
+    case BreakerState::kHalfOpen:
+      // One failed probe re-opens immediately.
+      open(now);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::transition(BreakerState next, sim::Time now) {
+  if (next == state_) return;
+  state_ = next;
+  if (listener_) listener_(state_);
+  (void)now;
+}
+
+void CircuitBreaker::open(sim::Time now) {
+  ++trips_;
+  const double jitter =
+      options_.openJitter > 0 ? rng_.uniformDouble() * options_.openJitter : 0.0;
+  reopen_at_ = now + options_.openDuration * (1.0 + jitter);
+  probes_inflight_ = 0;
+  probe_successes_ = 0;
+  consecutive_failures_ = 0;
+  transition(BreakerState::kOpen, now);
+}
+
+}  // namespace lidc::core

@@ -1,0 +1,89 @@
+// Per-cluster circuit breaker for the LIDC control plane. Gray
+// clusters — gateways that admit jobs but never run them, nodes that
+// limp along at 20x latency — keep passing health probes, so the
+// health-gate alone cannot steer traffic away. The breaker watches
+// request *outcomes* instead: after `failureThreshold` consecutive
+// failures it opens (submissions to that cluster are refused locally,
+// before any Interest is sent), stays open for a seeded jittered
+// window, then half-opens and admits a bounded number of probe
+// requests. A probe success closes it; a probe failure re-opens it.
+// All timing is simulator time and all jitter comes from a seeded
+// Rng, so breaker traces are byte-identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace lidc::core {
+
+enum class BreakerState {
+  kClosed,    // normal operation, failures counted
+  kOpen,      // refusing requests until the open window elapses
+  kHalfOpen,  // admitting up to halfOpenProbes trial requests
+};
+
+std::string_view breakerStateName(BreakerState state) noexcept;
+
+struct BreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  std::uint32_t failureThreshold = 3;
+  /// Base refusal window once open; the actual window is drawn in
+  /// [openDuration, openDuration * (1 + openJitter)] from the seed so
+  /// a fleet of breakers does not half-open in lockstep.
+  sim::Duration openDuration = sim::Duration::seconds(10);
+  double openJitter = 0.2;
+  /// Trial requests admitted while half-open.
+  std::uint32_t halfOpenProbes = 1;
+  /// Probe successes required to close again.
+  std::uint32_t successesToClose = 1;
+};
+
+class CircuitBreaker {
+ public:
+  using Listener = std::function<void(BreakerState)>;
+
+  explicit CircuitBreaker(BreakerOptions options = {}, std::uint64_t seed = 99)
+      : options_(options), rng_(seed) {}
+
+  /// Current state, advancing open -> half-open lazily once the open
+  /// window has elapsed (no timers: state is evaluated on use).
+  [[nodiscard]] BreakerState state(sim::Time now);
+
+  /// True if a request may be sent now. While half-open this admits at
+  /// most `halfOpenProbes` in-flight probes and counts the caller as
+  /// one of them, so pair every allowed request with a later
+  /// recordSuccess()/recordFailure().
+  [[nodiscard]] bool allowRequest(sim::Time now);
+
+  void recordSuccess(sim::Time now);
+  void recordFailure(sim::Time now);
+
+  /// Times the breaker transitioned closed/half-open -> open.
+  [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }
+  /// Requests refused because the breaker was open.
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+  /// Called on every state transition (after the state is updated).
+  void setListener(Listener listener) { listener_ = std::move(listener); }
+
+ private:
+  void transition(BreakerState next, sim::Time now);
+  void open(sim::Time now);
+
+  BreakerOptions options_;
+  Rng rng_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t probes_inflight_ = 0;
+  std::uint32_t probe_successes_ = 0;
+  sim::Time reopen_at_{};
+  std::uint64_t trips_ = 0;
+  std::uint64_t rejected_ = 0;
+  Listener listener_;
+};
+
+}  // namespace lidc::core

@@ -10,7 +10,8 @@ namespace lidc::core {
 
 LidcClient::LidcClient(ndn::Forwarder& forwarder, std::string name,
                        ClientOptions options, std::uint64_t seed)
-    : forwarder_(forwarder), name_(std::move(name)), options_(options), rng_(seed) {
+    : forwarder_(forwarder), name_(std::move(name)), options_(options), rng_(seed),
+      seed_(seed) {
   face_ = std::make_shared<ndn::AppFace>("app://client/" + name_,
                                          forwarder_.simulator(), seed);
   forwarder_.addFace(face_);
@@ -20,6 +21,15 @@ LidcClient::LidcClient(ndn::Forwarder& forwarder, std::string name,
 namespace {
 constexpr sim::Time kNoDeadline =
     sim::Time::fromNanos(std::numeric_limits<std::int64_t>::max());
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 bool isRetryableNack(ndn::NackReason reason) {
   // Congestion (cluster full / unhealthy) and missing routes (route
@@ -45,9 +55,78 @@ void LidcClient::attachTelemetry(telemetry::MetricsRegistry& registry,
   telemetry_->retries = &registry.counter("lidc_client_retries", labels);
   telemetry_->failovers = &registry.counter("lidc_client_failovers", labels);
   telemetry_->polls = &registry.counter("lidc_client_status_polls", labels);
+  telemetry_->hedgesIssued = &registry.counter("lidc_hedges_issued_total", labels);
+  telemetry_->hedgesIssued->set(hedges_issued_);
+  telemetry_->hedgesWon = &registry.counter("lidc_hedges_won_total", labels);
+  telemetry_->hedgesWon->set(hedges_won_);
+  telemetry_->hedgesCancelled =
+      &registry.counter("lidc_hedges_cancelled_total", labels);
+  telemetry_->hedgesCancelled->set(hedges_cancelled_);
+  telemetry_->breakerTrips = &registry.counter("lidc_breaker_trips_total", labels);
+  telemetry_->breakerTrips->set(breaker_trips_);
+  telemetry_->breakerSteered =
+      &registry.counter("lidc_breaker_steered_total", labels);
+  telemetry_->breakerSteered->set(breaker_steered_);
+  telemetry_->watchdogTimeouts =
+      &registry.counter("lidc_watchdog_timeouts_total", labels);
+  telemetry_->watchdogTimeouts->set(watchdog_timeouts_);
   telemetry_->jobLatencyUs =
       &registry.histogram("lidc_client_job_latency_us", labels);
   telemetry_->tracer = tracer;
+  telemetry_->registry = &registry;
+}
+
+CircuitBreaker* LidcClient::breakerFor(const std::string& cluster) {
+  if (!options_.enableCircuitBreaker || cluster.empty()) return nullptr;
+  auto it = breakers_.find(cluster);
+  if (it == breakers_.end()) {
+    auto breaker =
+        std::make_unique<CircuitBreaker>(options_.breaker, seed_ ^ fnv1a(cluster));
+    breaker->setListener([this, cluster](BreakerState state) {
+      if (state == BreakerState::kOpen) {
+        ++breaker_trips_;
+        if (telemetry_) telemetry_->breakerTrips->inc();
+      }
+      if (telemetry_ && telemetry_->registry != nullptr) {
+        // 0 = closed, 1 = half-open, 2 = open.
+        const double encoded = state == BreakerState::kClosed     ? 0.0
+                               : state == BreakerState::kHalfOpen ? 1.0
+                                                                  : 2.0;
+        telemetry_->registry
+            ->gauge("lidc_breaker_state", {{"client", name_}, {"cluster", cluster}})
+            .set(encoded);
+      }
+      LIDC_FR_EVENT(recorder_, kWarn, "client",
+                    name_ + " breaker " + cluster + " -> " +
+                        std::string(breakerStateName(state)));
+      if (options_.breakerListener) options_.breakerListener(cluster, state);
+    });
+    it = breakers_.emplace(cluster, std::move(breaker)).first;
+  }
+  return it->second.get();
+}
+
+void LidcClient::recordAckLatency(sim::Duration latency) {
+  constexpr std::size_t kWindow = 128;
+  const double seconds = latency.toSeconds();
+  if (ack_latencies_.size() < kWindow) {
+    ack_latencies_.push_back(seconds);
+  } else {
+    ack_latencies_[ack_latency_next_] = seconds;
+    ack_latency_next_ = (ack_latency_next_ + 1) % kWindow;
+  }
+}
+
+sim::Duration LidcClient::hedgeDelay() const {
+  // Too little signal: fall back to the configured floor.
+  if (ack_latencies_.size() < 8) return options_.hedgeDelayFloor;
+  std::vector<double> sorted = ack_latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(options_.hedgeQuantile *
+                               static_cast<double>(sorted.size())));
+  return std::max(options_.hedgeDelayFloor, sim::Duration::seconds(sorted[index]));
 }
 
 sim::Duration LidcClient::backoffDelay(int attempt) {
@@ -110,6 +189,11 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
                                sim::Time startedAt, sim::Time deadlineAt,
                                SubmitCallback done,
                                telemetry::TraceContext parent) {
+  if (options_.enableHedging) {
+    submitAttemptHedged(std::move(request), attempt, startedAt, deadlineAt,
+                        std::move(done), parent);
+    return;
+  }
   ++submits_;
   if (telemetry_) telemetry_->submits->inc();
   submit_attempt_log_.push_back(forwarder_.simulator().now());
@@ -135,10 +219,12 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
   // canonical requests may legitimately be served from any CS.
   interest.setMustBeFresh(true);
 
+  const sim::Time sentAt = forwarder_.simulator().now();
   face_->expressInterest(
       interest,
-      [this, startedAt, done, closeSpan](const ndn::Interest&,
-                                         const ndn::Data& data) {
+      [this, startedAt, sentAt, done, closeSpan](const ndn::Interest&,
+                                                 const ndn::Data& data) {
+        recordAckLatency(forwarder_.simulator().now() - sentAt);
         const KvMap fields = decodeKv(data.contentAsString());
         if (auto it = fields.find("error"); it != fields.end()) {
           closeSpan("error");
@@ -191,6 +277,170 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
                                       std::to_string(attempt + 1) +
                                       " attempts"),
                       parent);
+      });
+}
+
+/// Shared state of one hedged submit attempt. A race is "settled" once
+/// a winner delivered its result (or every leg failed); late responses
+/// after that are cancelled losers and only bump counters.
+struct LidcClient::HedgeRace {
+  bool settled = false;
+  int outstanding = 0;
+  Status error;
+  bool retryable = false;
+};
+
+void LidcClient::submitAttemptHedged(std::shared_ptr<ComputeRequest> request,
+                                     int attempt, sim::Time startedAt,
+                                     sim::Time deadlineAt, SubmitCallback done,
+                                     telemetry::TraceContext parent) {
+  auto race = std::make_shared<HedgeRace>();
+  sendSubmitLeg(race, /*isHedge=*/false, request, request, attempt, startedAt,
+                deadlineAt, done, parent);
+  const sim::Duration delay = hedgeDelay();
+  forwarder_.simulator().scheduleAfter(
+      delay, [this, race, request, attempt, startedAt, deadlineAt, done, parent,
+              delay] {
+        if (race->settled) return;  // already answered (or already failed)
+        if (forwarder_.simulator().now() >= deadlineAt) return;
+        ++hedges_issued_;
+        if (telemetry_) {
+          telemetry_->hedgesIssued->inc();
+          if (telemetry_->tracer != nullptr) {
+            telemetry_->tracer->instant(
+                "hedge", "client:" + name_, parent,
+                {{"delay_ms", std::to_string(delay.toMillis())}});
+          }
+        }
+        LIDC_FR_EVENT(recorder_, kWarn, "client",
+                      name_ + " hedge after " + std::to_string(delay.toMillis()) +
+                          "ms attempt=" + std::to_string(attempt));
+        // A fresh request id makes the backup a new name: no PIT entry
+        // or content store can collapse it onto the stalled primary, so
+        // the forwarding strategy is free to try another path.
+        auto backup = std::make_shared<ComputeRequest>(*request);
+        backup->requestId = (backup->requestId.empty() ? name_ : backup->requestId) +
+                            "-h" + std::to_string(next_request_id_++);
+        sendSubmitLeg(race, /*isHedge=*/true, std::move(backup), request, attempt,
+                      startedAt, deadlineAt, done, parent);
+      });
+}
+
+void LidcClient::sendSubmitLeg(std::shared_ptr<HedgeRace> race, bool isHedge,
+                               std::shared_ptr<ComputeRequest> legRequest,
+                               std::shared_ptr<ComputeRequest> request, int attempt,
+                               sim::Time startedAt, sim::Time deadlineAt,
+                               SubmitCallback done,
+                               telemetry::TraceContext parent) {
+  ++submits_;
+  if (telemetry_) telemetry_->submits->inc();
+  submit_attempt_log_.push_back(forwarder_.simulator().now());
+  ++race->outstanding;
+  const sim::Time sentAt = forwarder_.simulator().now();
+
+  telemetry::TraceContext span;
+  telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
+  if (tracer != nullptr) {
+    span = tracer->startSpan("submit-attempt", "client:" + name_, parent,
+                             {{"attempt", std::to_string(attempt)},
+                              {"hedge", isHedge ? "1" : "0"}});
+  }
+  auto closeSpan = [tracer, span](const char* outcome) {
+    if (tracer != nullptr && span) {
+      tracer->setAttr(span, "outcome", outcome);
+      tracer->endSpan(span);
+    }
+  };
+
+  ndn::Interest interest(legRequest->toName());
+  interest.setLifetime(options_.interestLifetime);
+  interest.setTraceContext(span);
+  interest.setMustBeFresh(true);
+
+  face_->expressInterest(
+      interest,
+      [this, race, isHedge, sentAt, startedAt, done, closeSpan](
+          const ndn::Interest&, const ndn::Data& data) {
+        if (race->settled) {
+          // The other leg already won: this is the cancelled loser.
+          ++hedges_cancelled_;
+          if (telemetry_) telemetry_->hedgesCancelled->inc();
+          closeSpan("hedge-lost");
+          return;
+        }
+        race->settled = true;
+        --race->outstanding;
+        if (isHedge) {
+          ++hedges_won_;
+          if (telemetry_) telemetry_->hedgesWon->inc();
+        }
+        recordAckLatency(forwarder_.simulator().now() - sentAt);
+        const KvMap fields = decodeKv(data.contentAsString());
+        if (auto it = fields.find("error"); it != fields.end()) {
+          closeSpan("error");
+          done(Status::InvalidArgument(it->second));
+          return;
+        }
+        SubmitResult result;
+        if (auto it = fields.find("job_id"); it != fields.end()) {
+          result.jobId = it->second;
+        }
+        if (auto it = fields.find("cluster"); it != fields.end()) {
+          result.cluster = it->second;
+        }
+        if (auto it = fields.find("status_name"); it != fields.end()) {
+          result.statusName = it->second;
+        } else if (!result.jobId.empty() && !result.cluster.empty()) {
+          result.statusName = makeStatusName(result.cluster, result.jobId).toUri();
+        }
+        result.cached = fields.count("cached") > 0;
+        result.deduplicated = fields.count("deduplicated") > 0;
+        if (auto it = fields.find("result"); it != fields.end()) {
+          result.resultPath = it->second;
+        }
+        if (auto it = fields.find("output_bytes"); it != fields.end()) {
+          result.outputBytes = strings::parseUint(it->second).value_or(0);
+        }
+        result.placementLatency = forwarder_.simulator().now() - startedAt;
+        closeSpan(isHedge ? "hedge-won"
+                          : (result.cached ? "cache-hit"
+                                           : (result.deduplicated ? "dedup" : "ack")));
+        done(std::move(result));
+      },
+      [this, race, request, attempt, startedAt, deadlineAt, done, closeSpan,
+       parent](const ndn::Interest&, const ndn::Nack& nack) {
+        closeSpan("nack");
+        if (race->settled) return;
+        --race->outstanding;
+        race->error = Status::Unavailable(
+            "compute request nacked after " + std::to_string(attempt + 1) +
+            " attempts: " + std::string(ndn::nackReasonName(nack.reason())));
+        race->retryable = isRetryableNack(nack.reason());
+        if (race->outstanding == 0) {
+          // Every leg failed; settle so a pending hedge timer is a no-op.
+          race->settled = true;
+          if (race->retryable) {
+            retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
+                          race->error, parent);
+          } else {
+            done(race->error);
+          }
+        }
+      },
+      [this, race, request, attempt, startedAt, deadlineAt, done, closeSpan,
+       parent](const ndn::Interest&) {
+        closeSpan("timeout");
+        if (race->settled) return;
+        --race->outstanding;
+        race->error =
+            Status::Timeout("compute request timed out after " +
+                            std::to_string(attempt + 1) + " attempts");
+        race->retryable = true;
+        if (race->outstanding == 0) {
+          race->settled = true;
+          retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
+                        race->error, parent);
+        }
       });
 }
 
@@ -253,16 +503,16 @@ void LidcClient::queryStatus(const ndn::Name& statusName, StatusCallback done,
 
 void LidcClient::waitForCompletion(const ndn::Name& statusName, StatusCallback done,
                                    telemetry::TraceContext parent) {
-  pollLoop(statusName, 0, deadlineFor(forwarder_.simulator().now()),
-           std::move(done), parent);
+  const sim::Time now = forwarder_.simulator().now();
+  pollLoop(statusName, 0, deadlineFor(now), now, std::move(done), parent);
 }
 
 void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
-                          sim::Time deadlineAt, StatusCallback done,
-                          telemetry::TraceContext parent) {
+                          sim::Time deadlineAt, sim::Time progressSince,
+                          StatusCallback done, telemetry::TraceContext parent) {
   queryStatus(
       statusName,
-      [this, statusName, consecutiveFailures, deadlineAt, done,
+      [this, statusName, consecutiveFailures, deadlineAt, progressSince, done,
        parent](Result<JobStatusSnapshot> result) {
     const sim::Time now = forwarder_.simulator().now();
     if (!result.ok()) {
@@ -277,9 +527,9 @@ void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
           now + options_.statusPollInterval <= deadlineAt) {
         forwarder_.simulator().scheduleAfter(
             options_.statusPollInterval, [this, statusName, consecutiveFailures,
-                                          deadlineAt, done, parent] {
-              pollLoop(statusName, consecutiveFailures + 1, deadlineAt, done,
-                       parent);
+                                          deadlineAt, progressSince, done, parent] {
+              pollLoop(statusName, consecutiveFailures + 1, deadlineAt,
+                       progressSince, done, parent);
             });
         return;
       }
@@ -291,14 +541,39 @@ void LidcClient::pollLoop(const ndn::Name& statusName, int consecutiveFailures,
       done(std::move(result));
       return;
     }
+    // Progress watchdog: a healthy cluster moves a job to Running
+    // quickly; one that answers polls with Pending forever is a gray
+    // gateway (it admitted the job but never scheduled it). Treat the
+    // stall as a dark status so the caller records a breaker failure
+    // and fails over — the poll itself keeps "succeeding", which is
+    // exactly why a plain failure budget never fires here.
+    sim::Time nextProgress = progressSince;
+    if (options_.pendingProgressTtl.toNanos() > 0) {
+      if (result->state == k8s::JobState::kPending) {
+        if (now - progressSince >= options_.pendingProgressTtl) {
+          ++watchdog_timeouts_;
+          if (telemetry_) telemetry_->watchdogTimeouts->inc();
+          LIDC_FR_EVENT(recorder_, kWarn, "client",
+                        name_ + " watchdog: no progress on " +
+                            statusName.toUri());
+          done(Status::Unavailable(
+              "progress watchdog: job still Pending after " +
+              std::to_string(options_.pendingProgressTtl.toMillis()) + "ms"));
+          return;
+        }
+      } else {
+        nextProgress = now;  // Running counts as progress
+      }
+    }
     if (now + options_.statusPollInterval > deadlineAt) {
       done(Status::Timeout("deadline exceeded while job still " +
                            std::string(k8s::jobStateName(result->state))));
       return;
     }
     forwarder_.simulator().scheduleAfter(
-        options_.statusPollInterval, [this, statusName, deadlineAt, done, parent] {
-          pollLoop(statusName, 0, deadlineAt, done, parent);
+        options_.statusPollInterval,
+        [this, statusName, deadlineAt, nextProgress, done, parent] {
+          pollLoop(statusName, 0, deadlineAt, nextProgress, done, parent);
         });
       },
       parent);
@@ -426,6 +701,26 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
           done(std::move(outcome));
           return;
         }
+        // Circuit breaker gate: the ack names the cluster; if its
+        // breaker refuses requests (tripped by consecutive failures —
+        // gray gateways, limping nodes), abandon this attempt and fail
+        // over with a fresh request id instead of parking the job on a
+        // cluster that keeps answering but never delivers. Skipped once
+        // the failover budget is spent — a possible job beats an error.
+        if (CircuitBreaker* breaker = breakerFor(submitted->cluster);
+            breaker != nullptr && failover < options_.maxFailovers &&
+            !breaker->allowRequest(forwarder_.simulator().now())) {
+          ++breaker_steered_;
+          if (telemetry_) telemetry_->breakerSteered->inc();
+          LIDC_FR_EVENT(recorder_, kWarn, "client",
+                        name_ + " breaker open, steering off " +
+                            submitted->cluster);
+          failoverOrGiveUp(request, failover, startedAt, deadlineAt, done,
+                           Status::Unavailable("circuit breaker open for " +
+                                               submitted->cluster),
+                           std::nullopt, root);
+          return;
+        }
         // Telemetry-steered proactive failover: the ack names the
         // cluster the job landed on; if the health plane says it is
         // degraded, resubmit elsewhere now rather than poll a job that
@@ -451,8 +746,9 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
           await = tracer->startSpan("await-completion", "client:" + name_, root,
                                     {{"job_id", submitCopy.jobId}});
         }
+        const sim::Time pollStart = forwarder_.simulator().now();
         pollLoop(
-            ndn::Name(submitCopy.statusName), 0, deadlineAt,
+            ndn::Name(submitCopy.statusName), 0, deadlineAt, pollStart,
             [this, request, failover, startedAt, deadlineAt, submitCopy, done,
              root, await, tracer](Result<JobStatusSnapshot> status) {
               if (tracer != nullptr && await) {
@@ -462,9 +758,15 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
                                     : status.status().toString());
                 tracer->endSpan(await);
               }
+              const sim::Time now = forwarder_.simulator().now();
               if (!status.ok()) {
-                // Status endpoint dark past the poll budget, or the job
-                // vanished (reaped after its cluster died): resubmit.
+                // Status endpoint dark past the poll budget, the
+                // progress watchdog fired, or the job vanished (reaped
+                // after its cluster died): count the failure against
+                // the cluster's breaker and resubmit.
+                if (CircuitBreaker* b = breakerFor(submitCopy.cluster)) {
+                  b->recordFailure(now);
+                }
                 failoverOrGiveUp(request, failover, startedAt, deadlineAt,
                                  done, status.status(), std::nullopt, root);
                 return;
@@ -475,12 +777,18 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
               outcome.totalLatency = forwarder_.simulator().now() - startedAt;
               outcome.failovers = failover;
               if (status->state == k8s::JobState::kFailed) {
+                if (CircuitBreaker* b = breakerFor(submitCopy.cluster)) {
+                  b->recordFailure(now);
+                }
                 failoverOrGiveUp(request, failover, startedAt, deadlineAt,
                                  done,
                                  Status::Unavailable("job failed: " +
                                                      status->error),
                                  std::move(outcome), root);
                 return;
+              }
+              if (CircuitBreaker* b = breakerFor(submitCopy.cluster)) {
+                b->recordSuccess(now);
               }
               done(std::move(outcome));
             },

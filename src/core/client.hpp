@@ -9,9 +9,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/circuit_breaker.hpp"
 #include "core/semantic_name.hpp"
 #include "datalake/retriever.hpp"
 #include "k8s/job.hpp"
@@ -102,6 +104,30 @@ struct ClientOptions {
   /// job on a degraded cluster. Zero threshold = disabled.
   std::function<double(const std::string& cluster)> healthProvider;
   double minClusterHealth = 0.0;
+  /// Per-cluster circuit breakers: runToCompletion() records every job
+  /// outcome against the cluster that took it; after `breaker.
+  /// failureThreshold` consecutive failures the breaker opens and acks
+  /// naming that cluster are refused locally (the attempt fails over
+  /// with a fresh request id instead of parking on a gray cluster).
+  bool enableCircuitBreaker = false;
+  BreakerOptions breaker;
+  /// Observes every breaker transition (wire to placement steering,
+  /// e.g. AdaptivePlacement::observeBreaker).
+  std::function<void(const std::string& cluster, BreakerState state)>
+      breakerListener;
+  /// Hedged submits: when a submit ack has not arrived after a
+  /// p`hedgeQuantile` delay (derived from this client's observed ack
+  /// latencies, floored at hedgeDelayFloor), a backup Interest with a
+  /// fresh request id races the primary; the first answer wins and the
+  /// loser is abandoned (and counted).
+  bool enableHedging = false;
+  sim::Duration hedgeDelayFloor = sim::Duration::millis(500);
+  double hedgeQuantile = 0.99;
+  /// Progress watchdog: a job still Pending this long after polling
+  /// began is treated as dark (gray gateways admit jobs that never
+  /// run), so runToCompletion() records a breaker failure and fails
+  /// over. Zero disables the watchdog.
+  sim::Duration pendingProgressTtl{};
 };
 
 class LidcClient {
@@ -170,6 +196,27 @@ class LidcClient {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t submitsSent() const noexcept { return submits_; }
 
+  // --- gray-failure defense counters ------------------------------------
+  [[nodiscard]] std::uint64_t hedgesIssued() const noexcept { return hedges_issued_; }
+  [[nodiscard]] std::uint64_t hedgesWon() const noexcept { return hedges_won_; }
+  [[nodiscard]] std::uint64_t hedgesCancelled() const noexcept {
+    return hedges_cancelled_;
+  }
+  [[nodiscard]] std::uint64_t breakerTrips() const noexcept { return breaker_trips_; }
+  [[nodiscard]] std::uint64_t breakerSteered() const noexcept {
+    return breaker_steered_;
+  }
+  [[nodiscard]] std::uint64_t watchdogTimeouts() const noexcept {
+    return watchdog_timeouts_;
+  }
+  /// The breaker guarding `cluster`, or nullptr when none exists yet
+  /// (no job outcome has been recorded against it, or breakers are
+  /// disabled).
+  [[nodiscard]] CircuitBreaker* clusterBreaker(const std::string& cluster) noexcept {
+    auto it = breakers_.find(cluster);
+    return it == breakers_.end() ? nullptr : it->second.get();
+  }
+
   /// The simulator this client's forwarder runs on; layered components
   /// (e.g. the workflow engine) need it for timestamps and scheduling.
   [[nodiscard]] sim::Simulator& simulator() noexcept {
@@ -184,9 +231,30 @@ class LidcClient {
   }
 
  private:
+  struct HedgeRace;
+
   void submitAttempt(std::shared_ptr<ComputeRequest> request, int attempt,
                      sim::Time startedAt, sim::Time deadlineAt,
                      SubmitCallback done, telemetry::TraceContext parent);
+  /// Hedged variant: a primary leg plus (after the hedge delay) a
+  /// backup leg with a fresh request id; first ack settles the race.
+  void submitAttemptHedged(std::shared_ptr<ComputeRequest> request, int attempt,
+                           sim::Time startedAt, sim::Time deadlineAt,
+                           SubmitCallback done, telemetry::TraceContext parent);
+  /// Sends one leg of a hedge race.
+  void sendSubmitLeg(std::shared_ptr<HedgeRace> race, bool isHedge,
+                     std::shared_ptr<ComputeRequest> legRequest,
+                     std::shared_ptr<ComputeRequest> request, int attempt,
+                     sim::Time startedAt, sim::Time deadlineAt,
+                     SubmitCallback done, telemetry::TraceContext parent);
+  /// p`hedgeQuantile` of observed ack latencies, floored at
+  /// hedgeDelayFloor (used until enough samples accumulate).
+  [[nodiscard]] sim::Duration hedgeDelay() const;
+  void recordAckLatency(sim::Duration latency);
+  /// The breaker guarding `cluster`, created (seeded from the client
+  /// seed and the cluster name) on first use; nullptr when breakers are
+  /// disabled or the cluster is unknown.
+  CircuitBreaker* breakerFor(const std::string& cluster);
   /// Retries after a jittered backoff delay, or fails with `why` when
   /// the attempt budget or the deadline is exhausted.
   void retryOrGiveUp(std::shared_ptr<ComputeRequest> request, int attempt,
@@ -194,9 +262,12 @@ class LidcClient {
                      SubmitCallback done, Status why,
                      telemetry::TraceContext parent);
   [[nodiscard]] sim::Duration backoffDelay(int attempt);
+  /// `progressSince` anchors the Pending watchdog: it is the last time
+  /// the job was observed making progress (poll start, or any
+  /// non-Pending state).
   void pollLoop(const ndn::Name& statusName, int consecutiveFailures,
-                sim::Time deadlineAt, StatusCallback done,
-                telemetry::TraceContext parent);
+                sim::Time deadlineAt, sim::Time progressSince,
+                StatusCallback done, telemetry::TraceContext parent);
   /// One submit+poll attempt of the runToCompletion() failover loop.
   void runAttempt(std::shared_ptr<ComputeRequest> request, int failover,
                   sim::Time startedAt, sim::Time deadlineAt,
@@ -217,8 +288,16 @@ class LidcClient {
     telemetry::Counter* retries = nullptr;
     telemetry::Counter* failovers = nullptr;
     telemetry::Counter* polls = nullptr;
+    telemetry::Counter* hedgesIssued = nullptr;
+    telemetry::Counter* hedgesWon = nullptr;
+    telemetry::Counter* hedgesCancelled = nullptr;
+    telemetry::Counter* breakerTrips = nullptr;
+    telemetry::Counter* breakerSteered = nullptr;
+    telemetry::Counter* watchdogTimeouts = nullptr;
     telemetry::Histogram* jobLatencyUs = nullptr;
     telemetry::Tracer* tracer = nullptr;
+    /// Kept for the lazily created per-cluster lidc_breaker_state gauge.
+    telemetry::MetricsRegistry* registry = nullptr;
   };
 
   ndn::Forwarder& forwarder_;
@@ -226,12 +305,24 @@ class LidcClient {
   ClientOptions options_;
   telemetry::FlightRecorder* recorder_ = nullptr;
   Rng rng_;
+  std::uint64_t seed_;
   std::shared_ptr<ndn::AppFace> face_;
   std::unique_ptr<datalake::Retriever> retriever_;
   std::uint64_t submits_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::vector<sim::Time> submit_attempt_log_;
   std::unique_ptr<Telemetry> telemetry_;
+  /// cluster name -> its circuit breaker (created on first outcome).
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  /// Ring buffer of submit-ack latencies in seconds (hedge-delay input).
+  std::vector<double> ack_latencies_;
+  std::size_t ack_latency_next_ = 0;
+  std::uint64_t hedges_issued_ = 0;
+  std::uint64_t hedges_won_ = 0;
+  std::uint64_t hedges_cancelled_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t breaker_steered_ = 0;
+  std::uint64_t watchdog_timeouts_ = 0;
 };
 
 }  // namespace lidc::core

@@ -76,6 +76,23 @@ void Gateway::replyKv(const ndn::Name& name, const KvMap& fields,
 void Gateway::onCompute(const ndn::Interest& interest) {
   ++counters_.computeReceived;
 
+  // Gray failure: admit the job with a straight face — plausible ack,
+  // fresh job id — then never schedule anything. The client only finds
+  // out when its progress watchdog notices the job never leaves Pending.
+  if (gray_) {
+    ++counters_.grayAdmitted;
+    const std::string jobId = "gray-" + std::to_string(next_gray_id_++);
+    gray_jobs_.insert(jobId);
+    LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                  cluster_name_ + " gray-admit " + jobId);
+    replyKv(interest.name(),
+            {{"job_id", jobId},
+             {"cluster", cluster_name_},
+             {"status_name", makeStatusName(cluster_name_, jobId).toUri()}},
+            options_.ackFreshness);
+    return;
+  }
+
   // Admission decisions become zero-duration "gateway-admission" spans on
   // the submitter's trace; the launch decision's context also parents the
   // retroactive K8s spans recorded in onJobFinished().
@@ -227,6 +244,15 @@ void Gateway::onStatus(const ndn::Interest& interest) {
   auto parsed = parseStatusName(interest.name());
   if (!parsed.ok() || parsed->first != cluster_name_) {
     face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  // A gray-admitted id has no job behind it: report Pending forever,
+  // exactly the signature a stalled-but-alive gateway shows.
+  if (gray_jobs_.count(parsed->second) > 0) {
+    replyKv(interest.name(),
+            {{"state", std::string(k8s::jobStateName(k8s::JobState::kPending))},
+             {"cluster", cluster_name_}},
+            options_.statusFreshness);
     return;
   }
   auto status = jobs_.status(parsed->second);
@@ -416,6 +442,7 @@ void Gateway::attachTelemetry(telemetry::MetricsRegistry& registry,
     sync("lidc_gateway_orphans_reaped", counters_.orphansReaped);
     sync("lidc_gateway_vanished_evicted", counters_.vanishedEvicted);
     sync("lidc_gateway_blackout_dropped", counters_.blackoutDropped);
+    sync("lidc_gateway_gray_admitted", counters_.grayAdmitted);
     sync("lidc_result_cache_hits", cache_.hits());
     sync("lidc_result_cache_misses", cache_.misses());
     registry.gauge("lidc_result_cache_size", labels)

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -65,6 +66,7 @@ struct GatewayCounters {
   std::uint64_t orphansReaped = 0;     // launched/inflight entries expired
   std::uint64_t vanishedEvicted = 0;   // evicted when the job object vanished
   std::uint64_t blackoutDropped = 0;   // Interests dropped during a blackout
+  std::uint64_t grayAdmitted = 0;      // jobs "accepted" by a gray gateway
 };
 
 class Gateway {
@@ -98,6 +100,16 @@ class Gateway {
   /// exactly as if the gateway pod died. Driven by the chaos engine.
   void setBlackout(bool on) noexcept { blackout_ = on; }
   [[nodiscard]] bool blackedOut() const noexcept { return blackout_; }
+
+  /// Gray failure (chaos kGrayGateway): unlike a blackout, the gateway
+  /// keeps answering — compute Interests get a plausible ack with a job
+  /// id, but nothing is ever scheduled and status polls for those ids
+  /// return Pending forever. Health probes, info queries, and real jobs'
+  /// status keep working, so only a progress watchdog can tell. Jobs
+  /// admitted during the gray window stay dark even after recovery (the
+  /// fabricated ids never map to real work).
+  void setGrayFailure(bool on) noexcept { gray_ = on; }
+  [[nodiscard]] bool grayFailed() const noexcept { return gray_; }
 
   /// Fraction of this cluster's nodes currently Ready, in [0, 1].
   [[nodiscard]] double healthyNodeFraction() const;
@@ -150,6 +162,10 @@ class Gateway {
   telemetry::FlightRecorder* recorder_ = nullptr;
   bool admission_control_ = true;
   bool blackout_ = false;
+  bool gray_ = false;
+  std::uint64_t next_gray_id_ = 1;
+  /// Fabricated job ids handed out while gray; status stays Pending.
+  std::set<std::string> gray_jobs_;
   bool reaper_pending_ = false;
 
   struct LaunchRecord {

@@ -15,6 +15,9 @@ struct Retriever::Transfer {
   std::uint64_t nextToRequest = 0;
   std::size_t inFlight = 0;
   std::map<std::uint64_t, std::vector<std::uint8_t>> segments;
+  /// Per-segment verification-failure re-fetches already spent.
+  std::map<std::uint64_t, int> integrityAttempts;
+  int metaIntegrityAttempts = 0;
   bool finished = false;
   telemetry::TraceContext trace;
 };
@@ -28,19 +31,29 @@ void Retriever::fetch(const ndn::Name& objectName, CompletionCallback done,
   fetchMeta(std::move(transfer), 0);
 }
 
-void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt) {
+void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt,
+                          std::optional<std::uint64_t> excludeDigest) {
   ndn::Name metaName = transfer->objectName;
   metaName.append("meta");
   ndn::Interest interest(metaName);
-  interest.setMustBeFresh(false);
+  interest.setMustBeFresh(excludeDigest.has_value());
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(transfer->trace);
+  if (excludeDigest.has_value()) interest.setExcludeDigest(*excludeDigest);
 
   face_.expressInterest(
       interest,
-      [this, transfer](const ndn::Interest&, const ndn::Data& data) {
+      [this, transfer, attempt](const ndn::Interest&, const ndn::Data& data) {
         if (transfer->finished) return;
         if (options_.verifySignatures && !data.verify()) {
+          // Poisoned meta (bit-flipped in flight or served from a bad
+          // cache entry): re-fetch, telling caches to skip this digest.
+          if (transfer->metaIntegrityAttempts < options_.maxIntegrityRetries) {
+            ++transfer->metaIntegrityAttempts;
+            ++integrity_retries_;
+            fetchMeta(transfer, attempt, data.contentDigest());
+            return;
+          }
           finish(transfer, Status::PermissionDenied(
                                "meta failed signature verification: " +
                                data.name().toUri()));
@@ -118,18 +131,33 @@ void Retriever::pumpWindow(const std::shared_ptr<Transfer>& transfer) {
 }
 
 void Retriever::fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t index,
-                             int attempt) {
+                             int attempt,
+                             std::optional<std::uint64_t> excludeDigest) {
   ndn::Name segName = transfer->objectName;
   segName.append("seg=" + std::to_string(index));
   ndn::Interest interest(segName);
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(transfer->trace);
+  if (excludeDigest.has_value()) {
+    interest.setExcludeDigest(*excludeDigest);
+    interest.setMustBeFresh(true);
+  }
 
   face_.expressInterest(
       interest,
-      [this, transfer, index](const ndn::Interest&, const ndn::Data& data) {
+      [this, transfer, index, attempt](const ndn::Interest&,
+                                       const ndn::Data& data) {
         if (transfer->finished) return;
         if (options_.verifySignatures && !data.verify()) {
+          // The in-flight slot stays held: the re-fetch replaces this
+          // delivery rather than opening the window.
+          int& tries = transfer->integrityAttempts[index];
+          if (tries < options_.maxIntegrityRetries) {
+            ++tries;
+            ++integrity_retries_;
+            fetchSegment(transfer, index, attempt, data.contentDigest());
+            return;
+          }
           finish(transfer, Status::PermissionDenied(
                                "segment failed signature verification: " +
                                data.name().toUri()));

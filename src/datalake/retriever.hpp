@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "common/status.hpp"
 #include "datalake/object_store.hpp"
@@ -23,8 +24,15 @@ struct RetrieveOptions {
   /// Enforce NDN data authentication (paper SVII: "NDN inherently
   /// secures data and provides built-in data authentication and
   /// integrity"): Data packets failing signature verification are
-  /// rejected and the transfer aborts with PERMISSION_DENIED.
+  /// rejected — on by default, and the regression tests pin it that
+  /// way. Failed packets are re-fetched (below) before the transfer
+  /// aborts with PERMISSION_DENIED.
   bool verifySignatures = true;
+  /// Extra attempts for a meta/segment whose Data failed verification.
+  /// The retry carries the poisoned packet's digest as an exclusion
+  /// hint (and MustBeFresh), so content stores skip the bad entry
+  /// instead of re-serving it forever.
+  int maxIntegrityRetries = 2;
 };
 
 class Retriever {
@@ -40,18 +48,27 @@ class Retriever {
   void fetch(const ndn::Name& objectName, CompletionCallback done,
              telemetry::TraceContext trace = {});
 
+  /// Packets that failed verification and were re-fetched with an
+  /// exclusion hint (across all transfers of this retriever).
+  [[nodiscard]] std::uint64_t integrityRetries() const noexcept {
+    return integrity_retries_;
+  }
+
  private:
   struct Transfer;
 
-  void fetchMeta(std::shared_ptr<Transfer> transfer, int attempt);
+  void fetchMeta(std::shared_ptr<Transfer> transfer, int attempt,
+                 std::optional<std::uint64_t> excludeDigest = std::nullopt);
   void pumpWindow(const std::shared_ptr<Transfer>& transfer);
   void fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t index,
-                    int attempt);
+                    int attempt,
+                    std::optional<std::uint64_t> excludeDigest = std::nullopt);
   void finish(const std::shared_ptr<Transfer>& transfer,
               Result<std::vector<std::uint8_t>> result);
 
   ndn::AppFace& face_;
   RetrieveOptions options_;
+  std::uint64_t integrity_retries_ = 0;
 };
 
 }  // namespace lidc::datalake

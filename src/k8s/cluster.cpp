@@ -39,6 +39,14 @@ void Cluster::setNodeReady(const std::string& nodeName, bool ready) {
   }
 }
 
+void Cluster::setNodeSlowdown(const std::string& nodeName, double factor) {
+  if (auto* n = node(nodeName)) {
+    n->setSlowdownFactor(factor);
+    recordEvent(factor > 1.0 ? "NodeSlowdown" : "NodeSpeedRestored", nodeName,
+                "factor=" + std::to_string(factor));
+  }
+}
+
 void Cluster::failNode(const std::string& nodeName) {
   auto* failed = node(nodeName);
   if (failed == nullptr) return;
@@ -431,6 +439,14 @@ void Cluster::executeJobPod(Job& job, Pod& pod) {
   // The runner does its real work now; its reported runtime drives the
   // simulated completion schedule.
   AppResult result = runnerIt->second(context);
+
+  // A gray-degraded node stays Ready but serves at a fraction of its
+  // rate: the pod's wall-clock runtime stretches by the bound node's
+  // slowdown factor (sampled at execution start, like CPU throttling).
+  if (const Node* bound = node(pod.nodeName());
+      bound != nullptr && bound->slowdownFactor() > 1.0) {
+    result.runtime = result.runtime * bound->slowdownFactor();
+  }
 
   const std::string ns = job.namespaceName();
   const std::string jobName = job.name();

@@ -53,6 +53,12 @@ class Cluster {
   /// is evicted. Job pods fail (and retry if backoffLimit allows);
   /// evicted non-job pods return to the scheduling queue.
   void failNode(const std::string& nodeName);
+  /// Gray failure: scale the node's service rate down by `factor`
+  /// (>= 1.0; 1.0 restores full speed) while it stays Ready. Job pods
+  /// already running on it finish on their original schedule; newly
+  /// executed pods take factor x as long. Driven by
+  /// ChaosEngine::slowNode().
+  void setNodeSlowdown(const std::string& nodeName, double factor);
   [[nodiscard]] std::size_t nodeCount() const noexcept { return nodes_.size(); }
   /// Nodes currently Ready (the gateway's health gate watches this).
   [[nodiscard]] std::size_t readyNodeCount() const noexcept;

@@ -23,6 +23,14 @@ class Node {
   [[nodiscard]] bool ready() const noexcept { return ready_; }
   void setReady(bool ready) noexcept { ready_ = ready; }
 
+  /// Gray failure: service-rate degradation. Pods bound here run
+  /// `slowdownFactor` times slower, while the node keeps reporting
+  /// Ready — health probes pass, the work just crawls.
+  [[nodiscard]] double slowdownFactor() const noexcept { return slowdown_; }
+  void setSlowdownFactor(double factor) noexcept {
+    slowdown_ = factor < 1.0 ? 1.0 : factor;
+  }
+
   /// True if `requests` fits into the remaining capacity.
   [[nodiscard]] bool canFit(const Resources& requests) const noexcept {
     return ready_ && requests.fitsWithin(free());
@@ -51,6 +59,7 @@ class Node {
   Resources allocated_;
   std::set<std::string> pods_;
   bool ready_ = true;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace lidc::k8s

@@ -44,7 +44,15 @@ AppFace::PendingList::iterator AppFace::findPendingForData(const Data& data) {
     const bool match = it->interest.canBePrefix()
                            ? it->interest.name().isPrefixOf(data.name())
                            : it->interest.name() == data.name();
-    if (match) return it;
+    if (!match) continue;
+    // An Interest excluding this payload's digest is not satisfied by
+    // it — otherwise an integrity re-fetch issued from inside a Data
+    // callback would be consumed by the very poison it is escaping.
+    if (it->interest.excludeDigest().has_value() &&
+        *it->interest.excludeDigest() == data.contentDigest()) {
+      continue;
+    }
+    return it;
   }
   return pending_.end();
 }

@@ -2,8 +2,18 @@
 
 namespace lidc::ndn {
 
+namespace {
+/// Signed-but-invalid is the poisoned state; unsigned Data carries no
+/// integrity information and passes (see file comment).
+bool isPoisoned(const Data& data) { return data.hasSignature() && !data.verify(); }
+}  // namespace
+
 void ContentStore::insert(const Data& data, sim::Time now) {
   if (capacity_ == 0) return;
+  if (verify_inserts_ && isPoisoned(data)) {
+    ++poisoned_rejects_;
+    return;
+  }
   auto it = index_.find(data.name());
   if (it != index_.end()) {
     it->second.first = Entry{data, now};
@@ -17,10 +27,23 @@ void ContentStore::insert(const Data& data, sim::Time now) {
 
 std::optional<Data> ContentStore::find(const Interest& interest, sim::Time now) {
   const Name& name = interest.name();
+  const std::optional<std::uint64_t> exclude = interest.excludeDigest();
+
+  // Serve-or-evict decision for one candidate entry. Poisoned entries
+  // (cached while verification was off, or corrupted post-admission) are
+  // removed instead of served, so a cache never re-serves bad content.
+  auto usable = [&](const Entry& entry) {
+    if (!isFreshEnough(entry, interest, now)) return false;
+    if (exclude && entry.data.contentDigest() == *exclude) return false;
+    return true;
+  };
 
   if (!interest.canBePrefix()) {
     auto it = index_.find(name);
-    if (it != index_.end() && isFreshEnough(it->second.first, interest, now)) {
+    if (it != index_.end() && isPoisoned(it->second.first.data)) {
+      ++poisoned_evictions_;
+      erase(it->first);
+    } else if (it != index_.end() && usable(it->second.first)) {
       touch(it->second.second);
       ++hits_;
       return it->second.first.data;
@@ -30,13 +53,20 @@ std::optional<Data> ContentStore::find(const Interest& interest, sim::Time now) 
   }
 
   // CanBePrefix: scan names >= prefix until we leave the subtree.
-  for (auto it = index_.lower_bound(name); it != index_.end(); ++it) {
+  for (auto it = index_.lower_bound(name); it != index_.end();) {
     if (!name.isPrefixOf(it->first)) break;
-    if (isFreshEnough(it->second.first, interest, now)) {
+    if (isPoisoned(it->second.first.data)) {
+      ++poisoned_evictions_;
+      auto victim = it++;
+      erase(victim->first);
+      continue;
+    }
+    if (usable(it->second.first)) {
       touch(it->second.second);
       ++hits_;
       return it->second.first.data;
     }
+    ++it;
   }
   ++misses_;
   return std::nullopt;
@@ -73,6 +103,7 @@ void ContentStore::evictIfNeeded() {
 bool ContentStore::isFreshEnough(const Entry& entry, const Interest& interest,
                                  sim::Time now) const noexcept {
   if (!interest.mustBeFresh()) return true;
+  if (serve_stale_) return true;  // chaos: buggy cache replays stale Data
   if (entry.data.freshnessPeriod() == sim::Duration()) return false;
   return now < entry.arrival + entry.data.freshnessPeriod();
 }

@@ -2,6 +2,13 @@
 // LRU eviction and freshness semantics. This is the substrate for
 // LIDC's result caching (paper SVII): identical compute requests are
 // satisfied from the CS without re-executing the job.
+//
+// Integrity policy (gray-failure defense): a Data packet that carries a
+// signature failing verification is *poisoned* — it is rejected at
+// admission and, if one ever got in (e.g. verification was toggled off),
+// evicted on lookup instead of served. Unsigned Data is admitted
+// unchanged: it carries no integrity information, and end hosts that
+// care verify end-to-end.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +26,15 @@ class ContentStore {
   explicit ContentStore(std::size_t capacity = 4096) : capacity_(capacity) {}
 
   /// Inserts (or refreshes) a Data packet observed at time `now`.
+  /// Poisoned packets (signed but failing verify()) are rejected and
+  /// counted while verification is enabled.
   void insert(const Data& data, sim::Time now);
 
   /// Looks up a match for the Interest. Exact-name match, or the
   /// lexicographically smallest name under the prefix when CanBePrefix.
-  /// MustBeFresh requires now < arrival + freshnessPeriod.
+  /// MustBeFresh requires now < arrival + freshnessPeriod. Entries whose
+  /// digest matches the Interest's excludeDigest hint are skipped;
+  /// poisoned entries are evicted rather than served.
   [[nodiscard]] std::optional<Data> find(const Interest& interest, sim::Time now);
 
   void erase(const Name& name);
@@ -33,8 +44,24 @@ class ContentStore {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void setCapacity(std::size_t capacity);
 
+  /// Admission-time integrity checking (on by default). Benches turn it
+  /// off to measure the undefended baseline.
+  void setVerification(bool enabled) noexcept { verify_inserts_ = enabled; }
+  [[nodiscard]] bool verificationEnabled() const noexcept { return verify_inserts_; }
+
+  /// Chaos hook (kStaleReplay): a buggy cache that keeps serving entries
+  /// past their freshness, ignoring MustBeFresh.
+  void setServeStale(bool on) noexcept { serve_stale_ = on; }
+  [[nodiscard]] bool servesStale() const noexcept { return serve_stale_; }
+
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t poisonedRejects() const noexcept {
+    return poisoned_rejects_;
+  }
+  [[nodiscard]] std::uint64_t poisonedEvictions() const noexcept {
+    return poisoned_evictions_;
+  }
 
  private:
   struct Entry {
@@ -53,8 +80,12 @@ class ContentStore {
   // Ordered index enables prefix scans for CanBePrefix lookups.
   std::map<Name, std::pair<Entry, LruList::iterator>> index_;
   LruList lru_;  // front = most recently used
+  bool verify_inserts_ = true;
+  bool serve_stale_ = false;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t poisoned_rejects_ = 0;
+  std::uint64_t poisoned_evictions_ = 0;
 };
 
 }  // namespace lidc::ndn

@@ -79,6 +79,8 @@ void Forwarder::attachTelemetry(telemetry::MetricsRegistry& registry,
   telemetry_->noRoute = mirror("lidc_forwarder_no_route", counters_.nNoRoute);
   telemetry_->unsolicitedData =
       mirror("lidc_forwarder_unsolicited_data", counters_.nUnsolicitedData);
+  telemetry_->integrityDrops =
+      mirror("lidc_integrity_drops_total", counters_.nIntegrityDrops);
   telemetry_->tracer = tracer;
 
   // Per-face counters and table occupancy change too often to mirror
@@ -108,6 +110,10 @@ void Forwarder::attachTelemetry(telemetry::MetricsRegistry& registry,
     registry.gauge("lidc_pit_size", labels).set(static_cast<double>(pit_.size()));
     registry.counter("lidc_cs_hits", labels).set(cs_.hits());
     registry.counter("lidc_cs_misses", labels).set(cs_.misses());
+    registry.counter("lidc_cs_poisoned_rejects_total", labels)
+        .set(cs_.poisonedRejects());
+    registry.counter("lidc_cs_poisoned_evictions_total", labels)
+        .set(cs_.poisonedEvictions());
   });
 }
 
@@ -202,6 +208,19 @@ void Forwarder::onIncomingData(Face& inFace, const Data& data) {
   if (telemetry_) telemetry_->inData->inc();
   LIDC_LOG(kTrace, "forwarder") << name_ << " <- Data " << data.name().toUri()
                                 << " via face " << inFace.id();
+
+  // Integrity gate: a signed packet whose digest no longer matches was
+  // corrupted in flight (or poisoned at a cache). Dropping it here —
+  // before the CS and before PIT satisfaction — means the downstream
+  // consumer sees a plain timeout and retries, and no cache along the
+  // path ever stores the bad copy.
+  if (verify_data_ && data.hasSignature() && !data.verify()) {
+    ++counters_.nIntegrityDrops;
+    if (telemetry_) telemetry_->integrityDrops->inc();
+    LIDC_FR_EVENT(recorder_, kWarn, "forwarder",
+                  name_ + " integrity-drop " + data.name().toUri());
+    return;
+  }
 
   auto matches = pit_.findMatches(data);
   if (matches.empty()) {

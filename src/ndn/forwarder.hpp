@@ -38,6 +38,9 @@ struct ForwarderCounters {
   std::uint64_t nDuplicateNonce = 0;
   std::uint64_t nNoRoute = 0;
   std::uint64_t nUnsolicitedData = 0;
+  /// Incoming Data dropped because its signature failed verification
+  /// (poisoned packets never reach the CS or downstream consumers).
+  std::uint64_t nIntegrityDrops = 0;
 };
 
 class Forwarder {
@@ -72,6 +75,19 @@ class Forwarder {
   [[nodiscard]] DeadNonceList& deadNonceList() noexcept { return dnl_; }
   [[nodiscard]] RttMeasurements& measurements() noexcept { return measurements_; }
   [[nodiscard]] const ForwarderCounters& counters() const noexcept { return counters_; }
+
+  /// Data-plane integrity enforcement (on by default): incoming Data
+  /// whose signature fails verification is dropped and counted instead
+  /// of being cached or satisfying PIT entries, and the CS rejects
+  /// poisoned inserts. Turning it off restores the undefended baseline
+  /// (bench_gray_failures measures the difference).
+  void setDataVerification(bool enabled) noexcept {
+    verify_data_ = enabled;
+    cs_.setVerification(enabled);
+  }
+  [[nodiscard]] bool dataVerificationEnabled() const noexcept {
+    return verify_data_;
+  }
 
   // --- telemetry ---
   /// Mirrors every ForwarderCounters increment into `registry` as
@@ -122,6 +138,7 @@ class Forwarder {
     telemetry::Counter* duplicateNonce = nullptr;
     telemetry::Counter* noRoute = nullptr;
     telemetry::Counter* unsolicitedData = nullptr;
+    telemetry::Counter* integrityDrops = nullptr;
     telemetry::Tracer* tracer = nullptr;
   };
 
@@ -139,6 +156,7 @@ class Forwarder {
   DeadNonceList dnl_;
   RttMeasurements measurements_;
   ForwarderCounters counters_;
+  bool verify_data_ = true;
   std::unique_ptr<TelemetryHooks> telemetry_;
   telemetry::FlightRecorder* recorder_ = nullptr;
   // Strategy-choice table: ordered by name for longest-prefix resolution.

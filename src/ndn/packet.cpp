@@ -40,6 +40,9 @@ tlv::Buffer Interest::wireEncode() const {
       tlv::kInterestLifetime,
       static_cast<std::uint64_t>(std::max<std::int64_t>(0, lifetime_.toNanos() / 1'000'000)));
   inner.writeNonNegativeInteger(tlv::kHopLimit, hop_limit_);
+  if (exclude_digest_) {
+    inner.writeNonNegativeInteger(tlv::kExcludeDigest, *exclude_digest_);
+  }
   if (!app_parameters_.empty()) {
     inner.writeBlock(tlv::kApplicationParameters,
                      std::span<const std::uint8_t>(app_parameters_.data(),
@@ -96,6 +99,12 @@ Result<Interest> Interest::wireDecode(std::span<const std::uint8_t> wire) {
       case tlv::kApplicationParameters:
         interest.app_parameters_.assign(element->value.begin(), element->value.end());
         break;
+      case tlv::kExcludeDigest: {
+        auto v = tlv::Decoder::readNonNegativeInteger(element->value);
+        if (!v) return v.status();
+        interest.exclude_digest_ = *v;
+        break;
+      }
       default:
         // Unknown non-critical elements are skipped (NDN evolvability rule).
         break;

@@ -56,6 +56,17 @@ class Interest {
     return *this;
   }
 
+  /// Digest exclusion hint: a re-expressed Interest carrying the digest
+  /// of a Data packet that failed verification asks content stores to
+  /// skip that exact (poisoned) copy and go further upstream.
+  [[nodiscard]] std::optional<std::uint64_t> excludeDigest() const noexcept {
+    return exclude_digest_;
+  }
+  Interest& setExcludeDigest(std::uint64_t digest) noexcept {
+    exclude_digest_ = digest;
+    return *this;
+  }
+
   [[nodiscard]] const std::vector<std::uint8_t>& applicationParameters()
       const noexcept {
     return app_parameters_;
@@ -94,6 +105,7 @@ class Interest {
   std::uint32_t nonce_ = 0;
   sim::Duration lifetime_ = sim::Duration::millis(4000);
   std::uint8_t hop_limit_ = 64;
+  std::optional<std::uint64_t> exclude_digest_;
   std::vector<std::uint8_t> app_parameters_;
   telemetry::TraceContext trace_;
 };
@@ -147,6 +159,11 @@ class Data {
   Data& sign();
   /// True if a signature is present and matches the payload.
   [[nodiscard]] bool verify() const;
+  /// True once sign() has run (or a signature arrived on the wire).
+  [[nodiscard]] bool hasSignature() const noexcept { return signature_.has_value(); }
+  /// Digest of the packet as it stands now — the value a matching
+  /// excludeDigest hint would carry for this exact copy.
+  [[nodiscard]] std::uint64_t contentDigest() const { return computeDigest(); }
 
   [[nodiscard]] tlv::Buffer wireEncode() const;
   static Result<Data> wireDecode(std::span<const std::uint8_t> wire);

@@ -35,6 +35,10 @@ enum Type : std::uint32_t {
   // Network NACK (from NDNLPv2, simplified to a top-level TLV here).
   kNack = 0x0320,
   kNackReason = 0x0321,
+  // LIDC extension: digest exclusion hint on retransmitted Interests,
+  // so caches skip an entry known to be poisoned (cf. the Exclude
+  // selector of classic NDN).
+  kExcludeDigest = 0x0330,
 };
 
 using Buffer = std::vector<std::uint8_t>;

@@ -63,11 +63,30 @@ void LinkFace::sendInterest(const ndn::Interest& interest) {
   });
 }
 
+ndn::Data Link::maybeCorrupt(const ndn::Data& data) {
+  if (params_.corruptRate <= 0 || data.content().empty() ||
+      !corrupt_rng_.bernoulli(params_.corruptRate)) {
+    return data;
+  }
+  ndn::Data damaged = data;
+  std::vector<std::uint8_t> content = damaged.content();
+  const std::size_t byte = corrupt_rng_.uniform(content.size());
+  content[byte] ^= static_cast<std::uint8_t>(1u << corrupt_rng_.uniform(8));
+  // setContent leaves any existing signature untouched, so the stale
+  // digest travels with the damaged payload — exactly what a bit-flip
+  // below the signature does on a real wire.
+  damaged.setContent(std::move(content));
+  ++corrupted_;
+  return damaged;
+}
+
 void LinkFace::sendData(const ndn::Data& data) {
   countOutData(data);
   LinkFace* remote = peer();
   if (remote == nullptr) return;
-  scheduleDelivery(data.wireSize(), [remote, data] { remote->receiveData(data); });
+  const ndn::Data delivered = link_->maybeCorrupt(data);
+  scheduleDelivery(delivered.wireSize(),
+                   [remote, delivered] { remote->receiveData(delivered); });
 }
 
 void LinkFace::sendNack(const ndn::Nack& nack) {

@@ -19,6 +19,11 @@ struct LinkParams {
   sim::Duration latency = sim::Duration::millis(1);
   double bandwidthBitsPerSec = 0.0;  // 0 = infinite (no serialization delay)
   double lossRate = 0.0;             // probability a packet is dropped
+  /// Probability a Data packet's payload is delivered with a seeded
+  /// bit-flip (gray failure: the packet arrives, but is wrong). The
+  /// stale pre-corruption signature travels with it, so verifying
+  /// forwarders catch the damage. Driven by ChaosEngine::corruption().
+  double corruptRate = 0.0;
 };
 
 class LinkFace;
@@ -27,7 +32,12 @@ class LinkFace;
 class Link {
  public:
   Link(sim::Simulator& sim, LinkParams params, std::uint64_t lossSeed = 42)
-      : sim_(sim), params_(params), loss_rng_(lossSeed) {}
+      : sim_(sim),
+        params_(params),
+        loss_rng_(lossSeed),
+        // Dedicated stream so enabling corruption never perturbs the
+        // loss schedule of an otherwise-identical seeded run.
+        corrupt_rng_(lossSeed ^ 0x9e3779b97f4a7c15ULL) {}
 
   /// Creates both faces and registers them with the two forwarders.
   /// Returns {faceId at a (towards b), faceId at b (towards a)}.
@@ -44,6 +54,12 @@ class Link {
 
   [[nodiscard]] std::uint64_t packetsDropped() const noexcept { return dropped_; }
   [[nodiscard]] std::uint64_t packetsDelivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t packetsCorrupted() const noexcept { return corrupted_; }
+
+  /// Replace the corruption stream. ChaosEngine::corruption() calls
+  /// this with a draw from its own seeded RNG so different chaos seeds
+  /// corrupt different packets on the same topology.
+  void reseedCorruption(std::uint64_t seed) noexcept { corrupt_rng_ = Rng(seed); }
 
  private:
   friend class LinkFace;
@@ -52,14 +68,19 @@ class Link {
   /// (serialization is FIFO per direction).
   sim::Duration transitDelay(std::size_t bytes, int direction);
   bool shouldDrop() { return params_.lossRate > 0 && loss_rng_.bernoulli(params_.lossRate); }
+  /// Returns `data` as the wire delivers it: usually verbatim, with one
+  /// seeded bit flipped in the payload when the corruption draw fires.
+  ndn::Data maybeCorrupt(const ndn::Data& data);
 
   sim::Simulator& sim_;
   LinkParams params_;
   Rng loss_rng_;
+  Rng corrupt_rng_;
   bool up_ = true;
   sim::Time next_free_[2];
   std::uint64_t dropped_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t corrupted_ = 0;
   LinkFace* ends_[2] = {nullptr, nullptr};
 };
 

@@ -17,6 +17,10 @@ std::string_view faultKindName(FaultKind kind) noexcept {
     case FaultKind::kNodeCrash: return "node-crash";
     case FaultKind::kClusterCrash: return "cluster-crash";
     case FaultKind::kBlackout: return "blackout";
+    case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kSlowNode: return "slow-node";
+    case FaultKind::kGrayGateway: return "gray-gateway";
+    case FaultKind::kStaleReplay: return "stale-replay";
     case FaultKind::kCustom: return "custom";
   }
   return "unknown";
@@ -134,6 +138,55 @@ void ChaosEngine::clusterCrash(std::string label, k8s::Cluster& cluster, Time at
 void ChaosEngine::blackout(std::string label, Time at, Duration window,
                            std::function<void(bool)> toggle) {
   const std::size_t fault = declare(std::move(label), FaultKind::kBlackout);
+  schedulePhase(fault, at, /*inject=*/true, [toggle] { toggle(true); });
+  schedulePhase(fault, at + window, /*inject=*/false, [toggle] { toggle(false); });
+}
+
+void ChaosEngine::corruption(std::string label, net::Link& link, Time at,
+                             Duration window, double corruptRate) {
+  const std::size_t fault = declare(std::move(label), FaultKind::kCorruption);
+  auto previous = std::make_shared<double>(0.0);
+  // Drawn at declaration so the stream depends only on the chaos seed
+  // and the declaration order, never on injection timing.
+  const std::uint64_t corruptSeed = rng_();
+  schedulePhase(fault, at, /*inject=*/true,
+                [&link, previous, corruptRate, corruptSeed] {
+    net::LinkParams params = link.params();
+    *previous = params.corruptRate;
+    params.corruptRate = corruptRate;
+    link.setParams(params);
+    link.reseedCorruption(corruptSeed);
+  });
+  schedulePhase(fault, at + window, /*inject=*/false, [&link, previous] {
+    net::LinkParams params = link.params();
+    params.corruptRate = *previous;
+    link.setParams(params);
+  });
+}
+
+void ChaosEngine::slowNode(std::string label, k8s::Cluster& cluster,
+                           std::string node, Time at, Duration window,
+                           double factor) {
+  const std::size_t fault = declare(std::move(label), FaultKind::kSlowNode);
+  schedulePhase(fault, at, /*inject=*/true, [&cluster, node, factor] {
+    cluster.setNodeSlowdown(node, factor);
+  });
+  schedulePhase(fault, at + window, /*inject=*/false,
+                [&cluster, node = std::move(node)] {
+                  cluster.setNodeSlowdown(node, 1.0);
+                });
+}
+
+void ChaosEngine::grayGateway(std::string label, Time at, Duration window,
+                              std::function<void(bool)> toggle) {
+  const std::size_t fault = declare(std::move(label), FaultKind::kGrayGateway);
+  schedulePhase(fault, at, /*inject=*/true, [toggle] { toggle(true); });
+  schedulePhase(fault, at + window, /*inject=*/false, [toggle] { toggle(false); });
+}
+
+void ChaosEngine::staleReplay(std::string label, Time at, Duration window,
+                              std::function<void(bool)> toggle) {
+  const std::size_t fault = declare(std::move(label), FaultKind::kStaleReplay);
   schedulePhase(fault, at, /*inject=*/true, [toggle] { toggle(true); });
   schedulePhase(fault, at + window, /*inject=*/false, [toggle] { toggle(false); });
 }

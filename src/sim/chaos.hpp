@@ -30,6 +30,11 @@ enum class FaultKind {
   kNodeCrash,     // k8s node failure (pods evicted, jobs fail/retry)
   kClusterCrash,  // every node of a cluster fails
   kBlackout,      // a component silently drops all traffic for a window
+  // Gray failures: the component keeps answering, but wrongly.
+  kCorruption,    // seeded bit-flips in Data payloads crossing a link
+  kSlowNode,      // node serves 10-50x slower while still Ready
+  kGrayGateway,   // gateway admits jobs, returns Pending forever
+  kStaleReplay,   // a cache re-serves old Data past its freshness
   kCustom,        // caller-supplied action
 };
 
@@ -89,6 +94,32 @@ class ChaosEngine {
   /// after `window`. Used for gateway blackouts via Gateway::setBlackout.
   void blackout(std::string label, Time at, Duration window,
                 std::function<void(bool)> toggle);
+
+  // --- gray failures ----------------------------------------------------
+
+  /// Raises the link's payload corruption rate to `corruptRate` during
+  /// the window (seeded bit-flips; signatures go stale, so verifying
+  /// forwarders drop the damage). Restores the previous rate afterwards.
+  void corruption(std::string label, net::Link& link, Time at, Duration window,
+                  double corruptRate);
+
+  /// Degrades one node's service rate by `factor` (e.g. 20 = 20x slower)
+  /// for the window while it keeps reporting Ready — the classic
+  /// limping-but-alive node that passes every health probe.
+  void slowNode(std::string label, k8s::Cluster& cluster, std::string node,
+                Time at, Duration window, double factor);
+
+  /// Gray gateway window: `toggle(true)` at `at`, `toggle(false)` after
+  /// `window`. Wire to Gateway::setGrayFailure — the gateway admits jobs
+  /// and answers polls, but nothing ever runs.
+  void grayGateway(std::string label, Time at, Duration window,
+                   std::function<void(bool)> toggle);
+
+  /// Stale-replay window: `toggle(true)`/`toggle(false)` around a cache
+  /// that starts ignoring freshness (ContentStore::setServeStale) and
+  /// re-serves old versioned Data against MustBeFresh Interests.
+  void staleReplay(std::string label, Time at, Duration window,
+                   std::function<void(bool)> toggle);
 
   /// One-shot custom fault.
   void custom(std::string label, Time at, std::function<void()> apply);

@@ -1,5 +1,6 @@
 #include "workflow/engine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <utility>
@@ -201,9 +202,64 @@ void WorkflowEngine::dispatchStage(const std::shared_ptr<Run>& run,
 
   auto request =
       std::make_shared<core::ComputeRequest>(buildRequest(run->spec, stage));
+  auto race = std::make_shared<StageRace>();
+  launchStageLeg(run, index, request, race, /*isHedge=*/false);
+  armStageHedge(run, index, request, race);
+}
+
+/// Shared state of one stage dispatch: the primary leg plus (possibly)
+/// a straggler hedge racing it. First terminal leg settles the stage.
+struct WorkflowEngine::StageRace {
+  bool settled = false;
+  int outstanding = 0;
+};
+
+void WorkflowEngine::armStageHedge(const std::shared_ptr<Run>& run,
+                                   std::size_t index,
+                                   std::shared_ptr<core::ComputeRequest> request,
+                                   std::shared_ptr<StageRace> race) {
+  if (!options_.enableHedging) return;
+  // Arm the straggler watchdog: if the stage is still Running past
+  // hedgeMultiplier x the predicted runtime (or the floor, whichever is
+  // larger), race a backup dispatch against it. The backup's fresh
+  // request id frees the forwarding strategy to place it on a
+  // different — hopefully non-limping — cluster.
+  const auto predicted = predictor_.predict(*request);
+  sim::Duration delay = options_.hedgeFloor;
+  if (predicted.has_value()) {
+    delay = std::max(delay, *predicted * options_.hedgeMultiplier);
+  }
+  client_.simulator().scheduleAfter(delay, [this, run, index, request, race] {
+    if (race->settled || run->finished) return;
+    if (run->statuses[index].state != StageState::kRunning) return;
+    ++stage_hedges_;
+    if (telemetry_) telemetry_->stageHedges->inc();
+    trace(run, "hedge " + run->spec.stages[index].name);
+    launchStageLeg(run, index, request, race, /*isHedge=*/true);
+  });
+}
+
+void WorkflowEngine::launchStageLeg(const std::shared_ptr<Run>& run,
+                                    std::size_t index,
+                                    std::shared_ptr<core::ComputeRequest> request,
+                                    std::shared_ptr<StageRace> race,
+                                    bool isHedge) {
+  ++race->outstanding;
   client_.runToCompletion(
       *request,
-      [this, run, index, request](Result<core::JobOutcome> result) {
+      [this, run, index, request, race, isHedge](Result<core::JobOutcome> result) {
+        --race->outstanding;
+        if (race->settled) return;  // the other leg already settled the stage
+        const bool completed =
+            result.ok() && result->finalStatus.state == k8s::JobState::kCompleted;
+        if (!completed && race->outstanding > 0) {
+          // This leg lost, but its sibling is still racing: let the
+          // stage ride on the survivor instead of burning a retry.
+          trace(run, "leg-failed " + run->spec.stages[index].name +
+                         " (sibling still racing)");
+          return;
+        }
+        race->settled = true;
         StageStatus& status = run->statuses[index];
         if (result.ok()) {
           status.cluster = result->finalStatus.cluster;
@@ -211,8 +267,12 @@ void WorkflowEngine::dispatchStage(const std::shared_ptr<Run>& run,
           status.runtime = result->finalStatus.runtime;
           status.outputBytes = result->finalStatus.outputBytes;
         }
-        if (result.ok() &&
-            result->finalStatus.state == k8s::JobState::kCompleted) {
+        if (completed) {
+          if (isHedge) {
+            ++stage_hedges_won_;
+            if (telemetry_) telemetry_->stageHedgesWon->inc();
+            trace(run, "hedge-won " + run->spec.stages[index].name);
+          }
           predictor_.record(*request, result->finalStatus.runtime);
           if (options_.localityAware) {
             completeStage(run, index);
@@ -459,6 +519,11 @@ void WorkflowEngine::attachTelemetry(telemetry::MetricsRegistry& registry,
       &registry.counter("lidc_workflow_stages_dispatched");
   telemetry_->stagesDispatched->set(stages_dispatched_);
   telemetry_->stageRetries = &registry.counter("lidc_workflow_stage_retries");
+  telemetry_->stageHedges = &registry.counter("lidc_workflow_stage_hedges");
+  telemetry_->stageHedges->set(stage_hedges_);
+  telemetry_->stageHedgesWon =
+      &registry.counter("lidc_workflow_stage_hedges_won");
+  telemetry_->stageHedgesWon->set(stage_hedges_won_);
   telemetry_->lineageRecoveries =
       &registry.counter("lidc_workflow_lineage_recoveries");
   telemetry_->bytesMoved = &registry.counter("lidc_workflow_bytes_moved");

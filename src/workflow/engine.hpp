@@ -77,6 +77,14 @@ struct WorkflowOptions {
   std::function<double()> fleetHealth;
   double minFleetHealth = 0.0;
   sim::Duration healthRecheckInterval = sim::Duration::millis(500);
+  /// Straggler hedging: a Running stage that exceeds hedgeMultiplier x
+  /// its predicted runtime (floored at hedgeFloor; the floor alone when
+  /// the predictor has no estimate) gets a backup dispatch with a fresh
+  /// request id. First terminal leg settles the stage; a slow-node
+  /// straggler loses the race instead of stretching the makespan.
+  bool enableHedging = false;
+  double hedgeMultiplier = 3.0;
+  sim::Duration hedgeFloor = sim::Duration::seconds(30);
 };
 
 /// Terminal per-stage report.
@@ -136,6 +144,11 @@ class WorkflowEngine {
   [[nodiscard]] std::uint64_t stagesDispatched() const noexcept {
     return stages_dispatched_;
   }
+  /// Straggler hedges launched / won by the backup leg.
+  [[nodiscard]] std::uint64_t stageHedges() const noexcept { return stage_hedges_; }
+  [[nodiscard]] std::uint64_t stageHedgesWon() const noexcept {
+    return stage_hedges_won_;
+  }
 
   /// Mirrors engine activity into `registry` (runs, stage dispatches/
   /// retries, lineage recoveries, bytes moved, makespan histogram). With
@@ -146,9 +159,19 @@ class WorkflowEngine {
 
  private:
   struct Run;
+  struct StageRace;
 
   void dispatchReady(const std::shared_ptr<Run>& run);
   void dispatchStage(const std::shared_ptr<Run>& run, std::size_t index);
+  /// Runs one leg (primary or hedge) of a stage's dispatch race.
+  void launchStageLeg(const std::shared_ptr<Run>& run, std::size_t index,
+                      std::shared_ptr<core::ComputeRequest> request,
+                      std::shared_ptr<StageRace> race, bool isHedge);
+  /// Schedules the straggler-hedge timer for a just-dispatched stage
+  /// (no-op unless enableHedging).
+  void armStageHedge(const std::shared_ptr<Run>& run, std::size_t index,
+                     std::shared_ptr<core::ComputeRequest> request,
+                     std::shared_ptr<StageRace> race);
   void stageIntermediate(const std::shared_ptr<Run>& run, std::size_t index,
                          const std::string& resultPath);
   void completeStage(const std::shared_ptr<Run>& run, std::size_t index);
@@ -169,6 +192,8 @@ class WorkflowEngine {
     telemetry::Counter* runsFailed = nullptr;
     telemetry::Counter* stagesDispatched = nullptr;
     telemetry::Counter* stageRetries = nullptr;
+    telemetry::Counter* stageHedges = nullptr;
+    telemetry::Counter* stageHedgesWon = nullptr;
     telemetry::Counter* lineageRecoveries = nullptr;
     telemetry::Counter* bytesMoved = nullptr;
     telemetry::Histogram* makespanUs = nullptr;
@@ -180,6 +205,8 @@ class WorkflowEngine {
   core::CompletionTimePredictor predictor_;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t stages_dispatched_ = 0;
+  std::uint64_t stage_hedges_ = 0;
+  std::uint64_t stage_hedges_won_ = 0;
   std::unique_ptr<Telemetry> telemetry_;
 };
 

@@ -1,0 +1,173 @@
+// Per-cluster circuit breaker (gray-failure defense): consecutive
+// failures trip it open, the open window is seeded-jittered, half-open
+// admits a bounded number of probes, and a probe verdict closes or
+// re-opens it. Placement steers away from clusters whose breaker is
+// open.
+#include "core/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/overlay.hpp"
+
+namespace lidc::core {
+namespace {
+
+sim::Time at(double seconds) {
+  return sim::Time{} + sim::Duration::seconds(seconds);
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowFailureThreshold) {
+  BreakerOptions options;
+  options.failureThreshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.recordFailure(at(1));
+  breaker.recordFailure(at(2));
+  EXPECT_EQ(breaker.state(at(3)), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allowRequest(at(3)));
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureCount) {
+  BreakerOptions options;
+  options.failureThreshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.recordFailure(at(1));
+  breaker.recordFailure(at(2));
+  breaker.recordSuccess(at(3));  // streak broken
+  breaker.recordFailure(at(4));
+  breaker.recordFailure(at(5));
+  EXPECT_EQ(breaker.state(at(6)), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, TripsOpenAtThresholdAndRefusesRequests) {
+  BreakerOptions options;
+  options.failureThreshold = 3;
+  options.openDuration = sim::Duration::seconds(10);
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 3; ++i) breaker.recordFailure(at(i));
+  EXPECT_EQ(breaker.state(at(3)), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allowRequest(at(3)));
+  EXPECT_FALSE(breaker.allowRequest(at(4)));
+  EXPECT_EQ(breaker.rejected(), 2u);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterWindowAndBoundsProbes) {
+  BreakerOptions options;
+  options.failureThreshold = 1;
+  options.openDuration = sim::Duration::seconds(10);
+  options.openJitter = 0.0;  // deterministic window for the assertion
+  options.halfOpenProbes = 2;
+  options.successesToClose = 2;
+  CircuitBreaker breaker(options);
+  breaker.recordFailure(at(0));
+  EXPECT_EQ(breaker.state(at(5)), BreakerState::kOpen);
+  EXPECT_EQ(breaker.state(at(10)), BreakerState::kHalfOpen);
+  // Exactly halfOpenProbes trial requests are admitted.
+  EXPECT_TRUE(breaker.allowRequest(at(11)));
+  EXPECT_TRUE(breaker.allowRequest(at(11)));
+  EXPECT_FALSE(breaker.allowRequest(at(11)));
+  // Both probes succeed -> closed again.
+  breaker.recordSuccess(at(12));
+  EXPECT_EQ(breaker.state(at(12)), BreakerState::kHalfOpen);
+  breaker.recordSuccess(at(12));
+  EXPECT_EQ(breaker.state(at(12)), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allowRequest(at(13)));
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensImmediately) {
+  BreakerOptions options;
+  options.failureThreshold = 1;
+  options.openDuration = sim::Duration::seconds(10);
+  options.openJitter = 0.0;
+  CircuitBreaker breaker(options);
+  breaker.recordFailure(at(0));
+  EXPECT_EQ(breaker.state(at(10)), BreakerState::kHalfOpen);
+  ASSERT_TRUE(breaker.allowRequest(at(10)));
+  breaker.recordFailure(at(11));
+  EXPECT_EQ(breaker.state(at(11)), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allowRequest(at(12)));
+}
+
+TEST(CircuitBreakerTest, OpenWindowJitterIsSeededAndDeterministic) {
+  BreakerOptions options;
+  options.failureThreshold = 1;
+  options.openDuration = sim::Duration::seconds(10);
+  options.openJitter = 0.5;  // window in [10s, 15s)
+  auto halfOpenTime = [&](std::uint64_t seed) {
+    CircuitBreaker breaker(options, seed);
+    breaker.recordFailure(at(0));
+    // Scan simulated time for the open -> half-open edge.
+    for (int ms = 0; ms <= 20'000; ++ms) {
+      const sim::Time now = sim::Time{} + sim::Duration::millis(ms);
+      if (breaker.state(now) == BreakerState::kHalfOpen) return ms;
+    }
+    return -1;
+  };
+  const int first = halfOpenTime(42);
+  EXPECT_EQ(first, halfOpenTime(42));  // same seed, same window
+  EXPECT_GE(first, 10'000);
+  EXPECT_LE(first, 15'000);
+  // A different seed draws a different jitter (for these two seeds).
+  EXPECT_NE(first, halfOpenTime(43));
+}
+
+TEST(CircuitBreakerTest, ListenerSeesEveryTransitionInOrder) {
+  BreakerOptions options;
+  options.failureThreshold = 1;
+  options.openDuration = sim::Duration::seconds(10);
+  options.openJitter = 0.0;
+  CircuitBreaker breaker(options);
+  std::vector<BreakerState> transitions;
+  breaker.setListener([&](BreakerState s) { transitions.push_back(s); });
+  breaker.recordFailure(at(0));          // closed -> open
+  (void)breaker.state(at(10));           // open -> half-open
+  ASSERT_TRUE(breaker.allowRequest(at(10)));
+  breaker.recordSuccess(at(11));         // half-open -> closed
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], BreakerState::kOpen);
+  EXPECT_EQ(transitions[1], BreakerState::kHalfOpen);
+  EXPECT_EQ(transitions[2], BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, BreakerStateNamesAreStable) {
+  EXPECT_EQ(breakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_EQ(breakerStateName(BreakerState::kOpen), "open");
+  EXPECT_EQ(breakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+// An open breaker feeds placement: the cluster's compute route gets
+// breakerCostUs added, so the named network steers new submissions to
+// healthy clusters without any client-side cluster pinning.
+TEST(CircuitBreakerTest, OpenBreakerRaisesPlacementCost) {
+  sim::Simulator sim;
+  ClusterOverlay overlay(sim);
+  overlay.addNode("client-host");
+  ComputeClusterConfig config;
+  config.name = "gray";
+  auto& cluster = overlay.addCluster(config);
+  (void)cluster;
+  overlay.connect("client-host", "gray",
+                  net::LinkParams{sim::Duration::millis(5)});
+  overlay.announceCluster("gray");
+
+  AdaptivePlacement placement(overlay);
+  EXPECT_FALSE(placement.breakerOpen("gray"));
+  placement.observeBreaker("gray", true);
+  EXPECT_TRUE(placement.breakerOpen("gray"));
+  placement.tick();
+  EXPECT_GE(placement.extraCostUs("gray"),
+            static_cast<std::uint64_t>(AdaptiveOptions{}.breakerCostUs));
+  // Breaker closing again removes the penalty.
+  placement.observeBreaker("gray", false);
+  placement.tick();
+  EXPECT_LT(placement.extraCostUs("gray"),
+            static_cast<std::uint64_t>(AdaptiveOptions{}.breakerCostUs));
+}
+
+}  // namespace
+}  // namespace lidc::core

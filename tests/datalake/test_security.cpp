@@ -21,6 +21,12 @@ class SecurityTest : public ::testing::Test {
     // producer is always consulted.
     client_.cs().setCapacity(0);
     server_.cs().setCapacity(0);
+    // These tests exercise the retriever's own (application-layer)
+    // verification, so the routers' on-path integrity filter — which
+    // would otherwise drop the tampered Data before the app sees it
+    // (test_forwarder covers that) — is switched off.
+    client_.setDataVerification(false);
+    server_.setDataVerification(false);
 
     producer_ = std::make_shared<ndn::AppFace>("app://evil", sim_, 66);
     server_.addFace(producer_);
@@ -101,6 +107,75 @@ TEST_F(SecurityTest, VerificationCanBeDisabled) {
                   });
   sim_.run();
   EXPECT_TRUE(fetched);  // caller opted out of authentication
+}
+
+// A poisoned cache entry must not wedge the transfer: the retriever's
+// re-fetch carries the bad payload's digest as an exclusion hint (plus
+// MustBeFresh), so the content store skips the poisoned entry and the
+// Interest reaches the producer, which now serves good bytes.
+TEST_F(SecurityTest, IntegrityRetryWithExclusionRecoversPoisonedCacheEntry) {
+  // Re-enable the client-side CS and let it cache without verifying —
+  // the worst case: a poisoned entry is already inside a cache that
+  // will happily re-serve it.
+  client_.cs().setCapacity(64);
+  client_.cs().setVerification(false);
+
+  int segmentServes = 0;
+  producer_->setInterestHandler([this, &segmentServes](const ndn::Interest& i) {
+    const std::string last = i.name()[i.name().size() - 1].toString();
+    ndn::Data data(i.name());
+    // Long freshness: MustBeFresh alone would NOT skip the cached
+    // poison; only the exclusion hint can.
+    data.setFreshnessPeriod(sim::Duration::seconds(30));
+    if (last == "meta") {
+      data.setContent("segments=1;size=5;segment_size=1024");
+      data.sign();
+    } else {
+      data.setContent("hello");
+      data.sign();
+      if (segmentServes++ == 0) {
+        // First serve is corrupted in the producer's buffer; later
+        // serves are clean.
+        auto bytes = data.content();
+        bytes[0] ^= 0xFF;
+        data.setContent(std::move(bytes));
+      }
+    }
+    producer_->receiveData(data);
+  });
+
+  Retriever retriever(*clientApp_);
+  std::optional<std::string> fetched;
+  retriever.fetch(ndn::Name("/ndn/k8s/data/obj"),
+                  [&](Result<std::vector<std::uint8_t>> r) {
+                    ASSERT_TRUE(r.ok()) << r.status();
+                    fetched = std::string(r->begin(), r->end());
+                  });
+  sim_.run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, "hello");
+  EXPECT_EQ(retriever.integrityRetries(), 1u);
+  EXPECT_EQ(segmentServes, 2);  // poisoned serve + the recovering one
+}
+
+// Bounded attempts: a producer that only ever serves poison exhausts
+// maxIntegrityRetries and the transfer fails PERMISSION_DENIED instead
+// of looping forever.
+TEST_F(SecurityTest, IntegrityRetriesAreBounded) {
+  serveObject(/*tamperSegment=*/true);
+  RetrieveOptions options;
+  options.maxIntegrityRetries = 2;
+  Retriever retriever(*clientApp_, options);
+  std::optional<Status> failure;
+  retriever.fetch(ndn::Name("/ndn/k8s/data/obj"),
+                  [&](Result<std::vector<std::uint8_t>> r) {
+                    ASSERT_FALSE(r.ok());
+                    failure = r.status();
+                  });
+  sim_.run();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(retriever.integrityRetries(), 2u);
 }
 
 }  // namespace

@@ -416,5 +416,111 @@ TEST(WorkflowEngineTest, ChaosRunIsByteIdenticalPerSeed) {
   EXPECT_NE(first.fingerprint(), "<no outcome>");
 }
 
+// Straggler hedging: a stage whose job lands on a limping node would
+// stretch the makespan by minutes; with hedging on, the engine
+// relaunches the stage after the hedge delay and the faster leg wins
+// the race while the straggler loses quietly (no retry burned, no
+// double completion).
+TEST(WorkflowEngineTest, StragglerStageIsRescuedByHedgeLeg) {
+  sim::Simulator sim;
+  core::ClusterOverlay overlay(sim);
+  overlay.addNode("client-host");
+  core::ComputeClusterConfig config;
+  config.name = "solo";
+  config.nodeCount = 2;
+  config.perNode = k8s::Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(8)};
+  auto& cc = overlay.addCluster(config);
+  int invocations = 0;
+  cc.cluster().registerApp("racer", [&invocations](k8s::AppContext&) {
+    k8s::AppResult result;
+    // The first launch is the straggler (think slow-node gray failure);
+    // the hedge's relaunch runs at normal speed.
+    result.runtime = invocations++ == 0 ? sim::Duration::minutes(10)
+                                        : sim::Duration::seconds(2);
+    return result;
+  });
+  cc.gateway().jobs().mapAppToImage("race", "racer");
+  overlay.connect("client-host", "solo", net::LinkParams{sim::Duration::millis(5)});
+  overlay.announceCluster("solo");
+  core::LidcClient client(*overlay.topology().node("client-host"), "wf-user",
+                          workflowClientOptions(), /*seed=*/777);
+
+  workflow::WorkflowOptions engineOptions;
+  engineOptions.enableHedging = true;
+  engineOptions.hedgeFloor = sim::Duration::seconds(10);
+  workflow::WorkflowEngine engine(client, engineOptions);
+
+  workflow::WorkflowSpec spec;
+  spec.id = "hedged";
+  workflow::StageSpec stage;
+  stage.name = "only";
+  stage.app = "race";
+  stage.cpu = MilliCpu::fromCores(1);
+  stage.memory = ByteSize::fromGiB(1);
+  spec.addStage(stage);
+
+  std::optional<Result<workflow::WorkflowOutcome>> outcome;
+  sim::Time settledAt;
+  engine.run(std::move(spec), [&](Result<workflow::WorkflowOutcome> r) {
+    outcome = std::move(r);
+    settledAt = sim.now();
+  });
+  sim.run();
+
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->ok()) << outcome->status();
+  EXPECT_TRUE((*outcome)->succeeded);
+  EXPECT_EQ((*outcome)->stages.at("only").state,
+            workflow::StageState::kCompleted);
+  EXPECT_EQ((*outcome)->stages.at("only").retries, 0);
+  EXPECT_EQ(engine.stageHedges(), 1u);
+  EXPECT_EQ(engine.stageHedgesWon(), 1u);
+  EXPECT_EQ(invocations, 2);
+  // The workflow settled on the hedge's timescale (~12 s), not the
+  // straggler's 10 minutes.
+  EXPECT_LE(settledAt.toNanos(),
+            (sim::Time::fromNanos(0) + sim::Duration::minutes(1)).toNanos());
+}
+
+TEST(WorkflowEngineTest, HedgingOffLetsTheStragglerRun) {
+  sim::Simulator sim;
+  core::ClusterOverlay overlay(sim);
+  overlay.addNode("client-host");
+  core::ComputeClusterConfig config;
+  config.name = "solo";
+  config.nodeCount = 2;
+  config.perNode = k8s::Resources{MilliCpu::fromCores(4), ByteSize::fromGiB(8)};
+  auto& cc = overlay.addCluster(config);
+  cc.cluster().registerApp("slowpoke", [](k8s::AppContext&) {
+    k8s::AppResult result;
+    result.runtime = sim::Duration::minutes(2);
+    return result;
+  });
+  cc.gateway().jobs().mapAppToImage("race", "slowpoke");
+  overlay.connect("client-host", "solo", net::LinkParams{sim::Duration::millis(5)});
+  overlay.announceCluster("solo");
+  core::LidcClient client(*overlay.topology().node("client-host"), "wf-user",
+                          workflowClientOptions(), /*seed=*/777);
+  workflow::WorkflowEngine engine(client);  // hedging off by default
+
+  workflow::WorkflowSpec spec;
+  spec.id = "unhedged";
+  workflow::StageSpec stage;
+  stage.name = "only";
+  stage.app = "race";
+  stage.cpu = MilliCpu::fromCores(1);
+  stage.memory = ByteSize::fromGiB(1);
+  spec.addStage(stage);
+
+  std::optional<Result<workflow::WorkflowOutcome>> outcome;
+  engine.run(std::move(spec), [&](Result<workflow::WorkflowOutcome> r) {
+    outcome = std::move(r);
+  });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value() && outcome->ok());
+  EXPECT_TRUE((*outcome)->succeeded);
+  EXPECT_EQ(engine.stageHedges(), 0u);
+}
+
 }  // namespace
 }  // namespace lidc

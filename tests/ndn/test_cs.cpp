@@ -124,5 +124,75 @@ TEST(ContentStoreTest, EraseAndClear) {
   EXPECT_EQ(cs.size(), 0u);
 }
 
+/// Signed, then tampered: the signature no longer matches the content.
+Data makePoisoned(const std::string& uri) {
+  Data data = makeData(uri);
+  auto bytes = data.content();
+  bytes[0] ^= 0x01;
+  data.setContent(std::move(bytes));
+  return data;
+}
+
+TEST(ContentStoreTest, PoisonedDataRejectedAtInsert) {
+  ContentStore cs;
+  cs.insert(makePoisoned("/a"), sim::Time());
+  EXPECT_EQ(cs.size(), 0u);
+  EXPECT_EQ(cs.poisonedRejects(), 1u);
+  EXPECT_FALSE(cs.find(makeInterest("/a"), sim::Time()).has_value());
+}
+
+TEST(ContentStoreTest, PoisonedEntryEvictedOnLookupNotServed) {
+  ContentStore cs;
+  // Let the bad entry in (verification off — e.g. an undefended bench),
+  // then flip the defense back on: the lookup must evict, not serve.
+  cs.setVerification(false);
+  cs.insert(makePoisoned("/a"), sim::Time());
+  ASSERT_EQ(cs.size(), 1u);
+  cs.setVerification(true);
+  EXPECT_FALSE(cs.find(makeInterest("/a"), sim::Time()).has_value());
+  EXPECT_EQ(cs.poisonedEvictions(), 1u);
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+TEST(ContentStoreTest, UnsignedDataIsAdmittedUnchanged) {
+  ContentStore cs;
+  Data data((Name("/plain")));
+  data.setContent("no signature at all");
+  cs.insert(data, sim::Time());
+  EXPECT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs.find(makeInterest("/plain"), sim::Time()).has_value());
+  EXPECT_EQ(cs.poisonedRejects(), 0u);
+}
+
+TEST(ContentStoreTest, ExcludeDigestSkipsTheHintedEntry) {
+  ContentStore cs;
+  const Data data = makeData("/a/b");
+  cs.insert(data, sim::Time());
+  Interest interest = makeInterest("/a/b");
+  interest.setExcludeDigest(data.contentDigest());
+  // The consumer flagged this exact payload as bad: the CS must not
+  // re-serve it, forcing the Interest upstream to the producer.
+  EXPECT_FALSE(cs.find(interest, sim::Time()).has_value());
+  // A different digest hint still hits.
+  Interest other = makeInterest("/a/b");
+  other.setExcludeDigest(data.contentDigest() ^ 1u);
+  EXPECT_TRUE(cs.find(other, sim::Time()).has_value());
+}
+
+TEST(ContentStoreTest, ServeStaleModeReplaysExpiredEntriesAgainstMustBeFresh) {
+  ContentStore cs;
+  cs.insert(makeData("/a", sim::Duration::seconds(1)), sim::Time());
+  const sim::Time later = sim::Time() + sim::Duration::seconds(5);
+  const Interest fresh = makeInterest("/a", false, /*mustBeFresh=*/true);
+  // Healthy cache: the entry expired 4 s ago, MustBeFresh misses.
+  EXPECT_FALSE(cs.find(fresh, later).has_value());
+  // Gray cache (ChaosEngine::staleReplay toggles this): the same
+  // Interest is answered with the stale entry.
+  cs.setServeStale(true);
+  EXPECT_TRUE(cs.find(fresh, later).has_value());
+  cs.setServeStale(false);
+  EXPECT_FALSE(cs.find(fresh, later).has_value());
+}
+
 }  // namespace
 }  // namespace lidc::ndn
