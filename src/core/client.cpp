@@ -34,16 +34,36 @@ std::uint64_t fnv1a(const std::string& text) {
 bool isRetryableNack(ndn::NackReason reason) {
   // Congestion (cluster full / unhealthy) and missing routes (route
   // flaps during failover, clusters mid-rejoin) are transient cluster or
-  // network conditions; duplicates and the rest are not helped by
-  // re-expressing the same name.
+  // network conditions; quota rejections clear once the tenant's queued
+  // work drains or its token bucket refills, so a (slow) retry can
+  // succeed. Duplicates and the rest are not helped by re-expressing
+  // the same name.
   return reason == ndn::NackReason::kCongestion ||
-         reason == ndn::NackReason::kNoRoute;
+         reason == ndn::NackReason::kNoRoute ||
+         reason == ndn::NackReason::kQuotaExceeded;
+}
+
+/// Distinct quota signal: RESOURCE_EXHAUSTED tells the caller this is
+/// its own budget, not a sick cluster — back off, don't fail over.
+Status nackStatus(ndn::NackReason reason, const std::string& what, int attempts) {
+  const std::string detail = what + " nacked after " +
+                             std::to_string(attempts) + " attempts: " +
+                             std::string(ndn::nackReasonName(reason));
+  if (reason == ndn::NackReason::kQuotaExceeded) {
+    return Status::ResourceExhausted(detail);
+  }
+  return Status::Unavailable(detail);
 }
 }  // namespace
 
 sim::Time LidcClient::deadlineFor(sim::Time startedAt) const {
   if (options_.deadline.toNanos() <= 0) return kNoDeadline;
   return startedAt + options_.deadline;
+}
+
+ndn::Name LidcClient::requestName(const ComputeRequest& request) const {
+  if (options_.tenant.empty()) return request.toName();
+  return makeSubmitName(options_.tenant, request);
 }
 
 void LidcClient::attachTelemetry(telemetry::MetricsRegistry& registry,
@@ -158,7 +178,13 @@ void LidcClient::retryOrGiveUp(std::shared_ptr<ComputeRequest> request,
     done(std::move(why));
     return;
   }
-  const sim::Duration delay = backoffDelay(attempt);
+  sim::Duration delay = backoffDelay(attempt);
+  if (why.code() == StatusCode::kResourceExhausted &&
+      options_.quotaBackoffScale > 1.0) {
+    // Quota pressure is global (the tenant's budget, not this path):
+    // retrying fast or failing over cannot help, so wait it out.
+    delay = delay * options_.quotaBackoffScale;
+  }
   if (forwarder_.simulator().now() + delay > deadlineAt) {
     done(Status::Timeout("deadline exceeded after " +
                          std::to_string(attempt + 1) + " submit attempts (" +
@@ -211,7 +237,7 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
     }
   };
 
-  ndn::Interest interest(request->toName());
+  ndn::Interest interest(requestName(*request));
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(span);
   // MustBeFresh keeps network caches from answering with acks older
@@ -259,9 +285,7 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
       [this, request, attempt, startedAt, deadlineAt, done, closeSpan,
        parent](const ndn::Interest&, const ndn::Nack& nack) {
         closeSpan("nack");
-        Status why = Status::Unavailable(
-            "compute request nacked after " + std::to_string(attempt + 1) +
-            " attempts: " + std::string(ndn::nackReasonName(nack.reason())));
+        Status why = nackStatus(nack.reason(), "compute request", attempt + 1);
         if (isRetryableNack(nack.reason())) {
           retryOrGiveUp(request, attempt, startedAt, deadlineAt, done,
                         std::move(why), parent);
@@ -352,7 +376,7 @@ void LidcClient::sendSubmitLeg(std::shared_ptr<HedgeRace> race, bool isHedge,
     }
   };
 
-  ndn::Interest interest(legRequest->toName());
+  ndn::Interest interest(requestName(*legRequest));
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(span);
   interest.setMustBeFresh(true);
@@ -412,9 +436,7 @@ void LidcClient::sendSubmitLeg(std::shared_ptr<HedgeRace> race, bool isHedge,
         closeSpan("nack");
         if (race->settled) return;
         --race->outstanding;
-        race->error = Status::Unavailable(
-            "compute request nacked after " + std::to_string(attempt + 1) +
-            " attempts: " + std::string(ndn::nackReasonName(nack.reason())));
+        race->error = nackStatus(nack.reason(), "compute request", attempt + 1);
         race->retryable = isRetryableNack(nack.reason());
         if (race->outstanding == 0) {
           // Every leg failed; settle so a pending hedge timer is a no-op.
@@ -678,6 +700,13 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
       [this, request, failover, startedAt, deadlineAt, done,
        root](Result<SubmitResult> submitted) {
         if (!submitted.ok()) {
+          if (submitted.status().code() == StatusCode::kResourceExhausted) {
+            // The tenant's quota is exhausted federation-wide; a fresh
+            // request id on another cluster hits the same budget. Report
+            // RESOURCE_EXHAUSTED instead of burning the failover budget.
+            done(submitted.status());
+            return;
+          }
           failoverOrGiveUp(request, failover, startedAt, deadlineAt, done,
                            submitted.status(), std::nullopt, root);
           return;
@@ -833,6 +862,9 @@ void LidcClient::publishData(const std::string& path,
     digest *= 0x100000001b3ULL;
   }
   ndn::Name name = kPublishPrefix;
+  // Tenant attribution: QoS gateways charge the publish against the
+  // tenant's byte quota and strip the component from the stored name.
+  if (!options_.tenant.empty()) name.append("tenant=" + options_.tenant);
   for (auto part : strings::splitSkipEmpty(path, '/')) name.append(part);
   name.append("sha=" + std::to_string(digest));
 
@@ -875,8 +907,7 @@ void LidcClient::publishData(const std::string& path,
       },
       [done, closeSpan](const ndn::Interest&, const ndn::Nack& nack) {
         closeSpan("nack");
-        done(Status::Unavailable("publish nacked: " +
-                                 std::string(ndn::nackReasonName(nack.reason()))));
+        done(nackStatus(nack.reason(), "publish", 1));
       },
       [done, closeSpan](const ndn::Interest& i) {
         closeSpan("timeout");

@@ -128,6 +128,15 @@ struct ClientOptions {
   /// run), so runToCompletion() records a breaker failure and fails
   /// over. Zero disables the watchdog.
   sim::Duration pendingProgressTtl{};
+  /// Tenant context: when set, submits go out under the tenant-scoped
+  /// /ndn/k8s/submit/<tenant>/... namespace (QoS gateways apply quotas
+  /// and fair-share queueing) and publishes carry a tenant component
+  /// charged against the tenant's byte quota. A kQuotaExceeded nack maps
+  /// to RESOURCE_EXHAUSTED and backs off quotaBackoffScale times slower
+  /// than ordinary retries — quota pressure is global, so hammering the
+  /// overlay cannot help.
+  std::string tenant;
+  double quotaBackoffScale = 4.0;
 };
 
 class LidcClient {
@@ -281,6 +290,9 @@ class LidcClient {
                         std::optional<JobOutcome> failedOutcome,
                         telemetry::TraceContext root);
   [[nodiscard]] sim::Time deadlineFor(sim::Time startedAt) const;
+  /// The Interest name a request goes out under: the tenant-scoped
+  /// submit name when a tenant context is set, else the compute name.
+  [[nodiscard]] ndn::Name requestName(const ComputeRequest& request) const;
 
   /// Registry handles + tracer; null until attachTelemetry().
   struct Telemetry {

@@ -53,6 +53,9 @@ ComputeCluster::ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig c
                                        config_.gateway, &predictor_);
   gateway_->jobs().mapAppToImage("BLAST", "magic-blast");
   gateway_->enablePublish(*store_);
+  if (config_.tenants != nullptr) {
+    gateway_->enableQos(*config_.tenants, config_.admission);
+  }
 
   // The second stock application (paper SIV-B): a file compression tool
   // with its own validation rules.
@@ -91,6 +94,10 @@ void ComputeCluster::attachTelemetry(
       forwarder_, registry, config_.name, publisherOptions);
   publisher_->addGroup("forwarder", "lidc_forwarder");
   publisher_->addGroup("gateway", "lidc_gateway");
+  if (config_.tenants != nullptr) {
+    // Per-tenant admission series under /ndn/k8s/telemetry/<name>/qos/.
+    publisher_->addGroup("qos", "lidc_qos");
+  }
 }
 
 void ComputeCluster::loadGenomicsDatasets(const genomics::DatasetCatalog& catalog) {

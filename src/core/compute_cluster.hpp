@@ -16,6 +16,8 @@
 #include "genomics/magic_blast_app.hpp"
 #include "k8s/cluster.hpp"
 #include "ndn/forwarder.hpp"
+#include "qos/admission.hpp"
+#include "qos/tenant.hpp"
 #include "telemetry/monitor.hpp"
 
 namespace lidc::core {
@@ -27,6 +29,12 @@ struct ComputeClusterConfig {
   ByteSize pvcCapacity = ByteSize::fromGiB(4);
   GatewayOptions gateway;
   genomics::MagicBlastConfig blast;
+  /// Multi-tenant QoS: when set, the gateway registers the tenant-scoped
+  /// /ndn/k8s/submit prefix and admits through a fair-share
+  /// AdmissionController charging against this (federation-wide,
+  /// caller-owned) registry. Null = untenanted gateway.
+  qos::TenantRegistry* tenants = nullptr;
+  qos::AdmissionOptions admission;
 };
 
 class ComputeCluster {

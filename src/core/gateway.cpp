@@ -41,6 +41,40 @@ Gateway::Gateway(ndn::Forwarder& forwarder, k8s::Cluster& cluster,
 void Gateway::enablePublish(datalake::ObjectStore& store) {
   publish_store_ = &store;
   forwarder_.registerPrefix(kPublishPrefix, face_id_, /*cost=*/0);
+  if (tenants_ != nullptr) {
+    publish_store_->setQuotaCharger(
+        [this](const std::string& tenant, std::uint64_t bytes) {
+          return tenants_->chargePublish(tenant, bytes);
+        });
+  }
+}
+
+void Gateway::enableQos(qos::TenantRegistry& tenants,
+                        qos::AdmissionOptions admission) {
+  tenants_ = &tenants;
+  admission_ = std::make_unique<qos::AdmissionController>(
+      forwarder_.simulator(), tenants, cluster_name_, admission);
+  admission_->setFlightRecorder(recorder_);
+  // The drain-time capacity gate mirrors the legacy path's admission
+  // control: health first, then whether the job fits the free capacity.
+  admission_->setCapacityProbe([this](const qos::AdmissionJob& job) {
+    if (!admission_control_) return true;
+    if (healthyNodeFraction() < options_.minHealthyNodeFraction) return false;
+    k8s::Resources needed;
+    needed.cpu = MilliCpu(static_cast<std::int64_t>(job.cpuMillicores));
+    needed.memory = ByteSize(job.memoryBytes);
+    return needed.fitsWithin(cluster_.totalFree());
+  });
+  forwarder_.registerPrefix(kSubmitPrefix, face_id_, /*cost=*/0);
+  if (publish_store_ != nullptr) {
+    publish_store_->setQuotaCharger(
+        [this](const std::string& tenant, std::uint64_t bytes) {
+          return tenants_->chargePublish(tenant, bytes);
+        });
+  }
+  if (metrics_registry_ != nullptr) {
+    admission_->attachTelemetry(*metrics_registry_);
+  }
 }
 
 void Gateway::handleInterest(const ndn::Interest& interest) {
@@ -53,6 +87,8 @@ void Gateway::handleInterest(const ndn::Interest& interest) {
   }
   if (kComputePrefix.isPrefixOf(interest.name())) {
     onCompute(interest);
+  } else if (kSubmitPrefix.isPrefixOf(interest.name())) {
+    onSubmit(interest);
   } else if (kStatusPrefix.isPrefixOf(interest.name())) {
     onStatus(interest);
   } else if (kInfoPrefix.isPrefixOf(interest.name())) {
@@ -73,26 +109,127 @@ void Gateway::replyKv(const ndn::Name& name, const KvMap& fields,
   face_->putData(std::move(data));
 }
 
+// Gray failure: admit the job with a straight face — plausible ack,
+// fresh job id — then never schedule anything. The client only finds
+// out when its progress watchdog notices the job never leaves Pending.
+void Gateway::grayAdmit(const ndn::Interest& interest) {
+  ++counters_.grayAdmitted;
+  const std::string jobId = "gray-" + std::to_string(next_gray_id_++);
+  gray_jobs_.insert(jobId);
+  LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                cluster_name_ + " gray-admit " + jobId);
+  replyKv(interest.name(),
+          {{"job_id", jobId},
+           {"cluster", cluster_name_},
+           {"status_name", makeStatusName(cluster_name_, jobId).toUri()}},
+          options_.ackFreshness);
+}
+
 void Gateway::onCompute(const ndn::Interest& interest) {
   ++counters_.computeReceived;
-
-  // Gray failure: admit the job with a straight face — plausible ack,
-  // fresh job id — then never schedule anything. The client only finds
-  // out when its progress watchdog notices the job never leaves Pending.
   if (gray_) {
-    ++counters_.grayAdmitted;
-    const std::string jobId = "gray-" + std::to_string(next_gray_id_++);
-    gray_jobs_.insert(jobId);
-    LIDC_FR_EVENT(recorder_, kWarn, "gateway",
-                  cluster_name_ + " gray-admit " + jobId);
-    replyKv(interest.name(),
-            {{"job_id", jobId},
-             {"cluster", cluster_name_},
-             {"status_name", makeStatusName(cluster_name_, jobId).toUri()}},
-            options_.ackFreshness);
+    grayAdmit(interest);
     return;
   }
 
+  auto parsed = ComputeRequest::fromName(interest.name());
+  if (!parsed.ok()) {
+    ++counters_.computeRejected;
+    if (tracer_ != nullptr) {
+      tracer_->instant("gateway-admission", "gateway:" + cluster_name_,
+                       interest.traceContext(),
+                       {{"decision", "parse-reject"},
+                        {"error", parsed.status().toString()}});
+    }
+    LIDC_FR_EVENT(recorder_, kWarn, "gateway", cluster_name_ + " parse-reject");
+    replyKv(interest.name(),
+            {{"error", parsed.status().toString()}, {"cluster", cluster_name_}},
+            options_.ackFreshness);
+    return;
+  }
+  processCompute(interest, *parsed, /*tenant=*/"", /*priorityClass=*/0,
+                 /*checkCapacity=*/true);
+}
+
+void Gateway::onSubmit(const ndn::Interest& interest) {
+  ++counters_.computeReceived;
+  if (admission_ == nullptr) {
+    // QoS not enabled here: let the network try another cluster.
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  if (gray_) {
+    grayAdmit(interest);
+    return;
+  }
+
+  auto parsed = parseSubmitName(interest.name());
+  if (!parsed.ok()) {
+    // Malformed submit names are terminal: no cluster can parse them.
+    ++counters_.computeRejected;
+    LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                  cluster_name_ + " submit-parse-reject");
+    replyKv(interest.name(),
+            {{"error", parsed.status().toString()}, {"cluster", cluster_name_}},
+            options_.ackFreshness);
+    return;
+  }
+  const std::string tenant = parsed->first;
+  auto request = std::make_shared<ComputeRequest>(std::move(parsed->second));
+  const qos::TenantSpec* spec = tenants_->find(tenant);
+  const int priority = spec != nullptr ? spec->priorityClass : 0;
+
+  qos::AdmissionJob job;
+  job.tenant = tenant;
+  job.cpuMillicores = request->cpu.millicores() > 0
+                          ? static_cast<std::uint64_t>(request->cpu.millicores())
+                          : JobManager::kDefaultCpuMillicores;
+  job.memoryBytes = request->memory.bytes() > 0
+                        ? request->memory.bytes()
+                        : JobManager::defaultMemory().bytes();
+  job.expiresAt = forwarder_.simulator().now() + interest.lifetime();
+  job.tag = request->requestId.empty() ? request->app : request->requestId;
+  auto held = std::make_shared<ndn::Interest>(interest);
+  const std::uint64_t cpu = job.cpuMillicores;
+  const std::uint64_t mem = job.memoryBytes;
+  job.launch = [this, held, request, tenant, priority, cpu, mem] {
+    // A launch that produced no job record (cache hit, dedup, rejection)
+    // holds no usage: release the admission charge immediately.
+    if (!processCompute(*held, *request, tenant, priority,
+                        /*checkCapacity=*/false)) {
+      admission_->releaseJob(tenant, cpu, mem);
+    }
+  };
+  job.evict = [this, held](const std::string&) {
+    ++counters_.computeRejected;
+    face_->putNack(*held, ndn::NackReason::kQuotaExceeded);
+  };
+
+  switch (admission_->offer(std::move(job))) {
+    case qos::AdmitDecision::kQueued:
+      return;  // launch or evict will answer the Interest
+    case qos::AdmitDecision::kRejectedUnknownTenant:
+      // Terminal: an unknown tenant is unknown everywhere (the registry
+      // is federation-wide), so an error Data beats a failover storm.
+      ++counters_.computeRejected;
+      replyKv(interest.name(),
+              {{"error", "unknown tenant '" + tenant + "'"},
+               {"cluster", cluster_name_}},
+              options_.ackFreshness);
+      return;
+    case qos::AdmitDecision::kRejectedRate:
+    case qos::AdmitDecision::kRejectedQuota:
+    case qos::AdmitDecision::kRejectedQueueFull:
+      ++counters_.computeRejected;
+      face_->putNack(interest, ndn::NackReason::kQuotaExceeded);
+      return;
+  }
+}
+
+bool Gateway::processCompute(const ndn::Interest& interest,
+                             const ComputeRequest& request,
+                             const std::string& tenant, int priorityClass,
+                             bool checkCapacity) {
   // Admission decisions become zero-duration "gateway-admission" spans on
   // the submitter's trace; the launch decision's context also parents the
   // retroactive K8s spans recorded in onJobFinished().
@@ -112,17 +249,6 @@ void Gateway::onCompute(const ndn::Interest& interest) {
                             traceCtx, std::move(attrs));
   };
 
-  auto parsed = ComputeRequest::fromName(interest.name());
-  if (!parsed.ok()) {
-    ++counters_.computeRejected;
-    admission("parse-reject", {{"error", parsed.status().toString()}});
-    replyKv(interest.name(),
-            {{"error", parsed.status().toString()}, {"cluster", cluster_name_}},
-            options_.ackFreshness);
-    return;
-  }
-  const ComputeRequest& request = *parsed;
-
   // Application-specific validation (paper SIV-B). Cluster-local
   // conditions (NOT_FOUND: e.g. a dataset absent from *this* lake) nack
   // so the network fails over to a cluster that can serve the request;
@@ -132,12 +258,12 @@ void Gateway::onCompute(const ndn::Interest& interest) {
     admission("validation-reject", {{"error", valid.toString()}});
     if (valid.code() == StatusCode::kNotFound) {
       face_->putNack(interest, ndn::NackReason::kNoRoute);
-      return;
+      return false;
     }
     replyKv(interest.name(),
             {{"error", valid.toString()}, {"cluster", cluster_name_}},
             options_.ackFreshness);
-    return;
+    return false;
   }
 
   const ndn::Name canonical = request.canonicalName();
@@ -155,7 +281,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
                {"result", cached->resultPath},
                {"output_bytes", std::to_string(cached->outputBytes)}},
               options_.ackFreshness);
-      return;
+      return false;
     }
     // In-flight dedup: join a running job for the same canonical name.
     if (auto it = inflight_.find(canonical); it != inflight_.end()) {
@@ -167,14 +293,16 @@ void Gateway::onCompute(const ndn::Interest& interest) {
                {"status_name", makeStatusName(cluster_name_, it->second).toUri()},
                {"deduplicated", "1"}},
               options_.ackFreshness);
-      return;
+      return false;
     }
   }
 
   // Admission control: if this cluster cannot fit the job now, nack so
   // the forwarding strategy fails over to another cluster (the paper's
-  // "any cluster with sufficient resources" property).
-  if (admission_control_) {
+  // "any cluster with sufficient resources" property). QoS launches skip
+  // this: the AdmissionController's capacity probe already gated them at
+  // drain time.
+  if (admission_control_ && checkCapacity) {
     // Health gate: a cluster that lost too many nodes stops admitting
     // jobs entirely, even if the survivors nominally have capacity —
     // partial failures usually cascade, and the overlay has healthier
@@ -184,7 +312,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
       admission("health-reject",
                 {{"healthy_fraction", std::to_string(healthyNodeFraction())}});
       face_->putNack(interest, ndn::NackReason::kCongestion);
-      return;
+      return false;
     }
     k8s::Resources needed;
     needed.cpu = request.cpu.millicores() > 0 ? request.cpu
@@ -195,11 +323,11 @@ void Gateway::onCompute(const ndn::Interest& interest) {
       ++counters_.capacityRejected;
       admission("capacity-reject");
       face_->putNack(interest, ndn::NackReason::kCongestion);
-      return;
+      return false;
     }
   }
 
-  auto jobId = jobs_.submit(request);
+  auto jobId = jobs_.submit(request, priorityClass);
   if (!jobId.ok()) {
     ++counters_.computeRejected;
     admission("launch-reject", {{"error", jobId.status().toString()}});
@@ -207,25 +335,37 @@ void Gateway::onCompute(const ndn::Interest& interest) {
       // e.g. this cluster does not serve the application image; another
       // cluster in the overlay might.
       face_->putNack(interest, ndn::NackReason::kNoRoute);
-      return;
+      return false;
     }
     if (jobId.status().code() == StatusCode::kResourceExhausted) {
-      // e.g. the tenant's ResourceQuota on *this* cluster is exhausted;
-      // quotas are per-cluster, so fail over.
-      face_->putNack(interest, ndn::NackReason::kCongestion);
-      return;
+      // The tenant's ResourceQuota on *this* cluster is exhausted. On
+      // the QoS path that is a quota signal (backoff, not failover); on
+      // the legacy path quotas are per-cluster, so fail over.
+      face_->putNack(interest, tenant.empty()
+                                   ? ndn::NackReason::kCongestion
+                                   : ndn::NackReason::kQuotaExceeded);
+      return false;
     }
     replyKv(interest.name(),
             {{"error", jobId.status().toString()}, {"cluster", cluster_name_}},
             options_.ackFreshness);
-    return;
+    return false;
   }
 
   ++counters_.jobsLaunched;
   const telemetry::TraceContext launchCtx =
       admission("launch", {{"job_id", *jobId}});
-  launched_.emplace(*jobId, LaunchRecord{request, forwarder_.simulator().now(),
-                                         launchCtx});
+  LaunchRecord record{request, forwarder_.simulator().now(), launchCtx};
+  if (!tenant.empty()) {
+    record.tenant = tenant;
+    record.chargedCpu = request.cpu.millicores() > 0
+                            ? static_cast<std::uint64_t>(request.cpu.millicores())
+                            : JobManager::kDefaultCpuMillicores;
+    record.chargedMem = request.memory.bytes() > 0
+                            ? request.memory.bytes()
+                            : JobManager::defaultMemory().bytes();
+  }
+  launched_.emplace(*jobId, std::move(record));
   if (request.requestId.empty()) inflight_.emplace(canonical, *jobId);
   scheduleReaper();
 
@@ -237,6 +377,7 @@ void Gateway::onCompute(const ndn::Interest& interest) {
            {"cluster", cluster_name_},
            {"status_name", makeStatusName(cluster_name_, *jobId).toUri()}},
           options_.ackFreshness);
+  return true;
 }
 
 void Gateway::onStatus(const ndn::Interest& interest) {
@@ -338,6 +479,24 @@ void Gateway::onPublish(const ndn::Interest& interest) {
     reject("publish name needs /<object...>/sha=<digest>");
     return;
   }
+  // Optional tenant attribution: a "tenant=<id>" component right after
+  // the prefix scopes the publish to that tenant's byte quota. It is
+  // stripped from the stored object name.
+  std::string tenant;
+  std::size_t objectStart = kPublishPrefix.size();
+  if (const std::string first = name[objectStart].toString();
+      strings::startsWith(first, "tenant=")) {
+    tenant = first.substr(7);
+    ++objectStart;
+    if (name.size() < objectStart + 2) {
+      reject("publish name needs /<object...>/sha=<digest>");
+      return;
+    }
+    if (tenants_ == nullptr || tenants_->find(tenant) == nullptr) {
+      reject("unknown tenant '" + tenant + "'");
+      return;
+    }
+  }
   const std::string last = name[name.size() - 1].toString();
   if (!strings::startsWith(last, "sha=")) {
     reject("publish name missing trailing sha= component");
@@ -365,9 +524,20 @@ void Gateway::onPublish(const ndn::Interest& interest) {
   }
 
   ndn::Name objectName = kDataPrefix;
-  objectName.append(
-      name.subName(kPublishPrefix.size(), name.size() - kPublishPrefix.size() - 1));
-  if (auto stored = publish_store_->put(objectName, payload); !stored.ok()) {
+  objectName.append(name.subName(objectStart, name.size() - objectStart - 1));
+  Status stored = tenant.empty()
+                      ? publish_store_->put(objectName, payload)
+                      : publish_store_->put(objectName, payload, tenant);
+  if (!stored.ok()) {
+    if (stored.code() == StatusCode::kResourceExhausted) {
+      // Over the tenant's publish byte budget: distinct quota signal so
+      // the client backs off instead of failing over.
+      ++counters_.publishesRejected;
+      LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                    cluster_name_ + " publish-quota-reject tenant=" + tenant);
+      face_->putNack(interest, ndn::NackReason::kQuotaExceeded);
+      return;
+    }
     reject(stored.toString());
     return;
   }
@@ -417,12 +587,22 @@ void Gateway::onJobFinished(const k8s::Job& job) {
                          job.status().completionTime - job.status().startTime);
     }
   }
+  // Erase before releasing: releaseJob drains the admission queue, which
+  // can synchronously launch work and mutate launched_ under us.
+  const std::string tenant = it->second.tenant;
+  const std::uint64_t cpu = it->second.chargedCpu;
+  const std::uint64_t mem = it->second.chargedMem;
   launched_.erase(it);
+  if (admission_ != nullptr && !tenant.empty()) {
+    admission_->releaseJob(tenant, cpu, mem);
+  }
 }
 
 void Gateway::attachTelemetry(telemetry::MetricsRegistry& registry,
                               telemetry::Tracer* tracer) {
   tracer_ = tracer;
+  metrics_registry_ = &registry;
+  if (admission_) admission_->attachTelemetry(registry);
   const telemetry::Labels labels{{"cluster", cluster_name_}};
   registry.registerCollector([this, &registry, labels] {
     auto sync = [&](const char* name, std::uint64_t value) {
@@ -469,8 +649,14 @@ void Gateway::evictJob(const std::string& jobId, bool forgetStatus) {
       inflightIt != inflight_.end() && inflightIt->second == jobId) {
     inflight_.erase(inflightIt);
   }
+  const std::string tenant = it->second.tenant;
+  const std::uint64_t cpu = it->second.chargedCpu;
+  const std::uint64_t mem = it->second.chargedMem;
   launched_.erase(it);
   if (forgetStatus) jobs_.forget(jobId);
+  if (admission_ != nullptr && !tenant.empty()) {
+    admission_->releaseJob(tenant, cpu, mem);
+  }
 }
 
 void Gateway::scheduleReaper() {

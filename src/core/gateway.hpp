@@ -21,6 +21,8 @@
 #include "core/wire_format.hpp"
 #include "ndn/app_face.hpp"
 #include "ndn/forwarder.hpp"
+#include "qos/admission.hpp"
+#include "qos/tenant.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -81,6 +83,19 @@ class Gateway {
   /// cluster's data lake via command Interests.
   void enablePublish(datalake::ObjectStore& store);
 
+  /// Enables the multi-tenant QoS front door: registers the
+  /// /ndn/k8s/submit prefix and routes tenant-scoped submit Interests
+  /// through an AdmissionController (rate limits, quotas, weighted fair
+  /// queueing) before they reach the JobManager. Publishes carrying a
+  /// tenant component are charged against the tenant's byte quota.
+  void enableQos(qos::TenantRegistry& tenants,
+                 qos::AdmissionOptions admission = {});
+
+  /// Null until enableQos().
+  [[nodiscard]] qos::AdmissionController* admission() noexcept {
+    return admission_.get();
+  }
+
   [[nodiscard]] const std::string& clusterName() const noexcept {
     return cluster_name_;
   }
@@ -127,11 +142,22 @@ class Gateway {
   /// so fired alerts carry the gateway's recent decisions.
   void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
     recorder_ = recorder;
+    if (admission_) admission_->setFlightRecorder(recorder);
   }
 
  private:
   void handleInterest(const ndn::Interest& interest);
   void onCompute(const ndn::Interest& interest);
+  void onSubmit(const ndn::Interest& interest);
+  /// The shared back half of the compute pipeline (validation, cache,
+  /// dedup, capacity, launch, ack). Returns true iff a LaunchRecord was
+  /// created — QoS launches use this to release usage for answers that
+  /// hold no job (cache hits, dedups, rejections).
+  bool processCompute(const ndn::Interest& interest,
+                      const ComputeRequest& request, const std::string& tenant,
+                      int priorityClass, bool checkCapacity);
+  /// Gray-failure fabricated admission (shared by compute and submit).
+  void grayAdmit(const ndn::Interest& interest);
   void onStatus(const ndn::Interest& interest);
   void onInfo(const ndn::Interest& interest);
   void onPublish(const ndn::Interest& interest);
@@ -153,6 +179,9 @@ class Gateway {
   GatewayOptions options_;
   CompletionTimePredictor* predictor_;
   datalake::ObjectStore* publish_store_ = nullptr;
+  qos::TenantRegistry* tenants_ = nullptr;
+  std::unique_ptr<qos::AdmissionController> admission_;
+  telemetry::MetricsRegistry* metrics_registry_ = nullptr;
   JobManager jobs_;
   ResultCache cache_;
   std::shared_ptr<ndn::AppFace> face_;
@@ -174,6 +203,12 @@ class Gateway {
     /// Trace of the Interest that launched the job (invalid when the
     /// submitter was not tracing); parents the retroactive K8s spans.
     telemetry::TraceContext trace;
+    /// QoS bookkeeping: tenant the job was admitted for (empty on the
+    /// legacy compute path) and the usage charged at admission, released
+    /// when the job reaches a terminal state or is evicted.
+    std::string tenant;
+    std::uint64_t chargedCpu = 0;
+    std::uint64_t chargedMem = 0;
   };
 
   /// canonical name -> jobId for jobs still in flight (dedup).

@@ -4,19 +4,9 @@
 #include <utility>
 
 #include "common/strings.hpp"
+#include "qos/tenant.hpp"
 
 namespace lidc::core {
-
-namespace {
-bool isValidTenantName(const std::string& tenant) {
-  if (tenant.empty() || tenant.size() > 48) return false;
-  for (char c : tenant) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
-    if (!ok) return false;
-  }
-  return true;
-}
-}  // namespace
 
 std::string JobManager::namespaceFor(const ComputeRequest& request) const {
   auto it = request.params.find("tenant");
@@ -30,7 +20,8 @@ bool JobManager::hasApp(const std::string& app) const {
   return cluster_.hasApp(image);
 }
 
-Result<std::string> JobManager::submit(const ComputeRequest& request) {
+Result<std::string> JobManager::submit(const ComputeRequest& request,
+                                       int priorityClass) {
   auto imageIt = app_images_.find(request.app);
   const std::string image =
       imageIt == app_images_.end() ? request.app : imageIt->second;
@@ -40,7 +31,7 @@ Result<std::string> JobManager::submit(const ComputeRequest& request) {
   }
 
   if (auto it = request.params.find("tenant");
-      it != request.params.end() && !isValidTenantName(it->second)) {
+      it != request.params.end() && !qos::isValidTenantId(it->second)) {
     return Status::InvalidArgument("invalid tenant name '" + it->second +
                                    "' (lowercase alphanumerics and '-' only)");
   }
@@ -51,6 +42,7 @@ Result<std::string> JobManager::submit(const ComputeRequest& request) {
 
   k8s::JobSpec spec;
   spec.app = image;
+  spec.priorityClass = priorityClass;
   spec.requests.cpu = request.cpu.millicores() > 0
                           ? request.cpu
                           : MilliCpu(kDefaultCpuMillicores);

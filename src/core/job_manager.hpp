@@ -38,7 +38,10 @@ class JobManager {
   /// Multi-tenant isolation (the paper's multi-organizational setting):
   /// a "tenant=<name>" parameter routes the job into namespace
   /// "tenant-<name>", where per-organization ResourceQuotas apply.
-  Result<std::string> submit(const ComputeRequest& request);
+  /// `priorityClass` flows onto the JobSpec so higher classes jump the
+  /// scheduler's unschedulable queue under saturation.
+  Result<std::string> submit(const ComputeRequest& request,
+                             int priorityClass = 0);
 
   /// The namespace a request's job would run in.
   [[nodiscard]] std::string namespaceFor(const ComputeRequest& request) const;

@@ -38,6 +38,8 @@ void ClusterOverlay::announceCluster(const std::string& name,
                                      std::uint64_t computeExtraCostUs) {
   assert(clusters_.count(name) > 0);
   topology_.installRoutesTo(kComputePrefix, name, computeExtraCostUs);
+  // Tenant-scoped submits follow the same anycast bias as bare compute.
+  topology_.installRoutesTo(kSubmitPrefix, name, computeExtraCostUs);
   topology_.installRoutesTo(kDataPrefix, name);
   ndn::Name statusPrefix = kStatusPrefix;
   statusPrefix.append(name);
@@ -56,6 +58,7 @@ void ClusterOverlay::announceCluster(const std::string& name,
 
 void ClusterOverlay::withdrawCluster(const std::string& name) {
   topology_.uninstallRoutesTo(kComputePrefix, name);
+  topology_.uninstallRoutesTo(kSubmitPrefix, name);
   topology_.uninstallRoutesTo(kDataPrefix, name);
   ndn::Name statusPrefix = kStatusPrefix;
   statusPrefix.append(name);

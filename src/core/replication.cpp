@@ -39,6 +39,16 @@ void DataReplicator::replicate(const ndn::Name& objectName, DoneCallback done) {
   });
 }
 
+void DataReplicator::attachTelemetry(telemetry::MetricsRegistry& registry) {
+  const telemetry::Labels labels{{"cluster", destination_.name()}};
+  registry.registerCollector([this, &registry, labels] {
+    registry.counter("lidc_replicator_objects_total", labels)
+        .set(static_cast<double>(replicated_));
+    registry.counter("lidc_replicator_bytes_total", labels)
+        .set(static_cast<double>(bytes_));
+  });
+}
+
 void DataReplicator::replicateAll(const std::vector<ndn::Name>& objects,
                                   DoneCallback done) {
   if (objects.empty()) {

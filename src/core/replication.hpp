@@ -17,6 +17,7 @@
 #include "core/compute_cluster.hpp"
 #include "datalake/retriever.hpp"
 #include "ndn/app_face.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lidc::core {
 
@@ -41,6 +42,12 @@ class DataReplicator {
     return replicated_;
   }
   [[nodiscard]] std::uint64_t bytesReplicated() const noexcept { return bytes_; }
+
+  /// Mirrors the legacy counters into `registry` at snapshot time as
+  /// lidc_replicator_objects_total / lidc_replicator_bytes_total,
+  /// labeled by destination cluster. The accessors above stay the
+  /// source of truth; the registry series are a synced view.
+  void attachTelemetry(telemetry::MetricsRegistry& registry);
 
  private:
   ComputeCluster& destination_;

@@ -113,6 +113,40 @@ Result<ComputeRequest> ComputeRequest::fromName(const ndn::Name& name) {
   return request;
 }
 
+ndn::Name makeSubmitName(const std::string& tenant, const ComputeRequest& request) {
+  // The tenant travels as a dedicated component; drop any redundant
+  // tenant param so the job description stays canonical.
+  ComputeRequest copy = request;
+  copy.params.erase("tenant");
+  const ndn::Name compute = copy.toName();
+  ndn::Name name = kSubmitPrefix;
+  name.append(tenant);
+  for (std::size_t i = kComputePrefix.size(); i < compute.size(); ++i) {
+    name.append(compute[i]);
+  }
+  return name;
+}
+
+Result<std::pair<std::string, ComputeRequest>> parseSubmitName(
+    const ndn::Name& name) {
+  if (!kSubmitPrefix.isPrefixOf(name) ||
+      name.size() < kSubmitPrefix.size() + 2) {
+    return Status::InvalidArgument("not a submit name: " + name.toUri());
+  }
+  const std::string tenant = name[kSubmitPrefix.size()].toString();
+  if (tenant.empty()) {
+    return Status::InvalidArgument("empty tenant component: " + name.toUri());
+  }
+  ndn::Name compute = kComputePrefix;
+  for (std::size_t i = kSubmitPrefix.size() + 1; i < name.size(); ++i) {
+    compute.append(name[i]);
+  }
+  auto request = ComputeRequest::fromName(compute);
+  if (!request) return request.status();
+  request->params["tenant"] = tenant;
+  return std::make_pair(tenant, *std::move(request));
+}
+
 ndn::Name makeStatusName(const std::string& cluster, const std::string& jobId) {
   ndn::Name name = kStatusPrefix;
   name.append(cluster);

@@ -26,6 +26,11 @@ inline const ndn::Name kInfoPrefix{"/ndn/k8s/info"};
 /// Command-Interest namespace for pushing client datasets into a lake
 /// (paper: workflows "publish intermediate datasets back to the lake").
 inline const ndn::Name kPublishPrefix{"/ndn/k8s/publish"};
+/// Tenant-scoped submit namespace: /ndn/k8s/submit/<tenant>/<job desc>.
+/// Gateways with QoS enabled classify these by tenant, apply quotas and
+/// fair-share queueing, then hand the embedded compute request to the
+/// same pipeline kComputePrefix uses.
+inline const ndn::Name kSubmitPrefix{"/ndn/k8s/submit"};
 
 /// A parsed computation request.
 struct ComputeRequest {
@@ -50,6 +55,19 @@ struct ComputeRequest {
   /// Parses a /ndn/k8s/compute/... name.
   static Result<ComputeRequest> fromName(const ndn::Name& name);
 };
+
+/// Builds /ndn/k8s/submit/<tenant>/<compute components...> from a
+/// request: the tenant travels as its own name component, ahead of the
+/// job description.
+ndn::Name makeSubmitName(const std::string& tenant, const ComputeRequest& request);
+
+/// Parses a submit name into {tenant, request}. The tenant id is also
+/// injected into the request's params ("tenant" key) so downstream
+/// namespace routing (JobManager's tenant-<id> namespaces) keeps
+/// working unchanged. Tenant charset is NOT validated here — the
+/// gateway rejects unknown/invalid tenants cleanly.
+Result<std::pair<std::string, ComputeRequest>> parseSubmitName(
+    const ndn::Name& name);
 
 /// Builds /ndn/k8s/status/<cluster>/<job_id>.
 ndn::Name makeStatusName(const std::string& cluster, const std::string& jobId);

@@ -9,6 +9,20 @@ Status ObjectStore::put(const ndn::Name& name, std::vector<std::uint8_t> bytes) 
   return pvc_.write(pathFor(name), std::move(bytes));
 }
 
+Status ObjectStore::put(const ndn::Name& name, std::vector<std::uint8_t> bytes,
+                        const std::string& tenant) {
+  if (name.empty()) return Status::InvalidArgument("object name must not be empty");
+  if (quota_charger_ && !tenant.empty()) {
+    // Charge before writing so an over-quota publish leaves no object
+    // behind. Existing-object replacement still charges the full size:
+    // the budget is a cumulative publish allowance, not a usage meter.
+    if (Status charged = quota_charger_(tenant, bytes.size()); !charged.ok()) {
+      return charged;
+    }
+  }
+  return pvc_.write(pathFor(name), std::move(bytes));
+}
+
 Status ObjectStore::putText(const ndn::Name& name, std::string_view text) {
   return put(name, std::vector<std::uint8_t>(text.begin(), text.end()));
 }

@@ -3,6 +3,8 @@
 // out of an NFS-backed PVC (SIV, SV-B).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,8 +21,21 @@ class ObjectStore {
                        std::string rootPrefix = "objects")
       : pvc_(pvc), root_(std::move(rootPrefix)) {}
 
+  /// Charges a tenant-attributed put against a quota before storing;
+  /// a non-Ok return aborts the put (QoS wires this to
+  /// TenantRegistry::chargePublish).
+  using QuotaCharger =
+      std::function<Status(const std::string& tenant, std::uint64_t bytes)>;
+  void setQuotaCharger(QuotaCharger charger) {
+    quota_charger_ = std::move(charger);
+  }
+
   /// Stores bytes under a content name (replaces any existing object).
   Status put(const ndn::Name& name, std::vector<std::uint8_t> bytes);
+  /// Tenant-attributed put: the bytes are charged against the tenant's
+  /// publish quota first (no-op without a charger).
+  Status put(const ndn::Name& name, std::vector<std::uint8_t> bytes,
+             const std::string& tenant);
   Status putText(const ndn::Name& name, std::string_view text);
 
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
@@ -41,6 +56,7 @@ class ObjectStore {
 
   k8s::PersistentVolumeClaim& pvc_;
   std::string root_;
+  QuotaCharger quota_charger_;
 };
 
 }  // namespace lidc::datalake

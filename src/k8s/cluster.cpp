@@ -217,8 +217,20 @@ bool Cluster::trySchedulePod(Pod& pod) {
 }
 
 void Cluster::retryUnschedulable() {
-  // Retry in FIFO order; stop early is not valid because a small pod
-  // later in the queue may fit even when the head does not.
+  // Higher priority classes get first claim on freed capacity; the sort
+  // is stable so FIFO order survives within a class. Retry the whole
+  // queue; stop early is not valid because a small pod later in the
+  // queue may fit even when the head does not.
+  std::stable_sort(unschedulable_.begin(), unschedulable_.end(),
+                   [this](const std::string& a, const std::string& b) {
+                     auto ia = pods_.find(a);
+                     auto ib = pods_.find(b);
+                     const int pa =
+                         ia == pods_.end() ? 0 : ia->second->spec().priorityClass;
+                     const int pb =
+                         ib == pods_.end() ? 0 : ib->second->spec().priorityClass;
+                     return pa > pb;
+                   });
   std::deque<std::string> still_waiting;
   while (!unschedulable_.empty()) {
     const std::string k = unschedulable_.front();
@@ -397,6 +409,7 @@ Result<Job*> Cluster::createJob(const std::string& ns, const std::string& jobNam
   podSpec.requests = spec.requests;
   podSpec.labels = {{"job-name", jobName}, {"app", spec.app}};
   podSpec.args = spec.args;
+  podSpec.priorityClass = spec.priorityClass;
   const std::string podName = jobName + "-pod-0";
   raw->setPodName(podName);
   auto pod = createPod(ns, podName, std::move(podSpec));

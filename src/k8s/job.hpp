@@ -26,6 +26,8 @@ struct JobSpec {
   std::map<std::string, std::string> args;  // e.g. {"srr_id": "SRR2931415"}
   int backoffLimit = 0;                     // pod retries on failure
   std::string pvcName;                      // volume mounted into the pod
+  /// Copied onto the job's pods; see PodSpec::priorityClass.
+  int priorityClass = 0;
 };
 
 struct JobStatus {

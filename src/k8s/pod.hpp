@@ -21,6 +21,10 @@ struct PodSpec {
   Labels labels;
   std::map<std::string, std::string> args;  // container arguments
   sim::Duration startupDelay = sim::Duration::millis(800);  // image pull + start
+  /// Higher classes are retried first when capacity frees up (the
+  /// scheduler's unschedulable queue is served priority-first, FIFO
+  /// within a class).
+  int priorityClass = 0;
 };
 
 class Pod {

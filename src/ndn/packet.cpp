@@ -234,6 +234,8 @@ std::string_view nackReasonName(NackReason reason) noexcept {
       return "Congestion";
     case NackReason::kDuplicate:
       return "Duplicate";
+    case NackReason::kQuotaExceeded:
+      return "QuotaExceeded";
     case NackReason::kNoRoute:
       return "NoRoute";
   }

@@ -185,6 +185,11 @@ enum class NackReason : std::uint32_t {
   kNone = 0,
   kCongestion = 50,
   kDuplicate = 100,
+  /// Producer-side quota/rate rejection. Less severe than kNoRoute (the
+  /// consumer can retry after backoff) but unlike kCongestion it must
+  /// not trigger an immediate failover storm: the consumer's quota is
+  /// exhausted everywhere, not just on this path.
+  kQuotaExceeded = 140,
   kNoRoute = 150,
 };
 

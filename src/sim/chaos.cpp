@@ -21,6 +21,7 @@ std::string_view faultKindName(FaultKind kind) noexcept {
     case FaultKind::kSlowNode: return "slow-node";
     case FaultKind::kGrayGateway: return "gray-gateway";
     case FaultKind::kStaleReplay: return "stale-replay";
+    case FaultKind::kNoisyNeighbor: return "noisy-neighbor";
     case FaultKind::kCustom: return "custom";
   }
   return "unknown";
@@ -189,6 +190,27 @@ void ChaosEngine::staleReplay(std::string label, Time at, Duration window,
   const std::size_t fault = declare(std::move(label), FaultKind::kStaleReplay);
   schedulePhase(fault, at, /*inject=*/true, [toggle] { toggle(true); });
   schedulePhase(fault, at + window, /*inject=*/false, [toggle] { toggle(false); });
+}
+
+void ChaosEngine::noisyNeighbor(std::string label, Time from, Time until,
+                                Duration meanGap,
+                                std::function<void()> submit) {
+  const std::size_t fault = declare(std::move(label), FaultKind::kNoisyNeighbor);
+  // Like linkFlaps: the whole submit timeline is drawn at plan time from
+  // the engine seed, independent of run-time event interleaving. Window
+  // edges go through schedulePhase (trace + flight recorder); the burst
+  // of individual submits only bumps the injection counter.
+  schedulePhase(fault, from, /*inject=*/true, [] {});
+  Time cursor = from;
+  while (true) {
+    cursor = cursor + Duration::seconds(rng_.exponential(meanGap.toSeconds()));
+    if (cursor >= until) break;
+    sim_.scheduleAt(cursor, [this, fault, submit] {
+      ++faults_[fault].injections;
+      submit();
+    });
+  }
+  schedulePhase(fault, until, /*inject=*/false, [] {});
 }
 
 void ChaosEngine::custom(std::string label, Time at, std::function<void()> apply) {

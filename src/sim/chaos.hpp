@@ -35,6 +35,7 @@ enum class FaultKind {
   kSlowNode,      // node serves 10-50x slower while still Ready
   kGrayGateway,   // gateway admits jobs, returns Pending forever
   kStaleReplay,   // a cache re-serves old Data past its freshness
+  kNoisyNeighbor,  // one tenant hammers submits far above its fair rate
   kCustom,        // caller-supplied action
 };
 
@@ -120,6 +121,17 @@ class ChaosEngine {
   /// re-serves old versioned Data against MustBeFresh Interests.
   void staleReplay(std::string label, Time at, Duration window,
                    std::function<void(bool)> toggle);
+
+  /// Noisy-neighbor window: a tenant hammers `submit` at a seeded
+  /// Poisson rate (mean inter-submit gap `meanGap`) between `from` and
+  /// `until` — typically 10x its fair share. Like linkFlaps, the whole
+  /// submit timeline is drawn at plan time from the engine seed, so two
+  /// runs with the same seed produce byte-identical aggressor load.
+  /// Only the window edges enter the chaos trace (one inject at `from`,
+  /// one recover at `until`); individual submits bump the fault's
+  /// injection counter without flooding the trace.
+  void noisyNeighbor(std::string label, Time from, Time until,
+                     Duration meanGap, std::function<void()> submit);
 
   /// One-shot custom fault.
   void custom(std::string label, Time at, std::function<void()> apply);

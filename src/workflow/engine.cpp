@@ -93,6 +93,7 @@ core::ComputeRequest WorkflowEngine::buildRequest(const WorkflowSpec& spec,
   request.cpu = stage.cpu;
   request.memory = stage.memory;
   request.params = stage.params;
+  if (!options_.tenant.empty()) request.params["tenant"] = options_.tenant;
   request.datasets = stage.lakeInputs;
   for (const StageInput& input : stage.stageInputs) {
     const std::string path = intermediatePath(spec.id, input.stage);

@@ -85,6 +85,12 @@ struct WorkflowOptions {
   bool enableHedging = false;
   double hedgeMultiplier = 3.0;
   sim::Duration hedgeFloor = sim::Duration::seconds(30);
+  /// Tenant context carried by every stage request. When set, each
+  /// submit is stamped with params["tenant"] so a tenant-aware client
+  /// routes it under /ndn/k8s/submit/<tenant>/ and the gateway's
+  /// admission controller charges this workflow's jobs against the
+  /// tenant's quotas. Empty = untenanted (legacy compute path).
+  std::string tenant;
 };
 
 /// Terminal per-stage report.

@@ -1,0 +1,85 @@
+// TenantRegistry: registration rules, publish-byte budgets, telemetry
+// mirror parity.
+#include "qos/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::qos {
+namespace {
+
+TenantSpec spec(const std::string& id, double weight = 1.0) {
+  TenantSpec s;
+  s.id = id;
+  s.weight = weight;
+  return s;
+}
+
+TEST(TenantIdTest, ValidatesNdnAndNamespaceSafety) {
+  EXPECT_TRUE(isValidTenantId("astro"));
+  EXPECT_TRUE(isValidTenantId("genomics-2"));
+  EXPECT_TRUE(isValidTenantId("a"));
+  EXPECT_FALSE(isValidTenantId(""));
+  EXPECT_FALSE(isValidTenantId("Upper"));
+  EXPECT_FALSE(isValidTenantId("has space"));
+  EXPECT_FALSE(isValidTenantId("slash/y"));
+  EXPECT_FALSE(isValidTenantId("dot.ted"));
+  EXPECT_FALSE(isValidTenantId(std::string(49, 'a')));
+  EXPECT_TRUE(isValidTenantId(std::string(48, 'a')));
+}
+
+TEST(TenantRegistryTest, RegistrationRules) {
+  TenantRegistry registry;
+  EXPECT_TRUE(registry.registerTenant(spec("astro")).ok());
+  EXPECT_EQ(registry.registerTenant(spec("astro")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.registerTenant(spec("BAD")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.registerTenant(spec("weightless", 0.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(registry.registerTenant(spec("geo", 2.0)).ok());
+
+  ASSERT_NE(registry.find("astro"), nullptr);
+  EXPECT_EQ(registry.find("ghost"), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"astro", "geo"}));
+}
+
+TEST(TenantRegistryTest, PublishBudgetIsCumulative) {
+  TenantRegistry registry;
+  TenantSpec capped = spec("astro");
+  capped.quota.maxPublishBytes = 100;
+  ASSERT_TRUE(registry.registerTenant(capped).ok());
+  ASSERT_TRUE(registry.registerTenant(spec("unmetered")).ok());
+
+  EXPECT_TRUE(registry.chargePublish("astro", 60).ok());
+  EXPECT_TRUE(registry.chargePublish("astro", 40).ok());
+  // Budget exhausted: the charge is refused and NOT applied.
+  EXPECT_EQ(registry.chargePublish("astro", 1).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(registry.publishedBytes("astro"), 100u);
+  EXPECT_EQ(registry.publishRejects("astro"), 1u);
+
+  // Zero quota = unlimited.
+  EXPECT_TRUE(registry.chargePublish("unmetered", 1u << 30).ok());
+  // Unknown tenants never accrue state.
+  EXPECT_EQ(registry.chargePublish("ghost", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(TenantRegistryTest, TelemetryMirrorsPublishAccounting) {
+  TenantRegistry registry;
+  TenantSpec capped = spec("astro");
+  capped.quota.maxPublishBytes = 10;
+  ASSERT_TRUE(registry.registerTenant(capped).ok());
+  telemetry::MetricsRegistry metrics;
+  registry.attachTelemetry(metrics);
+
+  ASSERT_TRUE(registry.chargePublish("astro", 10).ok());
+  ASSERT_FALSE(registry.chargePublish("astro", 5).ok());
+
+  const auto flat = metrics.flatten("lidc_qos");
+  EXPECT_EQ(flat.at("lidc_qos_publish_bytes{tenant=\"astro\"}"), 10.0);
+  EXPECT_EQ(flat.at("lidc_qos_publish_rejected_total{tenant=\"astro\"}"), 1.0);
+}
+
+}  // namespace
+}  // namespace lidc::qos

@@ -1,0 +1,57 @@
+// Token bucket on simulated time: lazy refill, burst cap, unlimited mode.
+#include "qos/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lidc::qos {
+namespace {
+
+sim::Time at(double seconds) {
+  return sim::Time() + sim::Duration::seconds(seconds);
+}
+
+TEST(TokenBucketTest, BurstThenRefusal) {
+  TokenBucket bucket(1.0, 3.0);
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  EXPECT_FALSE(bucket.tryTake(at(0)));
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(2.0, 2.0);
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  EXPECT_FALSE(bucket.tryTake(at(0)));
+  // 0.5 s at 2 tokens/s = exactly one token; the epsilon admits the
+  // exact-rate submitter.
+  EXPECT_TRUE(bucket.tryTake(at(0.5)));
+  EXPECT_FALSE(bucket.tryTake(at(0.5)));
+}
+
+TEST(TokenBucketTest, RefillCappedAtBurst) {
+  TokenBucket bucket(100.0, 2.0);
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  EXPECT_TRUE(bucket.tryTake(at(0)));
+  // A long idle period banks at most `burst` tokens.
+  EXPECT_NEAR(bucket.tokens(at(1000)), 2.0, 1e-9);
+  EXPECT_TRUE(bucket.tryTake(at(1000)));
+  EXPECT_TRUE(bucket.tryTake(at(1000)));
+  EXPECT_FALSE(bucket.tryTake(at(1000)));
+}
+
+TEST(TokenBucketTest, NonPositiveRateIsUnlimited) {
+  TokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.tryTake(at(0)));
+}
+
+TEST(TokenBucketTest, TimeNeverRunsBackwards) {
+  TokenBucket bucket(1.0, 1.0);
+  EXPECT_TRUE(bucket.tryTake(at(10)));
+  // A stale timestamp neither refills nor crashes.
+  EXPECT_FALSE(bucket.tryTake(at(5)));
+  EXPECT_TRUE(bucket.tryTake(at(11)));
+}
+
+}  // namespace
+}  // namespace lidc::qos
