@@ -64,6 +64,9 @@ int main() {
   submitAndReport("dataless");
 
   std::printf("\n-- phase 3: stage the datasets over NDN -----------------\n");
+  // DataReplicator is now a thin wrapper over the replica plane's
+  // TransferScheduler: same one-shot API, but the fetches run through
+  // the priority-ordered staging queue with bounded concurrency.
   core::DataReplicator replicator(fresh);
   const sim::Time stagingStart = sim.now();
   replicator.replicateAll(
@@ -75,6 +78,11 @@ int main() {
                     static_cast<unsigned long long>(replicator.objectsReplicated()),
                     strings::formatBytes(replicator.bytesReplicated()).c_str(),
                     (sim.now() - stagingStart).toString().c_str());
+        std::printf("transfer queue: %llu staged, %llu local hits\n",
+                    static_cast<unsigned long long>(
+                        replicator.scheduler().staged()),
+                    static_cast<unsigned long long>(
+                        replicator.scheduler().localHits()));
       });
   sim.run();
 

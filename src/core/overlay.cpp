@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "replica/catalog.hpp"
+
 namespace lidc::core {
 
 std::optional<PlacementStrategy> parsePlacementStrategy(std::string_view name) {
@@ -51,6 +53,11 @@ void ClusterOverlay::announceCluster(const std::string& name,
   ndn::Name telemetryPrefix = telemetry::kTelemetryPrefix;
   telemetryPrefix.append(name);
   topology_.installRoutesTo(telemetryPrefix, name);
+  // The replica catalog publishes under its own per-cluster prefix so
+  // directories can scrape any cluster's replica map by name.
+  ndn::Name replicaPrefix = replica::kReplicaPrefix;
+  replicaPrefix.append(name);
+  topology_.installRoutesTo(replicaPrefix, name);
   if (std::find(announced_.begin(), announced_.end(), name) == announced_.end()) {
     announced_.push_back(name);
   }
@@ -70,6 +77,9 @@ void ClusterOverlay::withdrawCluster(const std::string& name) {
   ndn::Name telemetryPrefix = telemetry::kTelemetryPrefix;
   telemetryPrefix.append(name);
   topology_.uninstallRoutesTo(telemetryPrefix, name);
+  ndn::Name replicaPrefix = replica::kReplicaPrefix;
+  replicaPrefix.append(name);
+  topology_.uninstallRoutesTo(replicaPrefix, name);
   std::erase(announced_, name);
 }
 

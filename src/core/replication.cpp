@@ -1,18 +1,18 @@
 #include "core/replication.hpp"
 
-#include "common/logging.hpp"
-
 namespace lidc::core {
 
 DataReplicator::DataReplicator(ComputeCluster& destination,
                                datalake::RetrieveOptions options)
     : destination_(destination) {
-  face_ = std::make_shared<ndn::AppFace>(
-      "app://replicator/" + destination.name(),
-      destination.forwarder().simulator(),
-      std::hash<std::string>{}(destination.name()) | 1);
-  destination_.forwarder().addFace(face_);
-  retriever_ = std::make_unique<datalake::Retriever>(*face_, options);
+  replica::TransferOptions transferOptions;
+  transferOptions.retrieve = options;
+  // The legacy replicator fetched batches with unbounded concurrency;
+  // keep the wrapper close to that so batch latencies don't regress.
+  transferOptions.maxConcurrent = 8;
+  scheduler_ = std::make_unique<replica::TransferScheduler>(
+      destination.forwarder(), destination.store(), destination.name(),
+      transferOptions);
 }
 
 void DataReplicator::replicate(const ndn::Name& objectName, DoneCallback done) {
@@ -20,23 +20,14 @@ void DataReplicator::replicate(const ndn::Name& objectName, DoneCallback done) {
     if (done) done(Status::Ok());
     return;
   }
-  retriever_->fetch(objectName, [this, objectName,
-                                 done](Result<std::vector<std::uint8_t>> bytes) {
-    if (!bytes.ok()) {
-      if (done) done(bytes.status());
-      return;
-    }
-    const std::size_t size = bytes->size();
-    Status stored = destination_.store().put(objectName, std::move(*bytes));
-    if (stored.ok()) {
-      ++replicated_;
-      bytes_ += size;
-      LIDC_LOG(kInfo, "replicator")
-          << objectName.toUri() << " -> " << destination_.name() << " (" << size
-          << " bytes)";
-    }
-    if (done) done(stored);
-  });
+  scheduler_->enqueue(objectName, {},
+                      [this, done](Status status, std::uint64_t bytes) {
+                        if (status.ok()) {
+                          ++replicated_;
+                          bytes_ += bytes;
+                        }
+                        if (done) done(status);
+                      });
 }
 
 void DataReplicator::attachTelemetry(telemetry::MetricsRegistry& registry) {

@@ -1,11 +1,12 @@
-// Data replication across cluster lakes. The paper's workflows
-// "retrieve raw datasets from a data lake and publish intermediate
-// datasets back to the lake" [9][13]; when a new cluster joins the
-// overlay it has an empty lake. DataReplicator stages named objects
-// into a cluster by fetching them over NDN — anycast takes the fetch to
-// whichever lake currently holds the object — and publishing the bytes
-// into the destination store. After replication the object is served
-// from both lakes (nearest wins for future consumers).
+// Data replication across cluster lakes — now a thin compatibility
+// wrapper over the replica plane's TransferScheduler (src/replica/).
+// The paper's workflows "retrieve raw datasets from a data lake and
+// publish intermediate datasets back to the lake" [9][13]; when a new
+// cluster joins the overlay it has an empty lake. DataReplicator keeps
+// its original one-shot API (replicate / replicateAll, first-error
+// batch reporting) while the scheduler underneath supplies the
+// priority queue, dedupe/join, bounded concurrency, and capacity-aware
+// puts that the replica plane's repair and pre-staging loops also use.
 #pragma once
 
 #include <functional>
@@ -16,7 +17,7 @@
 #include "common/status.hpp"
 #include "core/compute_cluster.hpp"
 #include "datalake/retriever.hpp"
-#include "ndn/app_face.hpp"
+#include "replica/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace lidc::core {
@@ -43,6 +44,12 @@ class DataReplicator {
   }
   [[nodiscard]] std::uint64_t bytesReplicated() const noexcept { return bytes_; }
 
+  /// The underlying staging queue, for callers graduating to the full
+  /// replica plane (priorities, tags, cancellation, event trace).
+  [[nodiscard]] replica::TransferScheduler& scheduler() noexcept {
+    return *scheduler_;
+  }
+
   /// Mirrors the legacy counters into `registry` at snapshot time as
   /// lidc_replicator_objects_total / lidc_replicator_bytes_total,
   /// labeled by destination cluster. The accessors above stay the
@@ -51,8 +58,7 @@ class DataReplicator {
 
  private:
   ComputeCluster& destination_;
-  std::shared_ptr<ndn::AppFace> face_;
-  std::unique_ptr<datalake::Retriever> retriever_;
+  std::unique_ptr<replica::TransferScheduler> scheduler_;
   std::uint64_t replicated_ = 0;
   std::uint64_t bytes_ = 0;
 };

@@ -43,6 +43,14 @@ class ObjectStore {
   [[nodiscard]] bool contains(const ndn::Name& name) const;
   [[nodiscard]] std::optional<std::uint64_t> sizeOf(const ndn::Name& name) const;
   Status remove(const ndn::Name& name);
+  /// Idempotent remove: absent objects are OK, not NotFound — the
+  /// eviction/repair planes erase without checking first.
+  Status erase(const ndn::Name& name);
+
+  /// Bytes held by objects under this store's root prefix.
+  [[nodiscard]] std::uint64_t bytesStored() const;
+  /// Capacity of the backing claim (shared with non-object files).
+  [[nodiscard]] std::uint64_t capacityBytes() const;
 
   /// All object names under a name prefix.
   [[nodiscard]] std::vector<ndn::Name> list(const ndn::Name& prefix) const;
@@ -53,6 +61,10 @@ class ObjectStore {
   [[nodiscard]] std::string pathFor(const ndn::Name& name) const {
     return root_ + name.toUri();
   }
+  /// Distinct over-capacity rejection (before any quota charge), so
+  /// staging planes can tell "lake full" from other put failures.
+  [[nodiscard]] Status ensureCapacityFor(const ndn::Name& name,
+                                         std::uint64_t incoming) const;
 
   k8s::PersistentVolumeClaim& pvc_;
   std::string root_;

@@ -1,0 +1,161 @@
+#include "replica/catalog.hpp"
+
+#include "common/strings.hpp"
+
+namespace lidc::replica {
+
+namespace {
+constexpr const char* kMapComponent = "_map";
+}
+
+std::string_view replicaStateName(ReplicaState state) noexcept {
+  switch (state) {
+    case ReplicaState::kStaging: return "staging";
+    case ReplicaState::kReady: return "ready";
+    case ReplicaState::kStale: return "stale";
+    case ReplicaState::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+std::optional<ReplicaState> parseReplicaState(std::string_view text) noexcept {
+  if (text == "staging") return ReplicaState::kStaging;
+  if (text == "ready") return ReplicaState::kReady;
+  if (text == "stale") return ReplicaState::kStale;
+  if (text == "lost") return ReplicaState::kLost;
+  return std::nullopt;
+}
+
+ReplicaCatalog::ReplicaCatalog(ndn::Forwarder& forwarder, std::string clusterName,
+                               ReplicaCatalogOptions options)
+    : forwarder_(forwarder),
+      cluster_name_(std::move(clusterName)),
+      options_(options) {
+  ndn::Name prefix = kReplicaPrefix;
+  prefix.append(cluster_name_);
+  face_ = std::make_shared<ndn::AppFace>("app://replica-catalog/" + cluster_name_,
+                                         forwarder_.simulator());
+  face_->setInterestHandler([this](const ndn::Interest& i) { handleInterest(i); });
+  face_id_ = forwarder_.addFace(face_);
+  forwarder_.registerPrefix(prefix, face_id_, /*cost=*/0);
+}
+
+void ReplicaCatalog::record(const ndn::Name& dataset, std::uint64_t bytes,
+                            ReplicaState state) {
+  ReplicaEntry& entry = entries_[dataset.toUri()];
+  if (entry.version != 0 && entry.bytes == bytes && entry.state == state) return;
+  entry.bytes = bytes;
+  entry.state = state;
+  ++entry.version;
+  ++revision_;
+}
+
+void ReplicaCatalog::markStaging(const ndn::Name& dataset,
+                                 std::uint64_t expectedBytes) {
+  record(dataset, expectedBytes, ReplicaState::kStaging);
+}
+
+void ReplicaCatalog::markReady(const ndn::Name& dataset, std::uint64_t bytes) {
+  record(dataset, bytes, ReplicaState::kReady);
+}
+
+void ReplicaCatalog::markLost(const ndn::Name& dataset) {
+  auto it = entries_.find(dataset.toUri());
+  if (it == entries_.end()) return;
+  record(dataset, it->second.bytes, ReplicaState::kLost);
+}
+
+void ReplicaCatalog::erase(const ndn::Name& dataset) {
+  if (entries_.erase(dataset.toUri()) > 0) ++revision_;
+}
+
+void ReplicaCatalog::syncFromStore(const datalake::ObjectStore& store,
+                                   const ndn::Name& prefix) {
+  for (const ndn::Name& name : store.list(prefix)) {
+    const auto size = store.sizeOf(name);
+    if (size) markReady(name, *size);
+  }
+}
+
+const ReplicaEntry* ReplicaCatalog::entry(const ndn::Name& dataset) const {
+  auto it = entries_.find(dataset.toUri());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::string ReplicaCatalog::exportMap() const {
+  // entries_ is keyed by dataset URI, so iteration is already sorted —
+  // the snapshot text is deterministic for a given map state.
+  std::string out;
+  for (const auto& [uri, entry] : entries_) {
+    out += "dataset=" + uri + ";bytes=" + std::to_string(entry.bytes) +
+           ";version=" + std::to_string(entry.version) +
+           ";state=" + std::string(replicaStateName(entry.state)) + "\n";
+  }
+  return out;
+}
+
+void ReplicaCatalog::handleInterest(const ndn::Interest& interest) {
+  // /ndn/k8s/replica/<cluster>/<_map | seq>
+  const ndn::Name& name = interest.name();
+  if (name.size() != kReplicaPrefix.size() + 2) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  const std::string selector = name[name.size() - 1].toString();
+  if (selector == kMapComponent) {
+    replyManifest(interest);
+    return;
+  }
+  const auto seq = strings::parseUint(selector);
+  if (!seq) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  replySnapshot(interest, *seq);
+}
+
+void ReplicaCatalog::refresh() {
+  // A new sequence only when the map actually changed, so directories
+  // keep reusing the manifest while the lake is quiet.
+  if (seq_ != 0 && revision_ == exported_revision_) return;
+  exported_revision_ = revision_;
+  ++seq_;
+  generated_at_ = forwarder_.simulator().now();
+  snapshots_[seq_] = exportMap();
+  ++snapshots_generated_;
+  while (snapshots_.size() > options_.retainedSnapshots) {
+    snapshots_.erase(snapshots_.begin());
+  }
+}
+
+void ReplicaCatalog::replyManifest(const ndn::Interest& interest) {
+  refresh();
+  ++served_;
+  ndn::Data manifest(interest.name());
+  manifest
+      .setContent("seq=" + std::to_string(seq_) + ";generated=" +
+                  std::to_string(generated_at_.toNanos()))
+      .setFreshnessPeriod(options_.manifestFreshness)
+      .sign();
+  face_->putData(std::move(manifest));
+}
+
+void ReplicaCatalog::replySnapshot(const ndn::Interest& interest,
+                                   std::uint64_t seq) {
+  auto it = snapshots_.find(seq);
+  if (it == snapshots_.end()) {
+    ++rejected_;
+    face_->putNack(interest, ndn::NackReason::kNoRoute);
+    return;
+  }
+  ++served_;
+  ndn::Data snapshot(interest.name());
+  snapshot.setContent(it->second)
+      .setFreshnessPeriod(options_.snapshotFreshness)
+      .sign();
+  face_->putData(std::move(snapshot));
+}
+
+}  // namespace lidc::replica

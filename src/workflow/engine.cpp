@@ -29,6 +29,8 @@ struct WorkflowEngine::Run {
   std::map<std::string, std::size_t> indexOf;     // stage name -> index
   std::vector<std::vector<std::size_t>> consumers;
   std::vector<StageStatus> statuses;
+  /// Consumers whose prestage hook already fired (once per run).
+  std::vector<bool> prestageFired;
   WorkflowOutcome outcome;
   sim::Time startedAt;
   /// Stages in flight (Running/Staging) plus outstanding lineage
@@ -61,6 +63,7 @@ void WorkflowEngine::run(WorkflowSpec spec, DoneCallback done) {
   run->order = std::move(ordered).value();
   run->statuses.resize(run->spec.stages.size());
   run->consumers.resize(run->spec.stages.size());
+  run->prestageFired.resize(run->spec.stages.size());
   for (std::size_t i = 0; i < run->spec.stages.size(); ++i) {
     run->indexOf.emplace(run->spec.stages[i].name, i);
   }
@@ -203,9 +206,58 @@ void WorkflowEngine::dispatchStage(const std::shared_ptr<Run>& run,
 
   auto request =
       std::make_shared<core::ComputeRequest>(buildRequest(run->spec, stage));
+  // Lookahead: while this stage runs, its consumers' already-available
+  // inputs can stream toward compute.
+  firePrestage(run, index);
+  if (options_.ensureInputsLocal && !request->datasets.empty()) {
+    options_.ensureInputsLocal(
+        stage.name, request->datasets,
+        [this, run, index, request](std::uint64_t bytes) {
+          if (run->finished) return;
+          StageStatus& status = run->statuses[index];
+          if (status.state != StageState::kRunning) return;
+          status.dispatchStagingBytes += bytes;
+          run->outcome.dispatchBytesMoved += bytes;
+          trace(run, "inputs-local " + run->spec.stages[index].name +
+                         " bytes=" + std::to_string(bytes));
+          launchStage(run, index, request);
+        });
+    return;
+  }
+  launchStage(run, index, request);
+}
+
+void WorkflowEngine::launchStage(const std::shared_ptr<Run>& run,
+                                 std::size_t index,
+                                 std::shared_ptr<core::ComputeRequest> request) {
   auto race = std::make_shared<StageRace>();
   launchStageLeg(run, index, request, race, /*isHedge=*/false);
   armStageHedge(run, index, request, race);
+}
+
+void WorkflowEngine::firePrestage(const std::shared_ptr<Run>& run,
+                                  std::size_t producerIndex) {
+  if (!options_.prestageHook) return;
+  for (std::size_t consumer : run->consumers[producerIndex]) {
+    if (run->prestageFired[consumer]) continue;
+    run->prestageFired[consumer] = true;
+    const StageSpec& spec = run->spec.stages[consumer];
+    // Only inputs that exist somewhere already: lake datasets plus
+    // intermediates of completed upstreams. The running producer's own
+    // output is not fetchable yet (and with locality-aware placement it
+    // will be born local anyway).
+    std::vector<std::string> inputs = spec.lakeInputs;
+    for (const StageInput& input : spec.stageInputs) {
+      if (run->statuses[run->indexOf.at(input.stage)].state ==
+          StageState::kCompleted) {
+        inputs.push_back(intermediatePath(run->spec.id, input.stage));
+      }
+    }
+    if (inputs.empty()) continue;
+    trace(run, "prestage " + spec.name + " inputs=" +
+                   std::to_string(inputs.size()));
+    options_.prestageHook(spec.name, inputs);
+  }
 }
 
 /// Shared state of one stage dispatch: the primary leg plus (possibly)

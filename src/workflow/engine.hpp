@@ -91,6 +91,23 @@ struct WorkflowOptions {
   /// admission controller charges this workflow's jobs against the
   /// tenant's quotas. Empty = untenanted (legacy compute path).
   std::string tenant;
+  /// Lookahead pre-staging (replica plane): when a producer stage
+  /// dispatches, this fires once per consumer with the inputs that
+  /// consumer already has available (lake datasets + completed
+  /// upstream intermediates), so a PrestageCoordinator can stream them
+  /// toward compute while the producer is still running.
+  std::function<void(const std::string& consumerStage,
+                     const std::vector<std::string>& inputs)>
+      prestageHook;
+  /// Dispatch-time input staging: invoked with a stage's full dataset
+  /// list before its submit; the continuation receives the bytes moved
+  /// over the overlay *at dispatch* (0 when lookahead already staged
+  /// everything — the measurable win of predictive pre-staging). The
+  /// engine records the bytes per stage and in the outcome.
+  std::function<void(const std::string& stage,
+                     const std::vector<std::string>& inputs,
+                     std::function<void(std::uint64_t)> done)>
+      ensureInputsLocal;
 };
 
 /// Terminal per-stage report.
@@ -105,6 +122,9 @@ struct StageStatus {
   std::string error;        // last failure, empty when completed
   sim::Time dispatchedAt;
   sim::Time finishedAt;
+  /// Bytes moved at dispatch to make this stage's inputs local
+  /// (ensureInputsLocal); 0 when pre-staging already delivered them.
+  std::uint64_t dispatchStagingBytes = 0;
 };
 
 /// Aggregated outcome of one workflow run.
@@ -116,6 +136,10 @@ struct WorkflowOutcome {
   /// Intermediate bytes the engine moved over the overlay (fetches +
   /// republishes while staging). Zero under locality-aware placement.
   std::uint64_t intermediateBytesMoved = 0;
+  /// Input bytes moved at stage dispatch time (ensureInputsLocal
+  /// across all stages). Zero when lookahead pre-staging kept every
+  /// dispatch local.
+  std::uint64_t dispatchBytesMoved = 0;
   /// Producer stages recomputed because their output became unreachable.
   int lineageRecoveries = 0;
   /// Deterministic event log; byte-identical across same-seed runs.
@@ -169,6 +193,12 @@ class WorkflowEngine {
 
   void dispatchReady(const std::shared_ptr<Run>& run);
   void dispatchStage(const std::shared_ptr<Run>& run, std::size_t index);
+  /// Fires the lookahead prestage hook (once per consumer per run)
+  /// when the producer at `producerIndex` starts running.
+  void firePrestage(const std::shared_ptr<Run>& run, std::size_t producerIndex);
+  /// Launches the dispatch race (primary leg + hedge watchdog).
+  void launchStage(const std::shared_ptr<Run>& run, std::size_t index,
+                   std::shared_ptr<core::ComputeRequest> request);
   /// Runs one leg (primary or hedge) of a stage's dispatch race.
   void launchStageLeg(const std::shared_ptr<Run>& run, std::size_t index,
                       std::shared_ptr<core::ComputeRequest> request,

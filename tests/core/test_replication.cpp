@@ -131,6 +131,39 @@ TEST_F(ReplicationTest, MixedBatchFirstErrorWinsAndRestStillReplicate) {
   EXPECT_TRUE(fresh_->store().contains(ndn::Name("/ndn/k8s/data/SRR2931415")));
 }
 
+TEST_F(ReplicationTest, WrapperStaysInParityWithTransferScheduler) {
+  // DataReplicator is a thin wrapper over the replica plane's
+  // TransferScheduler; the legacy accessors and the scheduler's own
+  // accounting must agree exactly.
+  DataReplicator replicator(*fresh_);
+  ASSERT_TRUE(
+      fresh_->store().putText(ndn::Name("/ndn/k8s/data/local"), "here").ok());
+
+  std::optional<Status> done;
+  replicator.replicateAll({ndn::Name("/ndn/k8s/data/human-ref"),
+                           ndn::Name("/ndn/k8s/data/SRR2931415"),
+                           ndn::Name("/ndn/k8s/data/local")},
+                          [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(done->ok()) << *done;
+
+  const replica::TransferScheduler& scheduler = replicator.scheduler();
+  EXPECT_EQ(replicator.objectsReplicated(), 2u);
+  EXPECT_EQ(replicator.objectsReplicated(), scheduler.staged());
+  EXPECT_EQ(replicator.bytesReplicated(), scheduler.bytesMoved());
+  EXPECT_GT(replicator.bytesReplicated(), 0u);
+  // The already-present object was a wrapper-level no-op, not a staging
+  // queue entry: the scheduler never saw it.
+  EXPECT_EQ(scheduler.localHits(), 0u);
+  EXPECT_EQ(scheduler.failures(), 0u);
+  // The staging queue's deterministic trace narrates both transfers.
+  EXPECT_NE(scheduler.eventLog().find("done /ndn/k8s/data/human-ref"),
+            std::string::npos);
+  EXPECT_NE(scheduler.eventLog().find("done /ndn/k8s/data/SRR2931415"),
+            std::string::npos);
+}
+
 TEST_F(ReplicationTest, TelemetryMirrorsLegacyCounters) {
   DataReplicator replicator(*fresh_);
   telemetry::MetricsRegistry registry;

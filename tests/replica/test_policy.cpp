@@ -1,0 +1,157 @@
+// Placement policy tests: access heat raising replication targets,
+// plan() diffing desired state against a scraped directory view with
+// health/capacity-filtered destinations, and the byte-identical
+// planLog() decision record.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "replica/policy.hpp"
+
+namespace lidc::replica {
+namespace {
+
+const ndn::Name kDataset("/ndn/k8s/data/human-ref");
+
+/// Three catalogs ("east" holds the dataset, "west"/"south" are empty
+/// lakes) scraped into one directory on the ops host.
+class PlacementPolicyTest : public ::testing::Test {
+ protected:
+  PlacementPolicyTest() : topology_(sim_) {
+    topology_.addNode("ops");
+    for (const std::string& cluster : {std::string("east"), std::string("west"),
+                                       std::string("south")}) {
+      ndn::Forwarder& node = topology_.addNode(cluster);
+      topology_.connect("ops", cluster,
+                        net::LinkParams{sim::Duration::millis(5)});
+      catalogs_[cluster] = std::make_unique<ReplicaCatalog>(node, cluster);
+      ndn::Name prefix = kReplicaPrefix;
+      prefix.append(cluster);
+      topology_.installRoutesTo(prefix, cluster);
+    }
+    catalogs_["east"]->markReady(kDataset, 1000);
+
+    directory_ = std::make_unique<ReplicaDirectory>(*topology_.node("ops"));
+    for (const auto& [cluster, catalog] : catalogs_) {
+      directory_->watchCluster(cluster);
+    }
+  }
+
+  void scrape() {
+    directory_->scrapeOnce();
+    sim_.run();
+  }
+
+  sim::Simulator sim_;
+  net::Topology topology_;
+  std::map<std::string, std::unique_ptr<ReplicaCatalog>> catalogs_;
+  std::unique_ptr<ReplicaDirectory> directory_;
+};
+
+TEST(PolicyHeatTest, AccessHeatRaisesTargetReplicas) {
+  PlacementPolicy policy;  // base 1, hot 2 at weighted heat >= 3.0
+  EXPECT_EQ(policy.targetReplicas(kDataset), 1u);
+  policy.recordAccess(kDataset);
+  policy.recordAccess(kDataset);
+  EXPECT_DOUBLE_EQ(policy.heat(kDataset), 2.0);
+  EXPECT_EQ(policy.targetReplicas(kDataset), 1u);
+
+  // A heavy-share tenant's access tips it over the threshold.
+  policy.recordAccess(kDataset, /*weight=*/1.5);
+  EXPECT_EQ(policy.targetReplicas(kDataset), 2u);
+}
+
+TEST_F(PlacementPolicyTest, SatisfiedDatasetPlansNothing) {
+  scrape();
+  PlacementPolicy policy;
+  EXPECT_TRUE(policy.plan(*directory_).empty());
+  EXPECT_EQ(policy.lastUnderReplicated(), 0u);
+  EXPECT_EQ(policy.planLog(), "plan#1\n");
+}
+
+TEST_F(PlacementPolicyTest, HotDatasetGetsSecondReplicaOnHealthiestCluster) {
+  scrape();
+  PlacementPolicy policy;
+  for (int i = 0; i < 3; ++i) policy.recordAccess(kDataset);
+  policy.observeHealth("west", 0.9);
+  policy.observeHealth("south", 0.8);
+
+  const auto actions = policy.plan(*directory_);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].dataset, kDataset);
+  EXPECT_EQ(actions[0].destination, "west");
+  EXPECT_EQ(actions[0].priority, 2);  // hot datasets repair first
+  EXPECT_EQ(policy.lastUnderReplicated(), 1u);
+  EXPECT_EQ(policy.planLog(),
+            "plan#1\n"
+            "  /ndn/k8s/data/human-ref have=1 want=2 dest=west\n");
+}
+
+TEST_F(PlacementPolicyTest, UnhealthyAndFullClustersAreNotDestinations) {
+  scrape();
+  PlacementPolicy policy;
+  for (int i = 0; i < 3; ++i) policy.recordAccess(kDataset);
+  // West is below the health bar; south is healthy but its lake cannot
+  // fit the 1000-byte dataset.
+  policy.observeHealth("west", 0.3);
+  policy.observeHealth("south", 0.9);
+  policy.observeFreeBytes("south", 500);
+
+  const auto actions = policy.plan(*directory_);
+  EXPECT_TRUE(actions.empty());
+  EXPECT_EQ(policy.lastUnderReplicated(), 1u);
+  EXPECT_EQ(policy.planLog(),
+            "plan#1\n"
+            "  /ndn/k8s/data/human-ref have=1 want=2 dest=<none>\n");
+
+  // With room, south becomes the destination despite west's seniority
+  // in name order.
+  policy.observeFreeBytes("south", 4096);
+  const auto retry = policy.plan(*directory_);
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].destination, "south");
+}
+
+TEST_F(PlacementPolicyTest, LostReplicaTriggersRepairActions) {
+  scrape();
+  PlacementPolicy policy;
+  // Baseline: satisfied.
+  ASSERT_TRUE(policy.plan(*directory_).empty());
+
+  // East's lake dies with the bytes; the directory observes the lost
+  // state on the next scrape.
+  catalogs_["east"]->markLost(kDataset);
+  sim_.runUntil(sim_.now() + sim::Duration::seconds(1));
+  scrape();
+  ASSERT_TRUE(directory_->holders(kDataset).empty());
+
+  const auto actions = policy.plan(*directory_);
+  ASSERT_EQ(actions.size(), 1u);
+  // Unobserved clusters default to healthy with unknown capacity; the
+  // name-order tiebreak picks deterministically.
+  EXPECT_EQ(actions[0].destination, "east");
+  EXPECT_EQ(policy.lastUnderReplicated(), 1u);
+}
+
+TEST_F(PlacementPolicyTest, PlanLogIsByteIdenticalAcrossIdenticalRuns) {
+  scrape();
+  auto runPolicy = [this] {
+    PlacementPolicy policy;
+    for (int i = 0; i < 4; ++i) policy.recordAccess(kDataset);
+    policy.observeHealth("west", 0.7);
+    policy.observeHealth("south", 0.7);
+    (void)policy.plan(*directory_);
+    (void)policy.plan(*directory_);
+    return policy.planLog();
+  };
+  const std::string first = runPolicy();
+  const std::string second = runPolicy();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("plan#2\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lidc::replica
