@@ -1,0 +1,245 @@
+// Flow-accounting cost and accuracy: what one LinkFlowStats tap costs
+// per packet (the forwarder hot path), what full attribute() costs per
+// Data at a link face, how the Space-Saving + Count-Min top-k tracks
+// exact counting on a Zipf workload (deterministic, so the JSON gates
+// regressions), and what flow accounting does to two-node forwarder
+// throughput. Under -DLIDC_DISABLE_TELEMETRY=ON the taps compile away
+// and the hot-path rows read ~0. Results go to BENCH_flow_accounting.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ndn/app_face.hpp"
+#include "ndn/forwarder.hpp"
+#include "net/topology.hpp"
+#include "telemetry/flow.hpp"
+
+namespace {
+
+using namespace lidc;
+
+/// Keeps the compiler from deleting the measured loop.
+inline void sink(std::uint64_t value) {
+  asm volatile("" : : "r"(value) : "memory");
+}
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ns per iteration of `body` over `iters` runs.
+template <typename Body>
+double measureNs(std::uint64_t iters, Body body) {
+  const double start = nowSeconds();
+  for (std::uint64_t i = 0; i < iters; ++i) body(i);
+  return (nowSeconds() - start) * 1e9 / static_cast<double>(iters);
+}
+
+/// Uniform [0,1) from raw mt19937_64 output — std::uniform_real_distribution
+/// is implementation-defined, and the sketch-accuracy metrics below are
+/// regression-gated, so the sampling must be bit-stable everywhere.
+double uniform01(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+struct SketchAccuracy {
+  double topkMisses = 0;       // true top-k keys absent from the sketch top-k
+  double maxErrorPct = 0;      // worst overestimate among reported talkers
+  double boundPct = 0;         // Space-Saving guarantee: N / capacity
+};
+
+/// 200k Zipf(1.1) draws over 10k distinct flow keys through a
+/// 16-counter Space-Saving sketch, compared against exact counting.
+SketchAccuracy sketchAccuracyOnZipf() {
+  constexpr std::size_t kDistinct = 10'000;
+  constexpr std::uint64_t kDraws = 200'000;
+  constexpr std::size_t kTopK = 8;
+  constexpr std::size_t kCapacity = 16;
+
+  std::vector<double> cumulative(kDistinct);
+  double total = 0;
+  for (std::size_t rank = 0; rank < kDistinct; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), 1.1);
+    cumulative[rank] = total;
+  }
+
+  telemetry::SpaceSaving sketch(kCapacity);
+  std::map<std::string, std::uint64_t> exact;
+  std::mt19937_64 rng(0x51ed);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    const double u = uniform01(rng) * total;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    const std::string key = "tenant-" + std::to_string(rank);
+    exact[key] += 1;
+    sketch.add(key, 1);
+  }
+
+  // Exact top-k, count desc then key asc (the sketch's own tiebreak).
+  std::vector<std::pair<std::string, std::uint64_t>> ranked(exact.begin(),
+                                                            exact.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  SketchAccuracy result;
+  auto reported = sketch.top();
+  if (reported.size() > kTopK) reported.resize(kTopK);
+  for (std::size_t i = 0; i < kTopK && i < ranked.size(); ++i) {
+    bool found = false;
+    for (const auto& entry : reported) {
+      if (entry.key == ranked[i].first) found = true;
+    }
+    if (!found) result.topkMisses += 1;
+  }
+  for (const auto& entry : reported) {
+    const auto it = exact.find(entry.key);
+    const std::uint64_t truth = it == exact.end() ? 0 : it->second;
+    const double errorPct =
+        100.0 * static_cast<double>(entry.count - std::min(entry.count, truth)) /
+        static_cast<double>(kDraws);
+    result.maxErrorPct = std::max(result.maxErrorPct, errorPct);
+  }
+  result.boundPct = 100.0 / static_cast<double>(kCapacity);
+  return result;
+}
+
+/// Full consumer->A->link->B->producer exchanges (distinct names, no
+/// caching), optionally with both forwarders' link faces tapped.
+double linkThroughput(bool withFlow, std::uint64_t exchanges) {
+  sim::Simulator sim;
+  net::Topology topology(sim);
+  ndn::Forwarder& a = topology.addNode("a");
+  ndn::Forwarder& b = topology.addNode("b");
+  topology.connect("a", "b", net::LinkParams{sim::Duration::micros(1)});
+  a.cs().setCapacity(0);
+  b.cs().setCapacity(0);
+  topology.installRoutesTo(ndn::Name("/svc"), "b");
+
+  telemetry::FlowAccountant accountant(sim);
+  if (withFlow) {
+    a.attachFlowAccounting(accountant);
+    b.attachFlowAccounting(accountant);
+  }
+
+  auto consumer = std::make_shared<ndn::AppFace>("app://c", sim, 901);
+  auto producer = std::make_shared<ndn::AppFace>("app://p", sim, 902);
+  a.addFace(consumer);
+  b.addFace(producer);
+  b.registerPrefix(ndn::Name("/svc"), producer->id());
+  producer->setInterestHandler([&producer](const ndn::Interest& interest) {
+    ndn::Data data(interest.name());
+    data.setContent("r");
+    data.sign();
+    producer->putData(std::move(data));
+  });
+
+  const double start = nowSeconds();
+  for (std::uint64_t i = 0; i < exchanges; ++i) {
+    bool done = false;
+    consumer->expressInterest(
+        ndn::Interest(ndn::Name("/svc").appendNumber(i)),
+        [&done](const ndn::Interest&, const ndn::Data&) { done = true; });
+    sim.run();
+    sink(done ? 1 : 0);
+  }
+  return static_cast<double>(exchanges) / (nowSeconds() - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("flow_accounting");
+
+  bench::printHeader("Link tap hot path (per packet)");
+  bench::printRow({"op", "ns"});
+  bench::printRule(2);
+  sim::Simulator sim;
+  constexpr std::uint64_t kPackets = 20'000'000;
+  telemetry::LinkFlowStats stats(sim, /*bucketWidthNs=*/1'000'000'000ULL);
+  const double onDataNs =
+      measureNs(kPackets, [&stats](std::uint64_t i) { stats.onData(1500 + (i & 7)); });
+  sink(stats.bytes());
+  bench::printRow({"onData", bench::fmt(onDataNs, "%.3f")});
+  const double onInterestNs =
+      measureNs(kPackets, [&stats](std::uint64_t) { stats.onInterest(40); });
+  sink(stats.interests());
+  bench::printRow({"onInterest", bench::fmt(onInterestNs, "%.3f")});
+  report.add("hot_path_ns_per_packet", onDataNs);
+
+  bench::printHeader("attribute() per Data at a link face");
+  bench::printRow({"op", "ns"});
+  bench::printRule(2);
+  telemetry::FlowAccountant accountant(sim);
+  accountant.registerLink("link://a->b");
+  telemetry::FlowKey key;
+  key.group = "data";
+  key.tenant = "acme";
+  const double attributeNs = measureNs(2'000'000, [&](std::uint64_t i) {
+    accountant.attribute("link://a->b", key, 1500, (i & 1) != 0);
+  });
+  sink(accountant.revision());
+  bench::printRow({"attribute", bench::fmt(attributeNs, "%.3f")});
+  report.add("attribute_ns_per_data", attributeNs);
+
+  bench::printHeader("Sketch accuracy vs exact (Zipf 1.1, 200k draws)");
+  bench::printRow({"metric", "value"});
+  bench::printRule(2);
+  const SketchAccuracy accuracy = sketchAccuracyOnZipf();
+  bench::printRow({"topk-misses", bench::fmt(accuracy.topkMisses, "%.0f")});
+  bench::printRow({"max-error-pct", bench::fmt(accuracy.maxErrorPct, "%.4f")});
+  bench::printRow({"bound-pct", bench::fmt(accuracy.boundPct, "%.4f")});
+  report.add("topk_miss_count", accuracy.topkMisses);
+  report.add("sketch_max_error_pct", accuracy.maxErrorPct);
+
+  bench::printHeader("Two-node forwarder throughput: flow tap on vs off");
+  bench::printRow({"mode", "exchanges/s"});
+  bench::printRule(2);
+  // Alternate modes and keep the best of each: a single 20k-exchange
+  // run is ~250 ms, well inside scheduler-noise territory, and the
+  // best-of estimate converges on the unloaded cost of each mode.
+  constexpr std::uint64_t kExchanges = 20'000;
+  constexpr int kRounds = 5;
+  double off = 0.0;
+  double on = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    off = std::max(off, linkThroughput(false, kExchanges));
+    on = std::max(on, linkThroughput(true, kExchanges));
+  }
+  bench::printRow({"off", bench::fmt(off, "%.0f")});
+  bench::printRow({"flow", bench::fmt(on, "%.0f")});
+  const double overheadPct = 100.0 * (off - on) / off;
+  std::printf("flow-accounting overhead: %.1f%%\n", overheadPct);
+  report.add("throughput_off_per_sec", off);
+  report.add("throughput_flow_per_sec", on);
+  report.add("flow_overhead_pct", overheadPct);
+
+  std::printf(
+      "shape check: the per-packet tap is two relaxed fetch_adds plus a\n"
+      "bucket-epoch check; attribution (mutex + sketch) runs once per Data\n"
+      "at a link face, not per hop; Space-Saving error stays within\n"
+      "N/capacity and the true heavy hitters survive the 16-slot sketch.\n");
+  report.write();
+  // The sketch claims are deterministic (fixed seeds), so they gate
+  // here directly — the regression script skips zero baselines.
+  if (accuracy.topkMisses > 0) {
+    std::fprintf(stderr, "FAIL: true top-k keys missing from the sketch\n");
+    return 1;
+  }
+  if (accuracy.maxErrorPct > accuracy.boundPct) {
+    std::fprintf(stderr, "FAIL: Space-Saving error exceeds the N/k bound\n");
+    return 1;
+  }
+  return 0;
+}

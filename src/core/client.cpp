@@ -240,6 +240,7 @@ void LidcClient::submitAttempt(std::shared_ptr<ComputeRequest> request, int atte
   ndn::Interest interest(requestName(*request));
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(span);
+  interest.setFlowLabel({options_.tenant, request->flowTag});
   // MustBeFresh keeps network caches from answering with acks older
   // than the gateway's ackFreshness; within that window, identical
   // canonical requests may legitimately be served from any CS.
@@ -379,6 +380,7 @@ void LidcClient::sendSubmitLeg(std::shared_ptr<HedgeRace> race, bool isHedge,
   ndn::Interest interest(requestName(*legRequest));
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(span);
+  interest.setFlowLabel({options_.tenant, legRequest->flowTag});
   interest.setMustBeFresh(true);
 
   face_->expressInterest(
@@ -621,8 +623,11 @@ void LidcClient::runToCompletion(ComputeRequest request, OutcomeCallback done,
     if (outcome.ok()) {
       outcome->trace = root;
       if (telemetry_) {
+        // Tail samples carry the job's trace id as an exemplar, so a
+        // latency-regression alert links to a concrete slow trace.
         telemetry_->jobLatencyUs->observe(
-            static_cast<double>(outcome->totalLatency.toNanos()) / 1e3);
+            static_cast<double>(outcome->totalLatency.toNanos()) / 1e3,
+            root.trace);
       }
     }
     if (tracer != nullptr && root) {
@@ -827,10 +832,12 @@ void LidcClient::runAttempt(std::shared_ptr<ComputeRequest> request, int failove
 }
 
 void LidcClient::fetchData(const ndn::Name& objectName, FetchCallback done,
-                           telemetry::TraceContext parent) {
+                           telemetry::TraceContext parent,
+                           std::string flowTag) {
+  telemetry::FlowLabel label{options_.tenant, std::move(flowTag)};
   telemetry::Tracer* tracer = telemetry_ ? telemetry_->tracer : nullptr;
   if (tracer == nullptr || !parent) {
-    retriever_->fetch(objectName, std::move(done));
+    retriever_->fetch(objectName, std::move(done), {}, std::move(label));
     return;
   }
   const telemetry::TraceContext span =
@@ -848,13 +855,14 @@ void LidcClient::fetchData(const ndn::Name& objectName, FetchCallback done,
         tracer->endSpan(span);
         done(std::move(result));
       },
-      span);
+      span, std::move(label));
 }
 
 void LidcClient::publishData(const std::string& path,
                              std::vector<std::uint8_t> bytes,
                              PublishCallback done,
-                             telemetry::TraceContext parent) {
+                             telemetry::TraceContext parent,
+                             std::string flowTag) {
   // Digest binds the command name to the exact payload bytes.
   std::uint64_t digest = 0xcbf29ce484222325ULL;
   for (std::uint8_t byte : bytes) {
@@ -887,6 +895,7 @@ void LidcClient::publishData(const std::string& path,
   interest.setLifetime(options_.interestLifetime);
   interest.setApplicationParameters(std::move(bytes));
   interest.setTraceContext(span);
+  interest.setFlowLabel({options_.tenant, std::move(flowTag)});
 
   face_->expressInterest(
       interest,

@@ -170,9 +170,13 @@ class LidcClient {
   void runToCompletion(ComputeRequest request, OutcomeCallback done,
                        telemetry::TraceContext parent = {});
 
-  /// Retrieves a named object from the data lake.
+  /// Retrieves a named object from the data lake. `flowTag` (e.g.
+  /// "wf/<id>") rides the segment Interests as a FlowLabel alongside
+  /// the client's tenant, so link flow accounting can attribute the
+  /// transferred bytes; empty means untagged.
   void fetchData(const ndn::Name& objectName, FetchCallback done,
-                 telemetry::TraceContext parent = {});
+                 telemetry::TraceContext parent = {},
+                 std::string flowTag = {});
 
   /// Queries a cluster's advertised capabilities (paper SVII: "once the
   /// network knows cluster capabilities, it can select the best cluster").
@@ -185,7 +189,8 @@ class LidcClient {
   /// receives the stored content name.
   using PublishCallback = std::function<void(Result<ndn::Name>)>;
   void publishData(const std::string& path, std::vector<std::uint8_t> bytes,
-                   PublishCallback done, telemetry::TraceContext parent = {});
+                   PublishCallback done, telemetry::TraceContext parent = {},
+                   std::string flowTag = {});
 
   /// Mirrors client activity into `registry` (submits, retries,
   /// failovers, end-to-end latency histogram) and — with a tracer —

@@ -98,6 +98,40 @@ void ComputeCluster::attachTelemetry(
     // Per-tenant admission series under /ndn/k8s/telemetry/<name>/qos/.
     publisher_->addGroup("qos", "lidc_qos");
   }
+  registry_ = &registry;
+  wireFlowExports();
+}
+
+telemetry::FlowAccountant& ComputeCluster::enableFlowAccounting(
+    telemetry::FlowAccountantOptions options) {
+  if (!flow_) {
+    flow_ = std::make_unique<telemetry::FlowAccountant>(forwarder_.simulator(),
+                                                        options);
+    forwarder_.attachFlowAccounting(*flow_);
+    if (auto* admission = gateway_->admission()) {
+      admission->setFlowAccountant(flow_.get());
+    }
+    wireFlowExports();
+  }
+  return *flow_;
+}
+
+void ComputeCluster::wireFlowExports() {
+  if (!flow_) return;
+  if (registry_ != nullptr && !flow_mirrored_) {
+    flow_->attachTelemetry(*registry_);
+    flow_mirrored_ = true;
+  }
+  if (publisher_ != nullptr && !flow_published_) {
+    // The flow ledger rides the monitoring plane as its own content
+    // group: /ndn/k8s/telemetry/<name>/flow/ (same manifest + immutable
+    // snapshot discipline as the registry groups).
+    auto* fa = flow_.get();
+    publisher_->addContentGroup(
+        "flow", [fa] { return fa->toPrometheus(); },
+        [fa] { return fa->revision(); });
+    flow_published_ = true;
+  }
 }
 
 void ComputeCluster::loadGenomicsDatasets(const genomics::DatasetCatalog& catalog) {

@@ -18,6 +18,7 @@
 #include "ndn/forwarder.hpp"
 #include "qos/admission.hpp"
 #include "qos/tenant.hpp"
+#include "telemetry/flow.hpp"
 #include "telemetry/monitor.hpp"
 
 namespace lidc::core {
@@ -73,6 +74,19 @@ class ComputeCluster {
     gateway_->setFlightRecorder(recorder);
   }
 
+  /// Attaches the traffic observability plane: the cluster owns a
+  /// FlowAccountant, the forwarder's link faces get wait-free taps, the
+  /// gateway's admission path reports per-tenant submit bytes, and —
+  /// combined with attachTelemetry(), in either order — the accountant
+  /// is mirrored into the registry and served as the
+  /// /ndn/k8s/telemetry/<name>/flow/ content group. Idempotent.
+  telemetry::FlowAccountant& enableFlowAccounting(
+      telemetry::FlowAccountantOptions options = {});
+  /// Null until enableFlowAccounting().
+  [[nodiscard]] telemetry::FlowAccountant* flowAccountant() noexcept {
+    return flow_.get();
+  }
+
  private:
   ComputeClusterConfig config_;
   ndn::Forwarder& forwarder_;
@@ -83,6 +97,15 @@ class ComputeCluster {
   CompletionTimePredictor predictor_;
   std::unique_ptr<Gateway> gateway_;
   std::unique_ptr<telemetry::TelemetryPublisher> publisher_;
+  std::unique_ptr<telemetry::FlowAccountant> flow_;
+  /// Registry from attachTelemetry(), kept so enableFlowAccounting()
+  /// works in either call order relative to it.
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  bool flow_mirrored_ = false;
+  bool flow_published_ = false;
+
+  /// Wires the accountant into whatever export targets exist yet.
+  void wireFlowExports();
 };
 
 }  // namespace lidc::core

@@ -189,6 +189,7 @@ void Gateway::onSubmit(const ndn::Interest& interest) {
                         : JobManager::defaultMemory().bytes();
   job.expiresAt = forwarder_.simulator().now() + interest.lifetime();
   job.tag = request->requestId.empty() ? request->app : request->requestId;
+  job.wireBytes = interest.wireSize();
   auto held = std::make_shared<ndn::Interest>(interest);
   const std::uint64_t cpu = job.cpuMillicores;
   const std::uint64_t mem = job.memoryBytes;

@@ -124,6 +124,24 @@ void ClusterOverlay::attachFlightRecorder(telemetry::FlightRecorder* recorder) {
   }
 }
 
+void ClusterOverlay::enableFlowAccounting(
+    telemetry::FlowAccountantOptions options) {
+  for (auto& [name, host] : clusters_) host->enableFlowAccounting(options);
+  // Capacities come from the topology: each directional face URI
+  // belongs to the accountant of the cluster at its near end.
+  for (const auto& edge : topology_.edges()) {
+    const double bits = edge.link->params().bandwidthBitsPerSec;
+    if (auto it = clusters_.find(edge.a); it != clusters_.end()) {
+      it->second->flowAccountant()->setLinkCapacity(
+          "link://" + edge.a + "->" + edge.b, bits);
+    }
+    if (auto it = clusters_.find(edge.b); it != clusters_.end()) {
+      it->second->flowAccountant()->setLinkCapacity(
+          "link://" + edge.b + "->" + edge.a, bits);
+    }
+  }
+}
+
 void ClusterOverlay::setPlacementStrategy(PlacementStrategy strategy,
                                           std::uint64_t seed) {
   for (const auto& nodeName : topology_.nodeNames()) {

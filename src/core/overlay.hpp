@@ -94,6 +94,13 @@ class ClusterOverlay {
   /// call; null detaches.
   void attachFlightRecorder(telemetry::FlightRecorder* recorder);
 
+  /// Attaches the traffic observability plane to every current cluster:
+  /// each gets its own FlowAccountant (tapping its forwarder's link
+  /// faces), and per-link capacities are learned from the topology's
+  /// edge bandwidths so utilization is computable. Like
+  /// attachTelemetry(), clusters/links added later need another call.
+  void enableFlowAccounting(telemetry::FlowAccountantOptions options = {});
+
  private:
   net::Topology topology_;
   std::map<std::string, std::unique_ptr<ComputeCluster>> clusters_;

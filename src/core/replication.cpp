@@ -13,6 +13,12 @@ DataReplicator::DataReplicator(ComputeCluster& destination,
   scheduler_ = std::make_unique<replica::TransferScheduler>(
       destination.forwarder(), destination.store(), destination.name(),
       transferOptions);
+  // When the destination already runs the flow plane, staged bytes
+  // land in its ledger too (clusters enabling it later re-wire via
+  // scheduler().setFlowAccountant()).
+  if (auto* flow = destination.flowAccountant()) {
+    scheduler_->setFlowAccountant(flow);
+  }
 }
 
 void DataReplicator::replicate(const ndn::Name& objectName, DoneCallback done) {

@@ -44,6 +44,11 @@ struct ComputeRequest {
   /// name is canonical and may be satisfied from result caches.
   std::string requestId;
 
+  /// Optional flow-attribution tag (e.g. "wf/<workflow-id>"). Carried
+  /// as a hop-by-hop FlowLabel on submit Interests — NOT part of the
+  /// name, so caching and dedup semantics are unchanged.
+  std::string flowTag;
+
   /// Builds the Interest name. Keys are emitted in sorted order so
   /// semantically identical requests produce byte-identical names —
   /// the property LIDC's result caching keys on (paper SVII).

@@ -20,14 +20,17 @@ struct Retriever::Transfer {
   int metaIntegrityAttempts = 0;
   bool finished = false;
   telemetry::TraceContext trace;
+  telemetry::FlowLabel label;
 };
 
 void Retriever::fetch(const ndn::Name& objectName, CompletionCallback done,
-                      telemetry::TraceContext trace) {
+                      telemetry::TraceContext trace,
+                      telemetry::FlowLabel label) {
   auto transfer = std::make_shared<Transfer>();
   transfer->objectName = objectName;
   transfer->done = std::move(done);
   transfer->trace = trace;
+  transfer->label = std::move(label);
   fetchMeta(std::move(transfer), 0);
 }
 
@@ -39,6 +42,7 @@ void Retriever::fetchMeta(std::shared_ptr<Transfer> transfer, int attempt,
   interest.setMustBeFresh(excludeDigest.has_value());
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(transfer->trace);
+  interest.setFlowLabel(transfer->label);
   if (excludeDigest.has_value()) interest.setExcludeDigest(*excludeDigest);
 
   face_.expressInterest(
@@ -138,6 +142,7 @@ void Retriever::fetchSegment(std::shared_ptr<Transfer> transfer, std::uint64_t i
   ndn::Interest interest(segName);
   interest.setLifetime(options_.interestLifetime);
   interest.setTraceContext(transfer->trace);
+  interest.setFlowLabel(transfer->label);
   if (excludeDigest.has_value()) {
     interest.setExcludeDigest(*excludeDigest);
     interest.setMustBeFresh(true);

@@ -13,6 +13,7 @@
 #include "common/status.hpp"
 #include "datalake/object_store.hpp"
 #include "ndn/app_face.hpp"
+#include "telemetry/flow_label.hpp"
 #include "telemetry/trace_context.hpp"
 
 namespace lidc::datalake {
@@ -44,9 +45,12 @@ class Retriever {
 
   /// Starts an asynchronous fetch of the full object. A valid `trace`
   /// is stamped on the meta and every segment Interest, so forwarders
-  /// along the path attach their per-hop spans to the caller's trace.
+  /// along the path attach their per-hop spans to the caller's trace;
+  /// `label` rides the same Interests for flow attribution (which
+  /// tenant/workflow the transferred bytes belong to).
   void fetch(const ndn::Name& objectName, CompletionCallback done,
-             telemetry::TraceContext trace = {});
+             telemetry::TraceContext trace = {},
+             telemetry::FlowLabel label = {});
 
   /// Packets that failed verification and were re-fetched with an
   /// exclusion hint (across all transfers of this retriever).

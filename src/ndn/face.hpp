@@ -9,6 +9,7 @@
 #include <string>
 
 #include "ndn/packet.hpp"
+#include "telemetry/flow.hpp"
 
 namespace lidc::ndn {
 
@@ -44,6 +45,14 @@ class Face {
 
   [[nodiscard]] const FaceCounters& counters() const noexcept { return counters_; }
 
+  /// Installs a flow-accounting tap: every packet through this face
+  /// (both directions) is recorded into `stats` — the wait-free hot
+  /// path of the traffic observability plane. Null detaches.
+  void setFlowStats(telemetry::LinkFlowStats* stats) noexcept { flow_ = stats; }
+  [[nodiscard]] telemetry::LinkFlowStats* flowStats() const noexcept {
+    return flow_;
+  }
+
   // --- outgoing direction (forwarder -> transport) ---
   virtual void sendInterest(const Interest& interest) = 0;
   virtual void sendData(const Data& data) = 0;
@@ -75,21 +84,33 @@ class Face {
   }
 
  protected:
+  // The flow tap fires on egress only: face "link://a->b" counts what
+  // a transmits toward b, so each direction of a link is accounted
+  // exactly once (at its transmitter) and never double-counted fleet
+  // wide. Receive-side counters stay in FaceCounters for diagnostics.
   void countOutInterest(const Interest& interest) {
     ++counters_.nOutInterests;
-    counters_.nOutBytes += interest.wireSize();
+    const std::size_t wire = interest.wireSize();
+    counters_.nOutBytes += wire;
+    if (flow_) flow_->onInterest(wire);
   }
   void countOutData(const Data& data) {
     ++counters_.nOutData;
-    counters_.nOutBytes += data.wireSize();
+    const std::size_t wire = data.wireSize();
+    counters_.nOutBytes += wire;
+    if (flow_) flow_->onData(wire);
   }
-  void countOutNack() { ++counters_.nOutNacks; }
+  void countOutNack() {
+    ++counters_.nOutNacks;
+    if (flow_) flow_->onNack();
+  }
 
  private:
   FaceId id_ = kInvalidFaceId;
   std::string uri_;
   bool up_ = true;
   FaceCounters counters_;
+  telemetry::LinkFlowStats* flow_ = nullptr;
 };
 
 }  // namespace lidc::ndn

@@ -1,5 +1,6 @@
 #include "ndn/forwarder.hpp"
 
+#include <array>
 #include <cassert>
 
 #include "common/logging.hpp"
@@ -19,6 +20,7 @@ FaceId Forwarder::addFace(std::shared_ptr<Face> face) {
   const FaceId id = next_face_id_++;
   face->setId(id);
   installHandlers(*face);
+  tapFace(*face);
   faces_.emplace(id, std::move(face));
   return id;
 }
@@ -117,6 +119,36 @@ void Forwarder::attachTelemetry(telemetry::MetricsRegistry& registry,
   });
 }
 
+void Forwarder::attachFlowAccounting(telemetry::FlowAccountant& accountant) {
+  flow_ = &accountant;
+  for (auto& [id, face] : faces_) tapFace(*face);
+}
+
+void Forwarder::tapFace(Face& face) {
+  // Only point-to-point link faces carry a tap: app faces sit on the
+  // node itself, so their traffic never crosses a physical link.
+  if (flow_ == nullptr || face.uri().rfind("link://", 0) != 0) return;
+  face.setFlowStats(flow_->registerLink(face.uri()));
+}
+
+void Forwarder::attributeData(Face& outFace, const Interest& interest,
+                              const Data& data, bool fromCache) {
+  if (flow_ == nullptr || outFace.flowStats() == nullptr) return;
+  // extractFlowKey only ever reads a handful of leading components, so
+  // a fixed stack buffer keeps this off the allocator.
+  std::array<std::string_view, 16> comps;
+  std::size_t count = 0;
+  for (const auto& c : data.name()) {
+    if (count == comps.size()) break;
+    comps[count++] = std::string_view(
+        reinterpret_cast<const char*>(c.value().data()), c.value().size());
+  }
+  flow_->attribute(
+      outFace.uri(),
+      telemetry::extractFlowKey(comps.data(), count, interest.flowLabel()),
+      data.wireSize(), fromCache);
+}
+
 void Forwarder::hopInstant(const Interest& interest, const char* decision,
                            telemetry::SpanAttrs extra) {
   if (!telemetry_ || telemetry_->tracer == nullptr) return;
@@ -178,6 +210,7 @@ void Forwarder::onIncomingInterest(Face& inFace, const Interest& interest) {
     if (isNew) pit_.erase(entry);
     ++counters_.nOutData;
     if (telemetry_) telemetry_->outData->inc();
+    attributeData(inFace, interest, *cached, /*fromCache=*/true);
     inFace.sendData(*cached);
     return;
   }
@@ -239,6 +272,8 @@ void Forwarder::onIncomingData(Face& inFace, const Data& data) {
       if (auto* downstream = face(in.face); downstream != nullptr) {
         ++counters_.nOutData;
         if (telemetry_) telemetry_->outData->inc();
+        attributeData(*downstream, entry->interest(), data,
+                      /*fromCache=*/false);
         downstream->sendData(data);
       }
     }

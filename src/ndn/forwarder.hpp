@@ -109,6 +109,17 @@ class Forwarder {
     recorder_ = recorder;
   }
 
+  /// Attaches the traffic observability plane: every "link://" face
+  /// (current and future) gets a wait-free LinkFlowStats tap registered
+  /// in `accountant` under its URI, and the Data pipelines attribute
+  /// forwarded bytes to (group, tenant, tag) flows — CS-served bytes
+  /// split from upstream-fetched ones. The accountant must outlive the
+  /// forwarder's faces.
+  void attachFlowAccounting(telemetry::FlowAccountant& accountant);
+  [[nodiscard]] telemetry::FlowAccountant* flowAccountant() noexcept {
+    return flow_;
+  }
+
   // --- actions used by strategies ---
   void sendInterest(const std::shared_ptr<PitEntry>& entry, FaceId upstream);
   void sendNackDownstream(const std::shared_ptr<PitEntry>& entry, NackReason reason);
@@ -123,6 +134,12 @@ class Forwarder {
   void recordDeadNonces(const PitEntry& entry);
 
   void installHandlers(Face& face);
+  /// Gives a link face its flow tap (no-op for app faces / no plane).
+  void tapFace(Face& face);
+  /// Attributes one outgoing Data's bytes on `outFace`'s link to the
+  /// flow keyed by the Data name + the requesting Interest's label.
+  void attributeData(Face& outFace, const Interest& interest,
+                     const Data& data, bool fromCache);
 
   /// Live-mirror handles into an attached MetricsRegistry; null when
   /// telemetry is not attached (the common fast path).
@@ -159,6 +176,7 @@ class Forwarder {
   bool verify_data_ = true;
   std::unique_ptr<TelemetryHooks> telemetry_;
   telemetry::FlightRecorder* recorder_ = nullptr;
+  telemetry::FlowAccountant* flow_ = nullptr;
   // Strategy-choice table: ordered by name for longest-prefix resolution.
   std::map<Name, std::unique_ptr<Strategy>> strategies_;
 };

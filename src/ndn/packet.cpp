@@ -136,6 +136,7 @@ std::uint64_t Data::computeDigest() const {
 
 Data& Data::sign() {
   signature_ = computeDigest();
+  wire_size_cache_ = 0;  // the SignatureValue block changes the encoding
   return *this;
 }
 

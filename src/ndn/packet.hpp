@@ -13,6 +13,7 @@
 #include "ndn/name.hpp"
 #include "ndn/tlv.hpp"
 #include "sim/time.hpp"
+#include "telemetry/flow_label.hpp"
 #include "telemetry/trace_context.hpp"
 
 namespace lidc::ndn {
@@ -24,35 +25,43 @@ class Interest {
   explicit Interest(Name name) : name_(std::move(name)) {}
 
   [[nodiscard]] const Name& name() const noexcept { return name_; }
-  void setName(Name name) { name_ = std::move(name); }
+  void setName(Name name) {
+    name_ = std::move(name);
+    wire_size_cache_ = 0;
+  }
 
   [[nodiscard]] bool canBePrefix() const noexcept { return can_be_prefix_; }
   Interest& setCanBePrefix(bool v) noexcept {
     can_be_prefix_ = v;
+    wire_size_cache_ = 0;
     return *this;
   }
 
   [[nodiscard]] bool mustBeFresh() const noexcept { return must_be_fresh_; }
   Interest& setMustBeFresh(bool v) noexcept {
     must_be_fresh_ = v;
+    wire_size_cache_ = 0;
     return *this;
   }
 
   [[nodiscard]] std::uint32_t nonce() const noexcept { return nonce_; }
   Interest& setNonce(std::uint32_t nonce) noexcept {
     nonce_ = nonce;
+    wire_size_cache_ = 0;
     return *this;
   }
 
   [[nodiscard]] sim::Duration lifetime() const noexcept { return lifetime_; }
   Interest& setLifetime(sim::Duration lifetime) noexcept {
     lifetime_ = lifetime;
+    wire_size_cache_ = 0;
     return *this;
   }
 
   [[nodiscard]] std::uint8_t hopLimit() const noexcept { return hop_limit_; }
   Interest& setHopLimit(std::uint8_t limit) noexcept {
     hop_limit_ = limit;
+    wire_size_cache_ = 0;
     return *this;
   }
 
@@ -64,6 +73,7 @@ class Interest {
   }
   Interest& setExcludeDigest(std::uint64_t digest) noexcept {
     exclude_digest_ = digest;
+    wire_size_cache_ = 0;
     return *this;
   }
 
@@ -73,10 +83,12 @@ class Interest {
   }
   Interest& setApplicationParameters(std::vector<std::uint8_t> params) {
     app_parameters_ = std::move(params);
+    wire_size_cache_ = 0;
     return *this;
   }
   Interest& setApplicationParameters(std::string_view text) {
     app_parameters_.assign(text.begin(), text.end());
+    wire_size_cache_ = 0;
     return *this;
   }
 
@@ -91,12 +103,30 @@ class Interest {
     return *this;
   }
 
+  /// Flow-attribution label, carried hop-by-hop exactly like the trace
+  /// context: never part of the name/wire/CS/PIT matching, so flow
+  /// accounting cannot perturb forwarding or result caching.
+  [[nodiscard]] const telemetry::FlowLabel& flowLabel() const noexcept {
+    return flow_label_;
+  }
+  Interest& setFlowLabel(telemetry::FlowLabel label) {
+    flow_label_ = std::move(label);
+    return *this;
+  }
+
   /// Full TLV wire encoding.
   [[nodiscard]] tlv::Buffer wireEncode() const;
   static Result<Interest> wireDecode(std::span<const std::uint8_t> wire);
 
-  /// Size of the wire encoding in bytes (used for link transmission delay).
-  [[nodiscard]] std::size_t wireSize() const { return wireEncode().size(); }
+  /// Size of the wire encoding in bytes (used for link transmission
+  /// delay and per-link byte accounting). Encoding a packet just to
+  /// count it is the single hottest forwarder cost, so the size is
+  /// cached until a wire-visible setter dirties it (trace context and
+  /// flow label ride outside the encoding and never invalidate).
+  [[nodiscard]] std::size_t wireSize() const {
+    if (wire_size_cache_ == 0) wire_size_cache_ = wireEncode().size();
+    return wire_size_cache_;
+  }
 
  private:
   Name name_;
@@ -108,6 +138,9 @@ class Interest {
   std::optional<std::uint64_t> exclude_digest_;
   std::vector<std::uint8_t> app_parameters_;
   telemetry::TraceContext trace_;
+  telemetry::FlowLabel flow_label_;
+  /// 0 = unknown (a TLV encoding is never empty).
+  mutable std::size_t wire_size_cache_ = 0;
 };
 
 /// Content type codes (subset of the NDN spec).
@@ -125,17 +158,22 @@ class Data {
   explicit Data(Name name) : name_(std::move(name)) {}
 
   [[nodiscard]] const Name& name() const noexcept { return name_; }
-  void setName(Name name) { name_ = std::move(name); }
+  void setName(Name name) {
+    name_ = std::move(name);
+    wire_size_cache_ = 0;
+  }
 
   [[nodiscard]] const std::vector<std::uint8_t>& content() const noexcept {
     return content_;
   }
   Data& setContent(std::vector<std::uint8_t> content) {
     content_ = std::move(content);
+    wire_size_cache_ = 0;
     return *this;
   }
   Data& setContent(std::string_view text) {
     content_.assign(text.begin(), text.end());
+    wire_size_cache_ = 0;
     return *this;
   }
   [[nodiscard]] std::string contentAsString() const {
@@ -145,6 +183,7 @@ class Data {
   [[nodiscard]] ContentType contentType() const noexcept { return content_type_; }
   Data& setContentType(ContentType type) noexcept {
     content_type_ = type;
+    wire_size_cache_ = 0;
     return *this;
   }
 
@@ -152,6 +191,7 @@ class Data {
   [[nodiscard]] sim::Duration freshnessPeriod() const noexcept { return freshness_; }
   Data& setFreshnessPeriod(sim::Duration period) noexcept {
     freshness_ = period;
+    wire_size_cache_ = 0;
     return *this;
   }
 
@@ -168,7 +208,13 @@ class Data {
   [[nodiscard]] tlv::Buffer wireEncode() const;
   static Result<Data> wireDecode(std::span<const std::uint8_t> wire);
 
-  [[nodiscard]] std::size_t wireSize() const { return wireEncode().size(); }
+  /// Cached like Interest::wireSize(): flow attribution and the face
+  /// byte counters ask for the size of every Data crossing a link, and
+  /// re-encoding a 32 KiB payload per query would dwarf the tap itself.
+  [[nodiscard]] std::size_t wireSize() const {
+    if (wire_size_cache_ == 0) wire_size_cache_ = wireEncode().size();
+    return wire_size_cache_;
+  }
 
  private:
   [[nodiscard]] std::uint64_t computeDigest() const;
@@ -178,6 +224,8 @@ class Data {
   ContentType content_type_ = ContentType::kBlob;
   sim::Duration freshness_ = sim::Duration::millis(0);
   std::optional<std::uint64_t> signature_;
+  /// 0 = unknown (a TLV encoding is never empty).
+  mutable std::size_t wire_size_cache_ = 0;
 };
 
 /// Network NACK reasons (NDNLPv2 subset).

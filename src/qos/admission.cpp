@@ -179,6 +179,13 @@ void AdmissionController::launchFront(const std::string& id, TenantState& st) {
   }
   appendLog("admit", id,
             "tag=" + entry.job.tag + " wait_us=" + std::to_string(waitUs));
+  if (flow_ != nullptr && entry.job.wireBytes > 0) {
+    telemetry::FlowKey key;
+    key.group = "submit";
+    key.tenant = telemetry::sanitizeFlowComponent(id);
+    key.tag = telemetry::sanitizeFlowComponent(entry.job.tag);
+    flow_->recordTransfer(key, entry.job.wireBytes);
+  }
   if (entry.job.launch) entry.job.launch();
 }
 

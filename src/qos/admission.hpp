@@ -27,6 +27,7 @@
 #include "qos/token_bucket.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/flow.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace lidc::qos {
@@ -68,6 +69,9 @@ struct AdmissionJob {
   sim::Time expiresAt;
   /// Log/trace label, e.g. the request id.
   std::string tag;
+  /// Wire size of the submit Interest, attributed to the tenant's
+  /// "submit" flow when the job launches (flow accounting).
+  std::uint64_t wireBytes = 0;
   std::function<void()> launch;
   std::function<void(const std::string& reason)> evict;
 };
@@ -84,6 +88,12 @@ class AdmissionController {
   }
   void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
     recorder_ = recorder;
+  }
+  /// Flow attribution: launched jobs report their submit Interest's
+  /// wire bytes per tenant into the accountant's transfer ledger
+  /// (group "submit"). Null detaches.
+  void setFlowAccountant(telemetry::FlowAccountant* accountant) noexcept {
+    flow_ = accountant;
   }
 
   /// Classifies + gates the job. kQueued means the controller now owns
@@ -177,6 +187,7 @@ class AdmissionController {
   std::function<bool(const AdmissionJob&)> capacity_probe_;
   telemetry::FlightRecorder* recorder_ = nullptr;
   telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::FlowAccountant* flow_ = nullptr;
 
   std::map<std::string, TenantState> states_;  // ordered: deterministic
   std::deque<std::string> ring_;               // active tenants, DRR order

@@ -154,8 +154,12 @@ void TransferScheduler::startTransfer(std::shared_ptr<Entry> entry) {
   ++active_;
   inflight_.push_back(entry);
   trace("start " + entry->dataset.toUri());
+  telemetry::FlowLabel label;
+  label.tenant = entry->tenant;
+  label.tag = entry->tag;
   retriever_->fetch(
-      entry->dataset, [this, entry](Result<std::vector<std::uint8_t>> bytes) {
+      entry->dataset,
+      [this, entry](Result<std::vector<std::uint8_t>> bytes) {
         --active_;
         inflight_.erase(
             std::remove(inflight_.begin(), inflight_.end(), entry),
@@ -201,6 +205,13 @@ void TransferScheduler::startTransfer(std::shared_ptr<Entry> entry) {
         }
         ++staged_;
         bytes_moved_ += size;
+        if (flow_ != nullptr && size > 0) {
+          telemetry::FlowKey key;
+          key.group = "staging";
+          key.tenant = telemetry::sanitizeFlowComponent(entry->tenant);
+          key.tag = telemetry::sanitizeFlowComponent(entry->tag);
+          flow_->recordTransfer(key, size);
+        }
         if (options_.bandwidthBytesPerSec > 0 && size > 0) {
           const sim::Time now = forwarder_.simulator().now();
           const auto holdNs = static_cast<std::uint64_t>(
@@ -215,7 +226,8 @@ void TransferScheduler::startTransfer(std::shared_ptr<Entry> entry) {
             << size << " bytes)";
         if (catalog_) catalog_->markReady(entry->dataset, size);
         settle(entry, Status::Ok(), size);
-      });
+      },
+      telemetry::TraceContext{}, std::move(label));
 }
 
 void TransferScheduler::settle(const std::shared_ptr<Entry>& entry,

@@ -36,6 +36,7 @@
 #include "ndn/forwarder.hpp"
 #include "replica/catalog.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/flow.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace lidc::replica {
@@ -108,6 +109,14 @@ class TransferScheduler {
   void setFlightRecorder(telemetry::FlightRecorder* recorder) noexcept {
     recorder_ = recorder;
   }
+  /// Routes staged-byte accounting through the cluster's flow plane:
+  /// every landed transfer is recorded once under (group="staging",
+  /// tenant, tag), so bytesMoved() and the flow ledger agree by
+  /// construction (the parity test pins this). Fetch Interests also
+  /// carry the tenant/tag flow label for on-path link attribution.
+  void setFlowAccountant(telemetry::FlowAccountant* flow) noexcept {
+    flow_ = flow;
+  }
 
  private:
   struct Entry {
@@ -134,6 +143,7 @@ class TransferScheduler {
   std::shared_ptr<ndn::AppFace> face_;
   std::unique_ptr<datalake::Retriever> retriever_;
   telemetry::FlightRecorder* recorder_ = nullptr;
+  telemetry::FlowAccountant* flow_ = nullptr;
 
   std::deque<std::shared_ptr<Entry>> queue_;
   std::vector<std::shared_ptr<Entry>> inflight_;

@@ -1,0 +1,23 @@
+// FlowLabel lives in its own header so ndn/packet.hpp (which every
+// packet user includes) can carry one without pulling in the whole
+// flow-accounting plane (sketches, simulator, registry).
+#pragma once
+
+#include <string>
+
+namespace lidc::telemetry {
+
+/// Flow label carried alongside an Interest, like TraceContext: not
+/// part of the name, the wire encoding, or CS/PIT matching, so
+/// attribution never perturbs forwarding. Clients stamp it at the
+/// edge (tenant from ClientOptions, tag from the workflow/dataset);
+/// forwarders copy it downstream with the packet.
+struct FlowLabel {
+  std::string tenant;  // "" = unattributed
+  std::string tag;     // workflow/dataset tag, "" = none
+  [[nodiscard]] bool empty() const noexcept {
+    return tenant.empty() && tag.empty();
+  }
+};
+
+}  // namespace lidc::telemetry

@@ -1,5 +1,7 @@
 #include "telemetry/metrics.hpp"
 
+#include "telemetry/trace_context.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cerrno>
@@ -143,6 +145,8 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot(const std::string& prefix)
         snap.p50 = entry.histogram->quantile(0.50);
         snap.p90 = entry.histogram->quantile(0.90);
         snap.p99 = entry.histogram->quantile(0.99);
+        snap.exemplarTrace = entry.histogram->exemplarTrace();
+        snap.exemplarValue = entry.histogram->exemplarValue();
         break;
     }
     out.push_back(std::move(snap));
@@ -223,6 +227,10 @@ std::string MetricsRegistry::toJson(const std::string& prefix) {
          << ",\"p50\":" << formatNumber(s.p50)
          << ",\"p90\":" << formatNumber(s.p90)
          << ",\"p99\":" << formatNumber(s.p99);
+      if (s.exemplarTrace != 0) {
+        os << ",\"exemplar_trace\":\"" << traceIdToString(s.exemplarTrace)
+           << "\",\"exemplar_value\":" << formatNumber(s.exemplarValue);
+      }
     } else {
       os << ",\"value\":" << formatNumber(s.value);
     }

@@ -85,11 +85,22 @@ class Histogram {
  public:
   static constexpr int kBucketCount = 64;
 
-  void observe(double v) noexcept {
-    buckets_[bucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  /// `exemplarTrace` (optional) attaches an exemplar: when the sample
+  /// lands in the highest populated bucket so far — the tail bucket the
+  /// p99 estimate reads from — its trace id and value are captured, so
+  /// a "p99 regressed" alert links straight to a concrete slow trace.
+  void observe(double v, std::uint64_t exemplarTrace = 0) noexcept {
+    const int bucket = bucketFor(v);
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     double cur = sum_.load(std::memory_order_relaxed);
     while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+    if (exemplarTrace != 0 &&
+        bucket >= exemplar_bucket_.load(std::memory_order_relaxed)) {
+      exemplar_bucket_.store(bucket, std::memory_order_relaxed);
+      exemplar_value_.store(v, std::memory_order_relaxed);
+      exemplar_trace_.store(exemplarTrace, std::memory_order_relaxed);
     }
   }
 
@@ -107,6 +118,15 @@ class Histogram {
   /// Approximate quantile in [0,1]; 0 when empty.
   [[nodiscard]] double quantile(double q) const noexcept;
 
+  /// Trace id of the captured tail exemplar (0 = none captured).
+  [[nodiscard]] std::uint64_t exemplarTrace() const noexcept {
+    return exemplar_trace_.load(std::memory_order_relaxed);
+  }
+  /// Observed value of the captured tail exemplar.
+  [[nodiscard]] double exemplarValue() const noexcept {
+    return exemplar_value_.load(std::memory_order_relaxed);
+  }
+
   static int bucketFor(double v) noexcept;
   /// [lower, upper) bounds of one bucket.
   static std::pair<double, double> bucketBounds(int bucket) noexcept;
@@ -115,6 +135,9 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<int> exemplar_bucket_{-1};
+  std::atomic<std::uint64_t> exemplar_trace_{0};
+  std::atomic<double> exemplar_value_{0.0};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -131,6 +154,9 @@ struct MetricSnapshot {
   double p50 = 0;
   double p90 = 0;
   double p99 = 0;
+  /// Tail exemplar (0 = the histogram never captured one).
+  std::uint64_t exemplarTrace = 0;
+  double exemplarValue = 0;
 };
 
 class MetricsRegistry {

@@ -97,6 +97,10 @@ core::ComputeRequest WorkflowEngine::buildRequest(const WorkflowSpec& spec,
   request.memory = stage.memory;
   request.params = stage.params;
   if (!options_.tenant.empty()) request.params["tenant"] = options_.tenant;
+  // Flow attribution: submit Interests (and intermediate staging below)
+  // carry the workflow id, so the weathermap's top-talker lists name
+  // the workflow that moved the bytes.
+  request.flowTag = "wf/" + spec.id;
   request.datasets = stage.lakeInputs;
   for (const StageInput& input : stage.stageInputs) {
     const std::string path = intermediatePath(spec.id, input.stage);
@@ -383,9 +387,9 @@ void WorkflowEngine::stageIntermediate(const std::shared_ptr<Run>& run,
               if (telemetry_) telemetry_->bytesMoved->inc(size);
               completeStage(run, index);
             },
-            run->stageCtx[index]);
+            run->stageCtx[index], "wf/" + run->spec.id);
       },
-      run->stageCtx[index]);
+      run->stageCtx[index], "wf/" + run->spec.id);
 }
 
 void WorkflowEngine::completeStage(const std::shared_ptr<Run>& run,
@@ -469,7 +473,8 @@ void WorkflowEngine::probeInputsAndRecover(const std::shared_ptr<Run>& run,
             --run->running;
             dispatchReady(run);
           }
-        });
+        },
+        {}, "wf/" + run->spec.id);
   }
 }
 

@@ -302,6 +302,46 @@ TEST_F(TransferSchedulerTest, BandwidthBudgetSerializesStarts) {
   EXPECT_EQ(scheduler_->staged(), 2u);
 }
 
+TEST_F(TransferSchedulerTest, FlowLedgerMatchesBytesMovedExactly) {
+  // Byte-accounting parity: every staged byte the scheduler reports via
+  // bytesMoved() must appear exactly once in the flow accountant's
+  // "staging" ledger — same path, no double count.
+  TransferOptions options;
+  options.tenant = "genomics";
+  makeScheduler(options);
+  telemetry::FlowAccountant flow(sim_);
+  scheduler_->setFlowAccountant(&flow);
+
+  scheduler_->enqueue(ndn::Name("/ndn/k8s/data/a"));
+  TransferRequest tagged;
+  tagged.tenant = "astro";
+  tagged.tag = "plan-42";
+  scheduler_->enqueue(ndn::Name("/ndn/k8s/data/b"), tagged);
+  // A local hit moves nothing and must not touch the ledger.
+  ASSERT_TRUE(dstStore_->put(ndn::Name("/ndn/k8s/data/c"), payload(64)).ok());
+  scheduler_->enqueue(ndn::Name("/ndn/k8s/data/c"));
+  sim_.run();
+
+  EXPECT_EQ(scheduler_->staged(), 2u);
+  EXPECT_EQ(scheduler_->localHits(), 1u);
+  EXPECT_EQ(scheduler_->bytesMoved(), 4096u);
+#if !defined(LIDC_TELEMETRY_DISABLED)
+  std::uint64_t ledgered = 0;
+  for (const auto& [key, bytes] : flow.stagedLedger()) {
+    EXPECT_EQ(key.group, "staging");
+    ledgered += bytes;
+  }
+  EXPECT_EQ(ledgered, scheduler_->bytesMoved());
+  EXPECT_EQ(flow.stagedBytes("genomics"), 2048u);
+  EXPECT_EQ(flow.stagedBytes("astro"), 2048u);
+  telemetry::FlowKey tagKey;
+  tagKey.group = "staging";
+  tagKey.tenant = "astro";
+  tagKey.tag = "plan-42";
+  EXPECT_EQ(flow.stagedLedger().at(tagKey), 2048u);
+#endif
+}
+
 TEST_F(TransferSchedulerTest, UnreachableDatasetFailsLoudly) {
   makeScheduler();
   std::optional<Status> status;

@@ -147,6 +147,37 @@ TEST(MetricsTest, JsonExportContainsHistogramSummary) {
   EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramExemplarTracksHighestBucketTracedSample) {
+  Histogram h;
+  h.observe(500.0);  // untraced samples never become exemplars
+  EXPECT_EQ(h.exemplarTrace(), 0u);
+
+  h.observe(100.0, 0xabcd);
+  EXPECT_EQ(h.exemplarTrace(), 0xabcdu);
+  EXPECT_DOUBLE_EQ(h.exemplarValue(), 100.0);
+
+  // A traced sample in a lower bucket does not displace the exemplar...
+  h.observe(10.0, 0x1111);
+  EXPECT_EQ(h.exemplarTrace(), 0xabcdu);
+  // ...but one in the same-or-higher bucket does: the exemplar follows
+  // the tail (the max-bucket sample is by definition >= p99).
+  h.observe(4000.0, 0x2222);
+  EXPECT_EQ(h.exemplarTrace(), 0x2222u);
+  EXPECT_DOUBLE_EQ(h.exemplarValue(), 4000.0);
+}
+
+TEST(MetricsTest, JsonExportCarriesExemplarOnlyWhenCaptured) {
+  MetricsRegistry registry;
+  registry.histogram("lidc_plain_us").observe(64.0);
+  EXPECT_EQ(registry.toJson().find("exemplar_trace"), std::string::npos);
+
+  registry.histogram("lidc_traced_us").observe(64.0, 0x00ff12ab34cd56efULL);
+  const std::string json = registry.toJson();
+  EXPECT_NE(json.find("\"exemplar_trace\":\"00ff12ab34cd56ef\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"exemplar_value\":64"), std::string::npos);
+}
+
 TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
   MetricsRegistry registry;
   Counter& c = registry.counter("lidc_concurrent");
