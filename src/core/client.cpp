@@ -8,16 +8,6 @@
 
 namespace lidc::core {
 
-LidcClient::LidcClient(ndn::Forwarder& forwarder, std::string name,
-                       ClientOptions options, std::uint64_t seed)
-    : forwarder_(forwarder), name_(std::move(name)), options_(options), rng_(seed),
-      seed_(seed) {
-  face_ = std::make_shared<ndn::AppFace>("app://client/" + name_,
-                                         forwarder_.simulator(), seed);
-  forwarder_.addFace(face_);
-  retriever_ = std::make_unique<datalake::Retriever>(*face_);
-}
-
 namespace {
 constexpr sim::Time kNoDeadline =
     sim::Time::fromNanos(std::numeric_limits<std::int64_t>::max());
@@ -30,6 +20,24 @@ std::uint64_t fnv1a(const std::string& text) {
   }
   return hash;
 }
+}  // namespace
+
+LidcClient::LidcClient(ndn::Forwarder& forwarder, std::string name,
+                       ClientOptions options, std::uint64_t seed)
+    : forwarder_(forwarder), name_(std::move(name)), options_(options), rng_(seed),
+      seed_(seed) {
+  // The face's nonce stream mixes in the client name: two clients built
+  // with the same seed (e.g. a user poller and an ops monitor watching
+  // the same status name) must not draw identical nonces, or the
+  // producer's dead-nonce list nacks one of them as a looped Duplicate.
+  face_ = std::make_shared<ndn::AppFace>("app://client/" + name_,
+                                         forwarder_.simulator(),
+                                         seed ^ fnv1a(name_));
+  forwarder_.addFace(face_);
+  retriever_ = std::make_unique<datalake::Retriever>(*face_);
+}
+
+namespace {
 
 bool isRetryableNack(ndn::NackReason reason) {
   // Congestion (cluster full / unhealthy) and missing routes (route

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "apps/compress_app.hpp"
+#include "core/checkpoint_format.hpp"
 #include "apps/transform_app.hpp"
 #include "genomics/fasta.hpp"
 
@@ -62,6 +63,17 @@ ComputeCluster::ComputeCluster(ndn::Forwarder& forwarder, ComputeClusterConfig c
   apps::installCompressApp(*cluster_, *store_);
   // The generic DAG-stage app used by workflow benches and tests.
   apps::installTransformApp(*cluster_, *store_);
+}
+
+void ComputeCluster::enableCheckpointServing() {
+  if (ckpt_server_) return;
+  ckpt_server_ =
+      std::make_unique<datalake::FileServer>(forwarder_, *store_, kCkptPrefix);
+  // The _manifest is a mutable latest-epoch pointer queried with
+  // MustBeFresh: keep served freshness short so no poller acts on a
+  // superseded pointer (epoch objects themselves are immutable).
+  ckpt_server_->setFreshness(sim::Duration::millis(500));
+  gateway_->enableCheckpointRestore(*store_);
 }
 
 void ComputeCluster::attachTelemetry(

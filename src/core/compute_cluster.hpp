@@ -57,6 +57,17 @@ class ComputeCluster {
   /// app deployment, SV-B). Idempotent per object name.
   void loadGenomicsDatasets(const genomics::DatasetCatalog& catalog);
 
+  /// Enables the migration plane's checkpoint namespace on this
+  /// cluster: a second FileServer serves /ndn/k8s/ckpt objects out of
+  /// the same data lake (short freshness — the _manifest is a mutable
+  /// latest-epoch pointer) and the gateway restores ckpt=<job>/<epoch>
+  /// compute requests from it. Idempotent.
+  void enableCheckpointServing();
+  /// Null until enableCheckpointServing().
+  [[nodiscard]] datalake::FileServer* ckptServer() noexcept {
+    return ckpt_server_.get();
+  }
+
   /// Hooks the whole cluster into `registry`: forwarder + gateway
   /// counters, K8s capacity gauges, and a TelemetryPublisher serving the
   /// registry under /ndn/k8s/telemetry/<name>. Call once.
@@ -94,6 +105,7 @@ class ComputeCluster {
   k8s::PersistentVolumeClaim* pvc_ = nullptr;
   std::unique_ptr<datalake::ObjectStore> store_;
   std::unique_ptr<datalake::FileServer> file_server_;
+  std::unique_ptr<datalake::FileServer> ckpt_server_;
   CompletionTimePredictor predictor_;
   std::unique_ptr<Gateway> gateway_;
   std::unique_ptr<telemetry::TelemetryPublisher> publisher_;

@@ -1,8 +1,10 @@
 #include "core/gateway.hpp"
 
+#include <optional>
 #include <string_view>
 
 #include "common/logging.hpp"
+#include "core/checkpoint_format.hpp"
 #include "core/wire_format.hpp"
 
 namespace lidc::core {
@@ -267,7 +269,87 @@ bool Gateway::processCompute(const ndn::Interest& interest,
     return false;
   }
 
-  const ndn::Name canonical = request.canonicalName();
+  // --- checkpoint restore (migration plane) ---
+  // A ckpt=<job_id>/<epoch> param asks this cluster to resume from a
+  // named checkpoint instead of cold-starting. Resume-point validation
+  // rejects stale or corrupt checkpoints (counted cold start) and nacks
+  // when the object is not in this lake, so the forwarding strategy
+  // steers the resume to whichever cluster holds a replica.
+  ComputeRequest effective = request;
+  bool restoring = false;
+  std::string ckptJobId;     // checkpoint owner, for the status alias
+  std::string restoredFrom;  // old cluster name (ckpt_from param)
+  if (auto ckptIt = effective.params.find("ckpt");
+      ckptIt != effective.params.end()) {
+    const auto ref = parseCkptRef(ckptIt->second);
+    if (!ref) {
+      // Malformed references are terminal: no cluster can parse them.
+      ++counters_.computeRejected;
+      admission("ckpt-parse-reject");
+      replyKv(interest.name(),
+              {{"error", "INVALID_ARGUMENT: malformed ckpt reference '" +
+                             ckptIt->second + "'"},
+               {"cluster", cluster_name_}},
+              options_.ackFreshness);
+      return false;
+    }
+    if (ckpt_store_ == nullptr) {
+      // This cluster does not serve checkpoints: steer elsewhere.
+      admission("ckpt-miss-reject");
+      face_->putNack(interest, ndn::NackReason::kNoRoute);
+      return false;
+    }
+    const auto payload = ckpt_store_->get(makeCkptName(ref->jobId, ref->epoch));
+    if (!payload) {
+      admission("ckpt-miss-reject");
+      face_->putNack(interest, ndn::NackReason::kNoRoute);
+      return false;
+    }
+    // Resume-point validation. A ckpt_digest pin (set by the migration
+    // coordinator from the manifest it read while planning) is the
+    // authoritative integrity check — the local manifest replica may
+    // legitimately lag the latest epoch after a crash. Without a pin,
+    // the local manifest must name this exact epoch and digest.
+    const std::uint64_t digest = ckptDigest(*payload);
+    std::string invalid;
+    if (auto pin = effective.params.find("ckpt_digest");
+        pin != effective.params.end()) {
+      if (pin->second != std::to_string(digest)) invalid = "digest-pin-mismatch";
+    } else {
+      std::optional<CkptManifest> manifest;
+      if (const auto bytes =
+              ckpt_store_->get(makeCkptManifestName(ref->jobId))) {
+        const std::string text(bytes->begin(), bytes->end());
+        if (auto decoded = decodeCkptManifest(text)) manifest = *decoded;
+      }
+      if (!manifest) {
+        invalid = "manifest-missing";
+      } else if (manifest->epoch != ref->epoch) {
+        invalid = "stale-epoch";
+      } else if (manifest->digest != digest) {
+        invalid = "digest-mismatch";
+      }
+    }
+    if (!invalid.empty()) {
+      ++counters_.ckptRestoreFailures;
+      LIDC_FR_EVENT(recorder_, kWarn, "gateway",
+                    cluster_name_ + " ckpt-restore-fallback " + ckptIt->second +
+                        " (" + invalid + ")");
+      admission("ckpt-fallback", {{"why", invalid}});
+      effective.params.erase("ckpt");
+      effective.params.erase("ckpt_digest");
+      effective.params.erase("ckpt_from");
+    } else {
+      restoring = true;
+      ckptJobId = ref->jobId;
+      if (auto from = effective.params.find("ckpt_from");
+          from != effective.params.end()) {
+        restoredFrom = from->second;
+      }
+    }
+  }
+
+  const ndn::Name canonical = effective.canonicalName();
 
   // Result cache: identical canonical requests are answered directly
   // with the stored result location (paper SVII).
@@ -316,10 +398,11 @@ bool Gateway::processCompute(const ndn::Interest& interest,
       return false;
     }
     k8s::Resources needed;
-    needed.cpu = request.cpu.millicores() > 0 ? request.cpu
-                                              : MilliCpu(JobManager::kDefaultCpuMillicores);
-    needed.memory = request.memory.bytes() > 0 ? request.memory
-                                               : JobManager::defaultMemory();
+    needed.cpu = effective.cpu.millicores() > 0
+                     ? effective.cpu
+                     : MilliCpu(JobManager::kDefaultCpuMillicores);
+    needed.memory = effective.memory.bytes() > 0 ? effective.memory
+                                                 : JobManager::defaultMemory();
     if (!needed.fitsWithin(cluster_.totalFree())) {
       ++counters_.capacityRejected;
       admission("capacity-reject");
@@ -328,7 +411,7 @@ bool Gateway::processCompute(const ndn::Interest& interest,
     }
   }
 
-  auto jobId = jobs_.submit(request, priorityClass);
+  auto jobId = jobs_.submit(effective, priorityClass);
   if (!jobId.ok()) {
     ++counters_.computeRejected;
     admission("launch-reject", {{"error", jobId.status().toString()}});
@@ -356,19 +439,28 @@ bool Gateway::processCompute(const ndn::Interest& interest,
   ++counters_.jobsLaunched;
   const telemetry::TraceContext launchCtx =
       admission("launch", {{"job_id", *jobId}});
-  LaunchRecord record{request, forwarder_.simulator().now(), launchCtx};
+  LaunchRecord record{effective, forwarder_.simulator().now(), launchCtx};
   if (!tenant.empty()) {
     record.tenant = tenant;
-    record.chargedCpu = request.cpu.millicores() > 0
-                            ? static_cast<std::uint64_t>(request.cpu.millicores())
+    record.chargedCpu = effective.cpu.millicores() > 0
+                            ? static_cast<std::uint64_t>(effective.cpu.millicores())
                             : JobManager::kDefaultCpuMillicores;
-    record.chargedMem = request.memory.bytes() > 0
-                            ? request.memory.bytes()
+    record.chargedMem = effective.memory.bytes() > 0
+                            ? effective.memory.bytes()
                             : JobManager::defaultMemory().bytes();
   }
   launched_.emplace(*jobId, std::move(record));
-  if (request.requestId.empty()) inflight_.emplace(canonical, *jobId);
+  if (effective.requestId.empty()) inflight_.emplace(canonical, *jobId);
   scheduleReaper();
+
+  if (restoring) {
+    ++counters_.ckptRestores;
+    LIDC_FR_EVENT(recorder_, kInfo, "gateway",
+                  cluster_name_ + " ckpt-restore " + *jobId + " from " +
+                      ckptJobId);
+    // Alias the migrated-away job id so its pollers follow the move.
+    if (!restoredFrom.empty()) addStatusAlias(restoredFrom, ckptJobId, *jobId);
+  }
 
   log::ScopedTrace scopedTrace(traceCtx.trace);
   LIDC_LOG(kInfo, "gateway") << cluster_name_ << " launched " << *jobId << " for "
@@ -384,29 +476,52 @@ bool Gateway::processCompute(const ndn::Interest& interest,
 void Gateway::onStatus(const ndn::Interest& interest) {
   ++counters_.statusReceived;
   auto parsed = parseStatusName(interest.name());
-  if (!parsed.ok() || parsed->first != cluster_name_) {
+  if (!parsed.ok()) {
     face_->putNack(interest, ndn::NackReason::kNoRoute);
     return;
   }
+  std::string jobKey = parsed->second;
+  if (parsed->first != cluster_name_) {
+    // Migration alias: polls under the old cluster's name for a job
+    // that moved here are answered with the local successor's status.
+    auto alias = status_aliases_.find(parsed->first + "/" + parsed->second);
+    if (alias == status_aliases_.end()) {
+      face_->putNack(interest, ndn::NackReason::kNoRoute);
+      return;
+    }
+    ++counters_.aliasServed;
+    jobKey = alias->second.jobId;
+  }
+  // Touch-eviction: an expired terminal entry is forgotten on contact,
+  // so status GC holds even while the reaper timer is idle.
+  if (options_.enableStatusGc) {
+    if (auto t = terminal_.find(jobKey);
+        t != terminal_.end() &&
+        forwarder_.simulator().now() - t->second > options_.statusRetention) {
+      ++counters_.statusEvicted;
+      jobs_.forget(jobKey);
+      terminal_.erase(t);
+    }
+  }
   // A gray-admitted id has no job behind it: report Pending forever,
   // exactly the signature a stalled-but-alive gateway shows.
-  if (gray_jobs_.count(parsed->second) > 0) {
+  if (gray_jobs_.count(jobKey) > 0) {
     replyKv(interest.name(),
             {{"state", std::string(k8s::jobStateName(k8s::JobState::kPending))},
              {"cluster", cluster_name_}},
             options_.statusFreshness);
     return;
   }
-  auto status = jobs_.status(parsed->second);
+  auto status = jobs_.status(jobKey);
   if (!status.ok()) {
     // The job object vanished (reaped, or lost with its cluster state):
     // evict any dangling dedup bookkeeping so a later identical request
     // launches fresh instead of joining a dead job, then answer a clean
     // NotFound.
     if (status.status().code() == StatusCode::kNotFound &&
-        launched_.count(parsed->second) > 0) {
+        launched_.count(jobKey) > 0) {
       ++counters_.vanishedEvicted;
-      evictJob(parsed->second, /*forgetStatus=*/false);
+      evictJob(jobKey, /*forgetStatus=*/false);
     }
     replyKv(interest.name(), {{"error", status.status().toString()}},
             options_.statusFreshness);
@@ -416,7 +531,7 @@ void Gateway::onStatus(const ndn::Interest& interest) {
   if (tracer_ != nullptr) {
     tracer_->instant("status-serve", "gateway:" + cluster_name_,
                      interest.traceContext(),
-                     {{"job_id", parsed->second},
+                     {{"job_id", jobKey},
                       {"state", std::string(k8s::jobStateName(status->state))}});
   }
 
@@ -553,6 +668,11 @@ void Gateway::onPublish(const ndn::Interest& interest) {
 }
 
 void Gateway::onJobFinished(const k8s::Job& job) {
+  // Status GC: remember when the job turned terminal so its status
+  // entry can be retired after the retention window.
+  if (options_.enableStatusGc) {
+    terminal_[job.name()] = forwarder_.simulator().now();
+  }
   auto it = launched_.find(job.name());
   if (it == launched_.end()) return;  // not one of ours (or already reaped)
   const ComputeRequest& request = it->second.request;
@@ -624,6 +744,10 @@ void Gateway::attachTelemetry(telemetry::MetricsRegistry& registry,
     sync("lidc_gateway_vanished_evicted", counters_.vanishedEvicted);
     sync("lidc_gateway_blackout_dropped", counters_.blackoutDropped);
     sync("lidc_gateway_gray_admitted", counters_.grayAdmitted);
+    sync("lidc_ckpt_restores_total", counters_.ckptRestores);
+    sync("lidc_ckpt_restore_failures_total", counters_.ckptRestoreFailures);
+    sync("lidc_status_evicted_total", counters_.statusEvicted);
+    sync("lidc_status_alias_served_total", counters_.aliasServed);
     sync("lidc_result_cache_hits", cache_.hits());
     sync("lidc_result_cache_misses", cache_.misses());
     registry.gauge("lidc_result_cache_size", labels)
@@ -699,6 +823,52 @@ void Gateway::reapOrphans() {
         << cluster_name_ << " reaped orphaned job " << jobId;
     evictJob(jobId, /*forgetStatus=*/true);
   }
+
+  // Status-namespace GC rides along with the reaper sweep (no extra
+  // timer: terminal-only state is otherwise evicted on touch).
+  if (options_.enableStatusGc) {
+    for (auto it = terminal_.begin(); it != terminal_.end();) {
+      if (now - it->second > options_.statusRetention) {
+        ++counters_.statusEvicted;
+        jobs_.forget(it->first);
+        it = terminal_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = status_aliases_.begin(); it != status_aliases_.end();) {
+      // An alias lives as long as its successor's status entry: while
+      // the restored job is still running (migrations can outlive the
+      // retention window many times over), pollers of the old name must
+      // keep being answered. Retention ages the alias from the
+      // successor's *terminal* time; createdAt only covers successors
+      // that vanished without ever turning terminal here.
+      bool expired;
+      if (auto t = terminal_.find(it->second.jobId); t != terminal_.end()) {
+        expired = now - t->second > options_.statusRetention;
+      } else {
+        expired = now - it->second.createdAt > options_.statusRetention &&
+                  !jobs_.status(it->second.jobId).ok();
+      }
+      it = expired ? status_aliases_.erase(it) : std::next(it);
+    }
+  }
+}
+
+void Gateway::addStatusAlias(const std::string& oldCluster,
+                             const std::string& oldJobId,
+                             const std::string& newJobId) {
+  status_aliases_[oldCluster + "/" + oldJobId] =
+      StatusAlias{newJobId, forwarder_.simulator().now()};
+  // Exact route for the old status name: its 5 components beat the dead
+  // cluster's 4-component /ndn/k8s/status/<cluster> registration in
+  // longest-prefix match, so existing pollers are steered here without
+  // learning the new name.
+  forwarder_.registerPrefix(makeStatusName(oldCluster, oldJobId), face_id_,
+                            /*cost=*/0);
+  LIDC_FR_EVENT(recorder_, kInfo, "gateway",
+                cluster_name_ + " status-alias " + oldCluster + "/" +
+                    oldJobId + " -> " + newJobId);
 }
 
 }  // namespace lidc::core

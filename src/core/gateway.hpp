@@ -51,6 +51,14 @@ struct GatewayOptions {
   sim::Duration orphanTtl = sim::Duration::minutes(10);
   sim::Duration reaperInterval = sim::Duration::seconds(30);
   bool enableOrphanReaper = true;
+  /// Status-namespace GC: terminal job entries (and migration aliases)
+  /// older than `statusRetention` are forgotten. Swept by the orphan
+  /// reaper while it runs and evicted lazily when a poll touches an
+  /// expired entry, so the status table cannot grow without bound — and
+  /// no extra timer is armed for terminal-only state (idle simulations
+  /// still drain).
+  bool enableStatusGc = true;
+  sim::Duration statusRetention = sim::Duration::minutes(30);
 };
 
 struct GatewayCounters {
@@ -69,6 +77,10 @@ struct GatewayCounters {
   std::uint64_t vanishedEvicted = 0;   // evicted when the job object vanished
   std::uint64_t blackoutDropped = 0;   // Interests dropped during a blackout
   std::uint64_t grayAdmitted = 0;      // jobs "accepted" by a gray gateway
+  std::uint64_t ckptRestores = 0;      // jobs launched from a checkpoint
+  std::uint64_t ckptRestoreFailures = 0;  // stale/corrupt ckpt -> cold start
+  std::uint64_t statusEvicted = 0;     // terminal status entries GC'd
+  std::uint64_t aliasServed = 0;       // polls served through a migration alias
 };
 
 class Gateway {
@@ -95,6 +107,25 @@ class Gateway {
   [[nodiscard]] qos::AdmissionController* admission() noexcept {
     return admission_.get();
   }
+
+  /// Enables checkpoint restore (migration plane): compute Interests
+  /// carrying a ckpt=<job_id>/<epoch> param resume from the named
+  /// /ndn/k8s/ckpt object in `store` instead of cold-starting. When the
+  /// object is not in this lake the Interest is nacked kNoRoute, so the
+  /// forwarding strategy steers the resume to a cluster holding a
+  /// replica — checkpoints stay location-independent like any dataset.
+  void enableCheckpointRestore(datalake::ObjectStore& store) noexcept {
+    ckpt_store_ = &store;
+  }
+
+  /// Migration alias: /ndn/k8s/status/<oldCluster>/<oldJobId> polls are
+  /// answered with the status of `newJobId` on this cluster, so pollers
+  /// follow a migrated job without learning the new name. Registers the
+  /// exact old status name on this gateway's forwarder — the
+  /// 5-component route wins longest-prefix match over the dead
+  /// cluster's 4-component status prefix.
+  void addStatusAlias(const std::string& oldCluster,
+                      const std::string& oldJobId, const std::string& newJobId);
 
   [[nodiscard]] const std::string& clusterName() const noexcept {
     return cluster_name_;
@@ -196,6 +227,18 @@ class Gateway {
   /// Fabricated job ids handed out while gray; status stays Pending.
   std::set<std::string> gray_jobs_;
   bool reaper_pending_ = false;
+  /// Checkpoint lake for ckpt= restores (null until enableCheckpointRestore).
+  datalake::ObjectStore* ckpt_store_ = nullptr;
+
+  struct StatusAlias {
+    std::string jobId;       // local job serving the old name
+    sim::Time createdAt;     // GC fallback; normally ages from the
+                             // successor's terminal time instead
+  };
+  /// "<oldCluster>/<oldJobId>" -> alias (migrated-in jobs).
+  std::unordered_map<std::string, StatusAlias> status_aliases_;
+  /// jobId -> terminal time, for status-namespace GC.
+  std::unordered_map<std::string, sim::Time> terminal_;
 
   struct LaunchRecord {
     ComputeRequest request;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/checkpoint_format.hpp"
 #include "replica/catalog.hpp"
 
 namespace lidc::core {
@@ -43,6 +44,9 @@ void ClusterOverlay::announceCluster(const std::string& name,
   // Tenant-scoped submits follow the same anycast bias as bare compute.
   topology_.installRoutesTo(kSubmitPrefix, name, computeExtraCostUs);
   topology_.installRoutesTo(kDataPrefix, name);
+  // Checkpoints are anycast like datasets: any cluster whose lake holds
+  // (a replica of) a checkpoint can serve its restore.
+  topology_.installRoutesTo(kCkptPrefix, name);
   ndn::Name statusPrefix = kStatusPrefix;
   statusPrefix.append(name);
   topology_.installRoutesTo(statusPrefix, name);
@@ -67,6 +71,7 @@ void ClusterOverlay::withdrawCluster(const std::string& name) {
   topology_.uninstallRoutesTo(kComputePrefix, name);
   topology_.uninstallRoutesTo(kSubmitPrefix, name);
   topology_.uninstallRoutesTo(kDataPrefix, name);
+  topology_.uninstallRoutesTo(kCkptPrefix, name);
   ndn::Name statusPrefix = kStatusPrefix;
   statusPrefix.append(name);
   topology_.uninstallRoutesTo(statusPrefix, name);

@@ -1,6 +1,9 @@
 #include "genomics/magic_blast_app.hpp"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -17,6 +20,60 @@ std::string argOr(const std::map<std::string, std::string>& args,
                   const std::string& key, std::string fallback) {
   auto it = args.find(key);
   return it == args.end() ? std::move(fallback) : it->second;
+}
+
+/// A decoded magic-blast checkpoint: how many leading reads the partial
+/// report already covers, out of how many, plus the report bytes.
+struct BlastCheckpoint {
+  std::size_t offset = 0;
+  std::size_t total = 0;
+  std::vector<std::uint8_t> partialReport;
+};
+
+constexpr std::string_view kCkptApp = "magic-blast";
+
+std::vector<std::uint8_t> encodeBlastCheckpoint(std::size_t offset,
+                                                std::size_t total,
+                                                std::vector<std::uint8_t> report) {
+  std::string header = "app=";
+  header += kCkptApp;
+  header += ";offset=" + std::to_string(offset) +
+            ";total=" + std::to_string(total) + "\n";
+  std::vector<std::uint8_t> payload(header.begin(), header.end());
+  payload.insert(payload.end(), report.begin(), report.end());
+  return payload;
+}
+
+std::optional<BlastCheckpoint> decodeBlastCheckpoint(
+    const std::vector<std::uint8_t>& payload) {
+  const auto newline = std::find(payload.begin(), payload.end(),
+                                 static_cast<std::uint8_t>('\n'));
+  if (newline == payload.end()) return std::nullopt;
+  const std::string header(payload.begin(), newline);
+  std::size_t offset = 0;
+  std::size_t total = 0;
+  bool sawApp = false, sawOffset = false, sawTotal = false;
+  for (auto field : strings::splitSkipEmpty(header, ';')) {
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const auto key = field.substr(0, eq);
+    const auto value = field.substr(eq + 1);
+    if (key == "app") {
+      if (value != kCkptApp) return std::nullopt;
+      sawApp = true;
+    } else if (key == "offset" || key == "total") {
+      auto parsed = strings::parseUint(value);
+      if (!parsed) return std::nullopt;
+      (key == "offset" ? offset : total) = static_cast<std::size_t>(*parsed);
+      (key == "offset" ? sawOffset : sawTotal) = true;
+    }
+  }
+  if (!sawApp || !sawOffset || !sawTotal || offset > total) return std::nullopt;
+  BlastCheckpoint ckpt;
+  ckpt.offset = offset;
+  ckpt.total = total;
+  ckpt.partialReport.assign(newline + 1, payload.end());
+  return ckpt;
 }
 
 }  // namespace
@@ -67,17 +124,47 @@ k8s::AppRunner makeMagicBlastRunner(datalake::ObjectStore& store,
       return result;
     }
 
-    // --- real alignment work ---
+    // --- resume point (migration plane) ---
+    const std::size_t totalReads = reads->size();
+    std::size_t resumeOffset = 0;
+    std::vector<std::uint8_t> priorReport;
+    bool resumed = false;
+    if (const std::string ckptRef = argOr(context.spec.args, "ckpt", "");
+        !ckptRef.empty()) {
+      ndn::Name ckptName = config.ckptPrefix;
+      for (auto part : strings::splitSkipEmpty(ckptRef, '/')) {
+        ckptName.append(part);
+      }
+      if (auto payload = store.get(ckptName)) {
+        if (auto ckpt = decodeBlastCheckpoint(*payload);
+            ckpt && ckpt->total == totalReads) {
+          resumeOffset = ckpt->offset;
+          priorReport = std::move(ckpt->partialReport);
+          resumed = true;
+        }
+      }
+      // A missing or inconsistent checkpoint silently cold-starts: the
+      // gateway's resume-point validation already rejected (and counted)
+      // integrity failures; this guard only covers app-level drift.
+    }
+
+    // --- real alignment work (only the reads past the resume point) ---
     AlignerOptions options;
     const std::size_t cores =
         std::max<std::size_t>(1, static_cast<std::size_t>(
                                      context.spec.requests.cpu.cores()));
     options.threads = std::min(cores, config.maxAlignerThreads);
     MiniBlastAligner aligner(refSequences->front().bases, options);
-    std::vector<Alignment> alignments;
-    const AlignerStats stats = aligner.alignAll(*reads, alignments);
+    auto pending = std::make_shared<std::vector<Sequence>>(
+        reads->begin() + static_cast<std::ptrdiff_t>(
+                             std::min(resumeOffset, totalReads)),
+        reads->end());
+    auto alignments = std::make_shared<std::vector<Alignment>>();
+    const AlignerStats stats = aligner.alignAll(*pending, *alignments);
 
-    auto compressed = encodeCompressedReport(alignments);
+    auto newReport = encodeCompressedReport(*alignments);
+    std::vector<std::uint8_t> compressed = priorReport;
+    compressed.insert(compressed.end(), newReport.begin(), newReport.end());
     const std::size_t simInputBytes = sampleBytes->size();
     const std::size_t simOutputBytes = compressed.size();
 
@@ -110,6 +197,12 @@ k8s::AppRunner makeMagicBlastRunner(datalake::ObjectStore& store,
     if (context.spec.requests.memory < config.workingSet) {
       seconds *= config.thrashPenalty;
     }
+    // A resumed run only re-does the reads past the checkpoint.
+    const double remainingFraction =
+        totalReads == 0 ? 1.0
+                        : static_cast<double>(pending->size()) /
+                              static_cast<double>(totalReads);
+    seconds *= remainingFraction;
     result.runtime = sim::Duration::seconds(seconds);
 
     // Output size, scaled from simulation to testbed input volume.
@@ -123,6 +216,43 @@ k8s::AppRunner makeMagicBlastRunner(datalake::ObjectStore& store,
     result.message = "aligned " + std::to_string(stats.readsAligned) + "/" +
                      std::to_string(stats.readsProcessed) + " reads, " +
                      std::to_string(stats.alignmentsReported) + " alignments";
+    if (resumed) {
+      result.message += ", resumed at " + std::to_string(resumeOffset) + "/" +
+                        std::to_string(totalReads);
+    }
+
+    // --- incremental-progress hook (migration plane) ---
+    // Maps a progress fraction of THIS execution to the checkpoint the
+    // pod would have written by then: the prior partial report plus the
+    // alignments of the first k freshly processed reads.
+    auto priorShared =
+        std::make_shared<std::vector<std::uint8_t>>(std::move(priorReport));
+    auto processedIds = std::make_shared<std::vector<std::string>>();
+    processedIds->reserve(pending->size());
+    for (const auto& read : *pending) processedIds->push_back(read.id);
+    const std::size_t processedCount = pending->size();
+    result.checkpointPlan = [resumeOffset, totalReads, processedCount,
+                             priorShared, alignments,
+                             processedIds](double progress) {
+      progress = std::clamp(progress, 0.0, 1.0);
+      const std::size_t k = static_cast<std::size_t>(
+          progress * static_cast<double>(processedCount));
+      std::map<std::string, std::size_t> order;
+      for (std::size_t i = 0; i < processedIds->size(); ++i) {
+        order.emplace((*processedIds)[i], i);
+      }
+      std::vector<Alignment> covered;
+      for (const auto& alignment : *alignments) {
+        auto it = order.find(alignment.readId);
+        if (it != order.end() && it->second < k) covered.push_back(alignment);
+      }
+      auto report = encodeCompressedReport(covered);
+      std::vector<std::uint8_t> merged = *priorShared;
+      merged.insert(merged.end(), report.begin(), report.end());
+      return encodeBlastCheckpoint(resumeOffset + k, totalReads,
+                                   std::move(merged));
+    };
+
     LIDC_LOG(kDebug, "magic-blast")
         << srrId << ": " << result.message << ", runtime "
         << result.runtime.toString();

@@ -43,14 +43,27 @@ struct MagicBlastConfig {
   double baselineBasesPerRead = 41.0;
   /// Aligner threads are capped at this (real threads used for real work).
   std::size_t maxAlignerThreads = 4;
+  /// Checkpoint namespace the runner resolves ckpt= args against (the
+  /// migration plane's /ndn/k8s/ckpt; payloads live in the same lake).
+  ndn::Name ckptPrefix{"/ndn/k8s/ckpt"};
 };
 
 /// Arguments understood by the runner (JobSpec::args):
 ///   "srr_id"  - sample object name under the data prefix (required)
 ///   "ref"     - reference object name (default: config.referenceObject)
 ///   "out"     - result object name (default: results/<srr_id>-vs-<ref>)
+///   "ckpt"    - resume point "<job_id>/<epoch>": the runner loads
+///               <ckptPrefix>/<job_id>/<epoch> from the lake, skips the
+///               reads it already covers, merges its partial report into
+///               the output, and scales the reported runtime by the
+///               remaining fraction. A missing or inconsistent
+///               checkpoint falls back to a cold start.
 /// The result is written to <dataPrefix>/<out>; AppResult::resultPath
-/// carries that name and outputBytes the testbed-scale size.
+/// carries that name and outputBytes the testbed-scale size. Every run
+/// also sets AppResult::checkpointPlan, the incremental-progress hook
+/// the CheckpointManager samples: progress p maps to a payload of
+/// "app=magic-blast;offset=<reads done>;total=<reads>\n" followed by the
+/// compressed partial report of the covered reads.
 k8s::AppRunner makeMagicBlastRunner(datalake::ObjectStore& store,
                                     const DatasetCatalog& catalog,
                                     MagicBlastConfig config = {});

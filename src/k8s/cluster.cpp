@@ -461,6 +461,8 @@ void Cluster::executeJobPod(Job& job, Pod& pod) {
     result.runtime = result.runtime * bound->slowdownFactor();
   }
 
+  for (const auto& watcher : exec_watchers_) watcher(job, result);
+
   const std::string ns = job.namespaceName();
   const std::string jobName = job.name();
   const std::string podKey = key(pod.namespaceName(), pod.name());

@@ -127,6 +127,14 @@ class Cluster {
   void onJobFinished(std::function<void(const Job&)> callback) {
     job_watchers_.push_back(std::move(callback));
   }
+  /// Fires when a job pod begins executing, right after its app runner
+  /// produced the AppResult whose runtime drives the completion
+  /// schedule (slowdown-adjusted). The migration plane's
+  /// CheckpointManager hooks this to plan periodic checkpoint writes
+  /// from the result's checkpointPlan closure.
+  void onJobExecuted(std::function<void(const Job&, const AppResult&)> callback) {
+    exec_watchers_.push_back(std::move(callback));
+  }
   [[nodiscard]] std::size_t runningJobCount() const noexcept { return running_jobs_; }
 
   // --- events ---
@@ -166,6 +174,7 @@ class Cluster {
 
   std::deque<std::string> unschedulable_;  // pod keys awaiting capacity
   std::vector<std::function<void(const Job&)>> job_watchers_;
+  std::vector<std::function<void(const Job&, const AppResult&)>> exec_watchers_;
   std::deque<Event> events_;
   std::uint16_t next_node_port_ = 30000;
   std::uint32_t next_pod_ip_ = 1;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -82,6 +83,14 @@ struct AppResult {
   std::string resultPath;
   std::uint64_t outputBytes = 0;
   std::string message;
+  /// Incremental-progress hook (migration plane): apps that can resume
+  /// mid-run expose a closure mapping a progress fraction in [0, 1] to a
+  /// serialized checkpoint payload for that point of the (already
+  /// eagerly computed) work. Because runners execute eagerly and only
+  /// the completion event is simulated, a CheckpointManager invokes this
+  /// at simulated intervals to materialize what the pod "would have"
+  /// written by then. Null = app is not checkpointable.
+  std::function<std::vector<std::uint8_t>(double progress)> checkpointPlan;
 };
 
 /// A runnable application "image". Registered per app name on the Cluster.

@@ -22,6 +22,7 @@ std::string_view faultKindName(FaultKind kind) noexcept {
     case FaultKind::kGrayGateway: return "gray-gateway";
     case FaultKind::kStaleReplay: return "stale-replay";
     case FaultKind::kNoisyNeighbor: return "noisy-neighbor";
+    case FaultKind::kDrain: return "drain";
     case FaultKind::kCustom: return "custom";
   }
   return "unknown";
@@ -211,6 +212,12 @@ void ChaosEngine::noisyNeighbor(std::string label, Time from, Time until,
     });
   }
   schedulePhase(fault, until, /*inject=*/false, [] {});
+}
+
+void ChaosEngine::drain(std::string label, Time at,
+                        std::function<void()> action) {
+  const std::size_t fault = declare(std::move(label), FaultKind::kDrain);
+  schedulePhase(fault, at, /*inject=*/true, std::move(action));
 }
 
 void ChaosEngine::custom(std::string label, Time at, std::function<void()> apply) {

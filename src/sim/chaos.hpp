@@ -36,6 +36,7 @@ enum class FaultKind {
   kGrayGateway,   // gateway admits jobs, returns Pending forever
   kStaleReplay,   // a cache re-serves old Data past its freshness
   kNoisyNeighbor,  // one tenant hammers submits far above its fair rate
+  kDrain,         // planned cluster drain (live migration trigger)
   kCustom,        // caller-supplied action
 };
 
@@ -132,6 +133,13 @@ class ChaosEngine {
   /// injection counter without flooding the trace.
   void noisyNeighbor(std::string label, Time from, Time until,
                      Duration meanGap, std::function<void()> submit);
+
+  /// Planned drain: fires `drain` at `at` — wire to
+  /// MigrationCoordinator::drainCluster so running jobs checkpoint-
+  /// migrate off the cluster before an operator takes it down. Unlike
+  /// the crash faults, a drain leaves the cluster healthy; it only
+  /// triggers the migration plane.
+  void drain(std::string label, Time at, std::function<void()> action);
 
   /// One-shot custom fault.
   void custom(std::string label, Time at, std::function<void()> apply);

@@ -210,6 +210,16 @@ void WorkflowEngine::dispatchStage(const std::shared_ptr<Run>& run,
 
   auto request =
       std::make_shared<core::ComputeRequest>(buildRequest(run->spec, stage));
+  // Retry of a checkpointed stage: resume from its latest checkpoint
+  // instead of recomputing — the saved prefix beats lineage recompute.
+  if (st.retries > 0 && options_.restoreParamsHook && !st.lastJobId.empty()) {
+    auto extra = options_.restoreParamsHook(stage.name, st.lastJobId);
+    if (!extra.empty()) {
+      for (auto& [key, value] : extra) request->params[key] = value;
+      ++run->outcome.checkpointRestores;
+      trace(run, "ckpt-restore " + stage.name + " job=" + st.lastJobId);
+    }
+  }
   // Lookahead: while this stage runs, its consumers' already-available
   // inputs can stream toward compute.
   firePrestage(run, index);
@@ -323,6 +333,7 @@ void WorkflowEngine::launchStageLeg(const std::shared_ptr<Run>& run,
           status.failovers = result->failovers;
           status.runtime = result->finalStatus.runtime;
           status.outputBytes = result->finalStatus.outputBytes;
+          status.lastJobId = result->submit.jobId;
         }
         if (completed) {
           if (isHedge) {

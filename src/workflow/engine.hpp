@@ -108,6 +108,16 @@ struct WorkflowOptions {
                      const std::vector<std::string>& inputs,
                      std::function<void(std::uint64_t)> done)>
       ensureInputsLocal;
+  /// Checkpoint restore on retry (migration plane): invoked with the
+  /// stage name and the job id of the failed attempt before a retry is
+  /// dispatched. Returning extra request params (typically ckpt=<job>/
+  /// <epoch> + ckpt_digest=<pin>) makes the retry *resume* the stage
+  /// from its latest checkpoint instead of recomputing it; an empty map
+  /// retries cold. Consulted before lineage recovery would recompute
+  /// upstream producers, so saved work is preferred over recompute.
+  std::function<std::map<std::string, std::string>(
+      const std::string& stage, const std::string& jobId)>
+      restoreParamsHook;
 };
 
 /// Terminal per-stage report.
@@ -125,6 +135,8 @@ struct StageStatus {
   /// Bytes moved at dispatch to make this stage's inputs local
   /// (ensureInputsLocal); 0 when pre-staging already delivered them.
   std::uint64_t dispatchStagingBytes = 0;
+  /// Job id of the last attempt that acked (restoreParamsHook input).
+  std::string lastJobId;
 };
 
 /// Aggregated outcome of one workflow run.
@@ -142,6 +154,9 @@ struct WorkflowOutcome {
   std::uint64_t dispatchBytesMoved = 0;
   /// Producer stages recomputed because their output became unreachable.
   int lineageRecoveries = 0;
+  /// Stage retries that resumed from a checkpoint (restoreParamsHook
+  /// returned params) instead of recomputing from scratch.
+  int checkpointRestores = 0;
   /// Deterministic event log; byte-identical across same-seed runs.
   std::string trace;
 };

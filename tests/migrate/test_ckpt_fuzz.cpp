@@ -1,0 +1,177 @@
+// Seeded fuzz of the checkpoint-format parsers — the surfaces a hostile
+// client reaches through ckpt= request params and on-the-wire manifest
+// bytes. Invariant under fuzz: every call returns exactly one terminal
+// signal — a valid parse or a clean error Status — and a parse reported
+// ok satisfies the format's own round-trip contract. Runs ASan/UBSan
+// clean under the sanitizer job; 2000 byte-soup iterations plus a
+// structured malformed-manifest storm.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/checkpoint_format.hpp"
+
+namespace lidc::core {
+namespace {
+
+constexpr int kFuzzIterations = 2000;
+constexpr std::uint64_t kFuzzSeed = 0xc4d7f00dULL;
+
+/// Random bytes, biased toward the format's structural characters so
+/// the soup actually exercises deep parser paths, not just the first
+/// reject.
+std::string randomSoup(Rng& rng, std::size_t maxLen) {
+  static constexpr char kStructural[] = "/=;_0123456789abczAZ-. \n\0&";
+  std::string out;
+  const std::size_t len = rng.uniform(maxLen + 1);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng.uniform(2) == 0) {
+      out.push_back(kStructural[rng.uniform(sizeof(kStructural) - 1)]);
+    } else {
+      out.push_back(static_cast<char>(rng.uniform(256)));
+    }
+  }
+  return out;
+}
+
+TEST(CkptFuzzTest, ByteSoupNeverCrashesRefParser) {
+  Rng rng(kFuzzSeed);
+  int accepted = 0;
+  for (int i = 0; i < kFuzzIterations; ++i) {
+    // Alternate raw byte soup with mutations of a valid ref, so the
+    // accept path is fuzzed as hard as the reject path.
+    std::string soup;
+    if (i % 2 == 0) {
+      soup = randomSoup(rng, 96);
+    } else {
+      soup = "east-7/12";
+      const std::size_t flips = rng.uniform(3);
+      for (std::size_t f = 0; f < flips; ++f) {
+        soup[rng.uniform(soup.size())] = static_cast<char>(rng.uniform(256));
+      }
+    }
+    const auto ref = parseCkptRef(soup);
+    if (!ref.ok()) continue;  // clean rejection is the common terminal
+    ++accepted;
+    // An accepted ref must satisfy the format's own contract: the name
+    // it builds parses back to the identical ref.
+    EXPECT_FALSE(ref->jobId.empty());
+    EXPECT_GT(ref->epoch, 0u);
+    const auto roundTrip = parseCkptName(makeCkptName(ref->jobId, ref->epoch));
+    ASSERT_TRUE(roundTrip.ok()) << soup;
+    EXPECT_EQ(roundTrip->jobId, ref->jobId);
+    EXPECT_EQ(roundTrip->epoch, ref->epoch);
+  }
+  // The grammar is tight but satisfiable: some soup must get through,
+  // otherwise the accept path was never fuzzed at all.
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, kFuzzIterations);
+}
+
+TEST(CkptFuzzTest, ByteSoupNeverCrashesManifestDecoder) {
+  Rng rng(kFuzzSeed ^ 0xffULL);
+  for (int i = 0; i < kFuzzIterations; ++i) {
+    const std::string soup = randomSoup(rng, 160);
+    const auto manifest = decodeCkptManifest(soup);
+    if (!manifest.ok()) continue;
+    // Accepted manifests obey the documented field constraints.
+    EXPECT_LE(manifest->progressPermille, 1000u);
+    EXPECT_FALSE(manifest->jobId.empty());
+    // And re-encoding decodes to the same job/epoch/digest.
+    const auto again = decodeCkptManifest(encodeCkptManifest(*manifest));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->jobId, manifest->jobId);
+    EXPECT_EQ(again->epoch, manifest->epoch);
+    EXPECT_EQ(again->digest, manifest->digest);
+  }
+}
+
+TEST(CkptFuzzTest, MalformedManifestStormRejectsEveryMutation) {
+  CkptManifest seed;
+  seed.jobId = "east-42";
+  seed.app = "magic-blast";
+  seed.epoch = 7;
+  seed.bytes = 4096;
+  seed.digest = 0xdeadbeefcafeULL;
+  seed.progressPermille = 500;
+  const std::string valid = encodeCkptManifest(seed);
+  ASSERT_TRUE(decodeCkptManifest(valid).ok());
+
+  Rng rng(kFuzzSeed ^ 0xabcdULL);
+  int rejected = 0;
+  int survived = 0;
+  for (int i = 0; i < kFuzzIterations; ++i) {
+    std::string mutated = valid;
+    switch (rng.uniform(4)) {
+      case 0:  // flip one byte
+        mutated[rng.uniform(mutated.size())] =
+            static_cast<char>(rng.uniform(256));
+        break;
+      case 1:  // truncate
+        mutated.resize(rng.uniform(mutated.size()));
+        break;
+      case 2:  // duplicate a random slice onto the tail (repeated keys)
+      {
+        const std::size_t from = rng.uniform(mutated.size());
+        mutated += ";";
+        mutated += mutated.substr(from);
+        break;
+      }
+      default:  // splice random soup into the middle
+      {
+        const std::size_t at = rng.uniform(mutated.size());
+        mutated.insert(at, randomSoup(rng, 16));
+        break;
+      }
+    }
+    const auto decoded = decodeCkptManifest(mutated);
+    if (!decoded.ok()) {
+      ++rejected;
+      continue;
+    }
+    // Mutations that still decode must still satisfy every invariant —
+    // a decoder that "mostly" validates is how stale-epoch restores
+    // slip through.
+    ++survived;
+    EXPECT_LE(decoded->progressPermille, 1000u);
+    EXPECT_FALSE(decoded->jobId.empty());
+    EXPECT_TRUE(decodeCkptManifest(encodeCkptManifest(*decoded)).ok());
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(rejected + survived, kFuzzIterations);
+}
+
+TEST(CkptFuzzTest, HostileNamesAreRejectedNotMisparsed) {
+  // Directed probes at the known edges of the grammar.
+  const std::string kHostile[] = {
+      "",
+      "/",
+      "job/",
+      "/3",
+      "job/0",
+      "job/-1",
+      "job/1x",
+      "job/18446744073709551616",  // 2^64: overflow must reject
+      "job/1/2",
+      "job//1",
+      "a b/1",
+      std::string(512, 'a') + "/1",
+      std::string("j\0b/1", 5),
+      "job/_manifest",
+  };
+  for (const std::string& probe : kHostile) {
+    EXPECT_FALSE(parseCkptRef(probe).ok()) << "accepted: " << probe;
+  }
+  // The canonical form still parses.
+  const auto ok = parseCkptRef("east-7/12");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->jobId, "east-7");
+  EXPECT_EQ(ok->epoch, 12u);
+}
+
+}  // namespace
+}  // namespace lidc::core
